@@ -1,0 +1,108 @@
+//===- bench/BenchAssoc.cpp - Experiment P6 -------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P6: associated-type machinery scaling (section 5.2).
+/// Every associated type reachable from a where clause adds one type
+/// parameter and one congruence-closure equation; same-type constraints
+/// merge classes.  These benchmarks sweep (a) the number of
+/// requirements each carrying an associated type, (b) the number of
+/// same-type constraints chaining them together, and (c) assoc-heavy
+/// member types.
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <benchmark/benchmark.h>
+#include <sstream>
+
+using namespace fg;
+
+namespace {
+
+/// N iterator-like requirements, each with one associated type.
+std::string manyRequirements(unsigned N) {
+  std::ostringstream OS;
+  OS << "concept It<I> { types elt; curr : fn(I) -> elt; } in\n";
+  OS << "let f = (forall ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "I" << I;
+  OS << " where ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "It<I" << I << ">";
+  OS << ". 0) in 0";
+  return OS.str();
+}
+
+/// N requirements chained by N-1 same-type constraints — one merged
+/// class with N+N members, as in the paper's merge but wider.
+std::string chainedConstraints(unsigned N) {
+  std::ostringstream OS;
+  OS << "concept It<I> { types elt; curr : fn(I) -> elt; } in\n";
+  OS << "let f = (forall ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "I" << I;
+  OS << " where ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "It<I" << I << ">";
+  for (unsigned I = 0; I + 1 < N; ++I)
+    OS << ", It<I" << I << ">.elt == It<I" << I + 1 << ">.elt";
+  OS << ". 0) in 0";
+  return OS.str();
+}
+
+/// One concept with N associated types, all assigned in one model and
+/// used in one generic function.
+std::string wideConcept(unsigned N) {
+  std::ostringstream OS;
+  OS << "concept C<t> { types ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "a" << I;
+  OS << "; ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << "get" << I << " : fn(t) -> a" << I << "; ";
+  OS << "} in\n";
+  OS << "model C<int> { types ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "a" << I << " = int";
+  OS << "; ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << "get" << I << " = fun(x : int). x; ";
+  OS << "} in\n";
+  OS << "let f = (forall t where C<t>. fun(x : t). C<t>.get0(x)) in\n";
+  OS << "f[int](7)";
+  return OS.str();
+}
+
+void compileIt(benchmark::State &State, const std::string &Source) {
+  for (auto _ : State) {
+    Frontend FE;
+    CompileOutput Out = FE.compile("bench.fg", Source);
+    if (!Out.Success)
+      State.SkipWithError(Out.ErrorMessage.c_str());
+    benchmark::DoNotOptimize(Out.SfTerm);
+  }
+}
+
+} // namespace
+
+static void BM_AssocManyRequirements(benchmark::State &State) {
+  compileIt(State, manyRequirements(State.range(0)));
+}
+BENCHMARK(BM_AssocManyRequirements)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+static void BM_AssocChainedSameType(benchmark::State &State) {
+  compileIt(State, chainedConstraints(State.range(0)));
+}
+BENCHMARK(BM_AssocChainedSameType)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+static void BM_AssocWideConcept(benchmark::State &State) {
+  compileIt(State, wideConcept(State.range(0)));
+}
+BENCHMARK(BM_AssocWideConcept)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+//===- bench/BenchCongruence.cpp - Experiment P1 --------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P1 (see DESIGN.md / EXPERIMENTS.md): the paper claims the
+/// type-equality judgement "is equivalent to the quantifier free theory
+/// of equality ... for which there is an efficient O(n log n) time
+/// algorithm" (section 5.1).  These benchmarks measure our congruence
+/// closure on growing equation sets; near-linear scaling of time/op in
+/// the reported numbers corroborates the bound.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Congruence.h"
+#include <benchmark/benchmark.h>
+#include <random>
+
+using namespace fg;
+
+/// N parameters merged into one class by a chain of N-1 equations, with
+/// a list tower on top so congruences propagate upward.
+static void BM_CongruenceChain(benchmark::State &State) {
+  const unsigned N = State.range(0);
+  for (auto _ : State) {
+    State.PauseTiming();
+    TypeContext Ctx;
+    Congruence CC(Ctx);
+    std::vector<const Type *> Params;
+    for (unsigned I = 0; I < N; ++I)
+      Params.push_back(Ctx.freshParam("p" + std::to_string(I)));
+    std::vector<const Type *> Lists;
+    for (unsigned I = 0; I < N; ++I)
+      Lists.push_back(Ctx.getListType(Params[I]));
+    State.ResumeTiming();
+
+    for (unsigned I = 0; I + 1 < N; ++I)
+      CC.assertEqual(Params[I], Params[I + 1]);
+    // All list towers must now be congruent.
+    benchmark::DoNotOptimize(CC.isEqual(Lists.front(), Lists.back()));
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_CongruenceChain)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Random union graph over N params plus first-order structure; mirrors
+/// what a large where clause with many same-type constraints produces.
+static void BM_CongruenceRandom(benchmark::State &State) {
+  const unsigned N = State.range(0);
+  std::mt19937 Rng(42);
+  for (auto _ : State) {
+    State.PauseTiming();
+    TypeContext Ctx;
+    Congruence CC(Ctx);
+    std::vector<const Type *> Universe;
+    for (unsigned I = 0; I < N; ++I) {
+      const Type *P = Ctx.freshParam("p" + std::to_string(I));
+      Universe.push_back(P);
+      Universe.push_back(Ctx.getListType(P));
+      Universe.push_back(Ctx.getArrowType({P}, P));
+    }
+    std::uniform_int_distribution<size_t> Pick(0, Universe.size() - 1);
+    State.ResumeTiming();
+
+    for (unsigned I = 0; I < N; ++I)
+      CC.assertEqual(Universe[Pick(Rng)], Universe[Pick(Rng)]);
+    for (unsigned I = 0; I < N; ++I)
+      benchmark::DoNotOptimize(
+          CC.isEqual(Universe[Pick(Rng)], Universe[Pick(Rng)]));
+  }
+  State.SetItemsProcessed(State.iterations() * 2 * N);
+}
+BENCHMARK(BM_CongruenceRandom)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Query cost on an already-saturated closure (two find() calls).
+static void BM_CongruenceQuery(benchmark::State &State) {
+  const unsigned N = State.range(0);
+  TypeContext Ctx;
+  Congruence CC(Ctx);
+  std::vector<const Type *> Params;
+  for (unsigned I = 0; I < N; ++I)
+    Params.push_back(Ctx.freshParam("p" + std::to_string(I)));
+  for (unsigned I = 0; I + 1 < N; ++I)
+    CC.assertEqual(Params[I], Params[I + 1]);
+  std::mt19937 Rng(7);
+  std::uniform_int_distribution<size_t> Pick(0, N - 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CC.isEqual(Params[Pick(Rng)], Params[Pick(Rng)]));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CongruenceQuery)->Arg(256)->Arg(4096);
+
+/// Scope push/rollback cost — the operation the checker performs at
+/// every binder (lexically scoped same-type constraints).
+static void BM_CongruenceRollback(benchmark::State &State) {
+  const unsigned N = State.range(0);
+  TypeContext Ctx;
+  Congruence CC(Ctx);
+  std::vector<const Type *> Params;
+  for (unsigned I = 0; I < N; ++I)
+    Params.push_back(Ctx.freshParam("p" + std::to_string(I)));
+  for (auto _ : State) {
+    Congruence::Mark M = CC.mark();
+    for (unsigned I = 0; I + 1 < N; ++I)
+      CC.assertEqual(Params[I], Params[I + 1]);
+    CC.rollback(M);
+  }
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_CongruenceRollback)->Arg(16)->Arg(128)->Arg(1024);
+
+BENCHMARK_MAIN();

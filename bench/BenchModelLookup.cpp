@@ -1,0 +1,75 @@
+//===- bench/BenchModelLookup.cpp - Experiment P3 -------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P3: cost of the scoped model lookup that implicit
+/// instantiation performs (paper section 3.1, step 2: "the lexical
+/// scope of the instantiation is searched for a matching model
+/// declaration").  Lookup walks scopes innermost-first comparing
+/// arguments up to the congruence closure, so cost grows with the
+/// number of models in scope and with how deep the match sits.
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <benchmark/benchmark.h>
+#include <sstream>
+
+using namespace fg;
+
+namespace {
+
+/// D distinct concepts modelled in scope; the instantiation requires
+/// the *outermost* one, forcing a full scan past D-1 non-matching
+/// models.
+std::string worstCaseLookup(unsigned D) {
+  std::ostringstream OS;
+  OS << "concept Z<t> { v : t; } in\n"
+     << "model Z<int> { v = 1; } in\n";
+  for (unsigned I = 0; I < D; ++I)
+    OS << "concept C" << I << "<t> { w" << I << " : t; } in\n"
+       << "model C" << I << "<int> { w" << I << " = 0; } in\n";
+  OS << "(forall t where Z<t>. Z<t>.v)[int]";
+  return OS.str();
+}
+
+void runLookup(benchmark::State &State, const std::string &Source) {
+  for (auto _ : State) {
+    Frontend FE;
+    CompileOutput Out = FE.compile("bench.fg", Source);
+    if (!Out.Success)
+      State.SkipWithError(Out.ErrorMessage.c_str());
+    benchmark::DoNotOptimize(Out.SfTerm);
+  }
+}
+
+} // namespace
+
+static void BM_LookupPastManyModels(benchmark::State &State) {
+  runLookup(State, worstCaseLookup(State.range(0)));
+}
+BENCHMARK(BM_LookupPastManyModels)->Arg(4)->Arg(32)->Arg(128)->Arg(512);
+
+/// Repeated instantiation in one program: N lookups through D models.
+static void BM_RepeatedInstantiation(benchmark::State &State) {
+  const unsigned D = State.range(0);
+  std::ostringstream OS;
+  OS << "concept Z<t> { v : t; } in\n"
+     << "model Z<int> { v = 1; } in\n";
+  for (unsigned I = 0; I < D; ++I)
+    OS << "concept C" << I << "<t> { w" << I << " : t; } in\n"
+       << "model C" << I << "<int> { w" << I << " = 0; } in\n";
+  OS << "let f = (forall t where Z<t>. Z<t>.v) in\n";
+  std::string E = "0";
+  for (unsigned I = 0; I < 32; ++I)
+    E = "iadd(f[int], " + E + ")";
+  OS << E;
+  runLookup(State, OS.str());
+}
+BENCHMARK(BM_RepeatedInstantiation)->Arg(4)->Arg(64)->Arg(256);
+
+BENCHMARK_MAIN();

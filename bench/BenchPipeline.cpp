@@ -1,0 +1,116 @@
+//===- bench/BenchPipeline.cpp - Experiment P5 ----------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P5: front-end throughput.  Synthesizes F_G programs of
+/// growing size along three axes — number of concepts, number of
+/// models, number of generic instantiations — and measures the full
+/// lex/parse/check/translate/verify pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <benchmark/benchmark.h>
+#include <sstream>
+
+using namespace fg;
+
+namespace {
+
+/// N independent concepts, one model and one use each.
+std::string conceptsProgram(unsigned N) {
+  std::ostringstream OS;
+  for (unsigned I = 0; I < N; ++I)
+    OS << "concept C" << I << "<t> { v" << I << " : t; } in\n";
+  for (unsigned I = 0; I < N; ++I)
+    OS << "model C" << I << "<int> { v" << I << " = " << I << "; } in\n";
+  OS << "iadd(C0<int>.v0, C" << N - 1 << "<int>.v" << N - 1 << ")";
+  return OS.str();
+}
+
+/// One concept, N overlapping nested models, access at the innermost.
+std::string modelsProgram(unsigned N) {
+  std::ostringstream OS;
+  OS << "concept C<t> { v : t; } in\n";
+  for (unsigned I = 0; I < N; ++I)
+    OS << "model C<int> { v = " << I << "; } in\n";
+  OS << "C<int>.v";
+  return OS.str();
+}
+
+/// One generic function instantiated N times (each instantiation does a
+/// full model lookup and dictionary application).
+std::string instantiationsProgram(unsigned N) {
+  std::ostringstream OS;
+  OS << "concept M<t> { op : fn(t,t) -> t; z : t; } in\n"
+     << "let f = (forall t where M<t>. fun(x : t). M<t>.op(x, M<t>.z)) in\n"
+     << "model M<int> { op = iadd; z = 1; } in\n";
+  std::string Expr = "0";
+  for (unsigned I = 0; I < N; ++I)
+    Expr = "f[int](" + Expr + ")";
+  OS << Expr;
+  return OS.str();
+}
+
+/// One deeply right-nested expression (parser and checker stress).
+std::string deepExprProgram(unsigned N) {
+  std::string E = "1";
+  for (unsigned I = 0; I < N; ++I)
+    E = "iadd(1, " + E + ")";
+  return E;
+}
+
+void runPipeline(benchmark::State &State, const std::string &Source) {
+  for (auto _ : State) {
+    Frontend FE;
+    CompileOutput Out = FE.compile("bench.fg", Source);
+    if (!Out.Success)
+      State.SkipWithError(Out.ErrorMessage.c_str());
+    benchmark::DoNotOptimize(Out.SfTerm);
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+
+} // namespace
+
+static void BM_PipelineConcepts(benchmark::State &State) {
+  runPipeline(State, conceptsProgram(State.range(0)));
+}
+BENCHMARK(BM_PipelineConcepts)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_PipelineModels(benchmark::State &State) {
+  runPipeline(State, modelsProgram(State.range(0)));
+}
+BENCHMARK(BM_PipelineModels)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_PipelineInstantiations(benchmark::State &State) {
+  runPipeline(State, instantiationsProgram(State.range(0)));
+}
+BENCHMARK(BM_PipelineInstantiations)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_PipelineDeepExpr(benchmark::State &State) {
+  runPipeline(State, deepExprProgram(State.range(0)));
+}
+BENCHMARK(BM_PipelineDeepExpr)->Arg(16)->Arg(128)->Arg(512);
+
+/// Parser-only cost, for comparison with the full pipeline.
+static void BM_ParseOnly(benchmark::State &State) {
+  std::string Source = conceptsProgram(State.range(0));
+  for (auto _ : State) {
+    SourceManager SM;
+    DiagnosticEngine Diags(&SM);
+    TypeContext Ctx;
+    TermArena Arena;
+    uint32_t Id = SM.addBuffer("bench.fg", Source);
+    Parser P(SM, Diags, Ctx, Arena);
+    benchmark::DoNotOptimize(P.parseProgram(Id));
+  }
+  State.SetBytesProcessed(State.iterations() * Source.size());
+}
+BENCHMARK(BM_ParseOnly)->Arg(16)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+//===- bench/BenchRefinement.cpp - Experiment P4 --------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P4: refinement hierarchies.  Dictionaries nest along
+/// refinement (Figure 7), so a member inherited through depth d costs a
+/// projection chain of length d at run time and path computation at
+/// compile time; diamonds must not blow up the associated-type slots
+/// (section 5.2).  These benchmarks sweep chain depth and diamond width.
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <benchmark/benchmark.h>
+#include <sstream>
+
+using namespace fg;
+
+namespace {
+
+/// Chain C0 <- C1 <- ... <- C(D-1); accesses the deepest member through
+/// the topmost concept.
+std::string chainProgram(unsigned D, bool WithAccess) {
+  std::ostringstream OS;
+  OS << "concept C0<t> { m0 : t; } in\n";
+  for (unsigned I = 1; I < D; ++I)
+    OS << "concept C" << I << "<t> { refines C" << I - 1 << "<t>; m" << I
+       << " : t; } in\n";
+  OS << "model C0<int> { m0 = 7; } in\n";
+  for (unsigned I = 1; I < D; ++I)
+    OS << "model C" << I << "<int> { m" << I << " = 0; } in\n";
+  if (WithAccess)
+    OS << "C" << D - 1 << "<int>.m0";
+  else
+    OS << "0";
+  return OS.str();
+}
+
+/// Diamond of width W: C1..CW all refine Base (which carries an
+/// associated type), Top refines all of C1..CW.  The dedup of
+/// associated-type slots (paper 5.2) keeps the translation linear.
+std::string diamondProgram(unsigned W) {
+  std::ostringstream OS;
+  OS << "concept Base<t> { types a; get : fn(t) -> a; } in\n";
+  for (unsigned I = 0; I < W; ++I)
+    OS << "concept C" << I << "<t> { refines Base<t>; m" << I
+       << " : t; } in\n";
+  OS << "concept Top<t> { ";
+  for (unsigned I = 0; I < W; ++I)
+    OS << "refines C" << I << "<t>; ";
+  OS << "top : t; } in\n";
+  OS << "model Base<int> { types a = bool; get = fun(x : int). true; } in\n";
+  for (unsigned I = 0; I < W; ++I)
+    OS << "model C" << I << "<int> { m" << I << " = 0; } in\n";
+  OS << "model Top<int> { top = 1; } in\n";
+  OS << "let f = (forall t where Top<t>. fun(x : t). Base<t>.get(x)) in\n";
+  OS << "f[int](3)";
+  return OS.str();
+}
+
+void compileIt(benchmark::State &State, const std::string &Source) {
+  for (auto _ : State) {
+    Frontend FE;
+    CompileOutput Out = FE.compile("bench.fg", Source);
+    if (!Out.Success)
+      State.SkipWithError(Out.ErrorMessage.c_str());
+    benchmark::DoNotOptimize(Out.SfTerm);
+  }
+}
+
+} // namespace
+
+static void BM_RefinementChainCheck(benchmark::State &State) {
+  compileIt(State, chainProgram(State.range(0), /*WithAccess=*/false));
+}
+BENCHMARK(BM_RefinementChainCheck)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+static void BM_RefinementChainMemberAccess(benchmark::State &State) {
+  compileIt(State, chainProgram(State.range(0), /*WithAccess=*/true));
+}
+BENCHMARK(BM_RefinementChainMemberAccess)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
+
+static void BM_RefinementDiamond(benchmark::State &State) {
+  compileIt(State, diamondProgram(State.range(0)));
+}
+BENCHMARK(BM_RefinementDiamond)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
+
+/// Runtime cost of projecting a member through depth D (the nth chain
+/// in the evaluated dictionary).
+static void BM_RefinementRuntimeProjection(benchmark::State &State) {
+  const unsigned D = State.range(0);
+  std::string Source = chainProgram(D, /*WithAccess=*/true);
+  Frontend FE;
+  CompileOutput Out = FE.compile("bench.fg", Source);
+  if (!Out.Success) {
+    State.SkipWithError(Out.ErrorMessage.c_str());
+    return;
+  }
+  for (auto _ : State) {
+    sf::EvalResult R = FE.run(Out);
+    if (!R.ok())
+      State.SkipWithError(R.Error.c_str());
+    benchmark::DoNotOptimize(R.Val);
+  }
+}
+BENCHMARK(BM_RefinementRuntimeProjection)->Arg(2)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+//===- examples/fgc_repl.cpp - A tiny F_G read-eval-print loop ------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interactive driver over the public API.  Each line (or `;;`-free
+/// block) is a complete F_G expression; `:t expr` shows only its type,
+/// `:sf expr` shows the System F translation, `:q` quits.  Reading from
+/// a pipe works too:
+///
+///   echo 'iadd(1, 2)' | fgc_repl
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <iostream>
+#include <string>
+
+using namespace fg;
+
+int main() {
+  Frontend FE;
+  std::string Line;
+  bool Interactive = true;
+
+  if (Interactive)
+    std::cout << "fgc repl — F_G expressions; :t e, :sf e, :q\n";
+
+  unsigned N = 0;
+  while (std::cout << "fg> " << std::flush, std::getline(std::cin, Line)) {
+    if (Line.empty())
+      continue;
+    if (Line == ":q" || Line == ":quit")
+      break;
+
+    bool TypeOnly = false, ShowSf = false;
+    std::string Src = Line;
+    if (Src.rfind(":t ", 0) == 0) {
+      TypeOnly = true;
+      Src = Src.substr(3);
+    } else if (Src.rfind(":sf ", 0) == 0) {
+      ShowSf = true;
+      Src = Src.substr(4);
+    }
+
+    FE.getDiags().clear();
+    CompileOutput Out =
+        FE.compile("<repl:" + std::to_string(++N) + ">", Src);
+    if (!Out.Success) {
+      std::cout << FE.getDiags().render();
+      continue;
+    }
+    if (ShowSf)
+      std::cout << "systemf: " << sf::termToString(Out.SfTerm) << "\n";
+    std::cout << ": " << typeToString(Out.FgType) << "\n";
+    if (TypeOnly)
+      continue;
+    sf::EvalResult R = FE.run(Out);
+    if (!R.ok()) {
+      std::cout << "runtime error: " << R.Error << "\n";
+      continue;
+    }
+    std::cout << "= " << sf::valueToString(R.Val) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- examples/overlapping_models.cpp - Scoped and named models ----------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 6 of the paper — the program that "would not type check in
+/// Haskell, even if the two instance declarations were to be placed in
+/// different modules" — plus the section-6 named-models extension that
+/// resolves overlap without nesting scopes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <iostream>
+
+using namespace fg;
+
+int main() {
+  Frontend FE;
+
+  // ----- Figure 6, verbatim (modulo ASCII syntax) -----
+  const std::string Figure6 = R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls))))) in
+    let sum =
+      model Semigroup<int> { binary_op = iadd; } in
+      model Monoid<int> { identity_elt = 0; } in
+      accumulate[int] in
+    let product =
+      model Semigroup<int> { binary_op = imult; } in
+      model Monoid<int> { identity_elt = 1; } in
+      accumulate[int] in
+    let ls = cons[int](1, cons[int](2, nil[int])) in
+    (sum(ls), product(ls))
+  )";
+
+  sf::EvalResult R = FE.runProgram("figure6.fg", Figure6);
+  if (!R.ok()) {
+    std::cerr << "figure 6 failed: " << R.Error << "\n";
+    return 1;
+  }
+  std::cout << "Figure 6, overlapping models in sibling scopes:\n";
+  std::cout << "  (sum [1,2], product [1,2]) = " << sf::valueToString(R.Val)
+            << "   (paper expects (3, 2))\n\n";
+
+  // ----- The same overlap resolved with *named* models (section 6) ----
+  const std::string Named = R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls))))) in
+
+    // Both models are declared side by side; neither is ambient.
+    model Semigroup<int> { binary_op = iadd; } in
+    model [additive] Monoid<int> { identity_elt = 0; } in
+    model [multiplicativeSemi] Semigroup<int> { binary_op = imult; } in
+
+    let ls = cons[int](1, cons[int](2, cons[int](3, nil[int]))) in
+    let total = (use additive in accumulate[int](ls)) in
+    let factor =
+      (use multiplicativeSemi in
+        model Monoid<int> { identity_elt = 1; } in
+        accumulate[int](ls)) in
+    (total, factor)
+  )";
+
+  sf::EvalResult R2 = FE.runProgram("named.fg", Named);
+  if (!R2.ok()) {
+    std::cerr << "named models failed: " << R2.Error << "\n";
+    return 1;
+  }
+  std::cout << "Named models (section-6 extension):\n";
+  std::cout << "  (sum [1,2,3], product [1,2,3]) = "
+            << sf::valueToString(R2.Val) << "\n\n";
+
+  // ----- What lexical scoping protects you from -----------------------
+  // Outside the `let`s the models are gone; instantiation fails with a
+  // clean diagnostic instead of picking an arbitrary dictionary.
+  const std::string OutOfScope = R"(
+    concept Monoid<t> { identity_elt : t; } in
+    let x = (model Monoid<int> { identity_elt = 0; } in
+             Monoid<int>.identity_elt) in
+    Monoid<int>.identity_elt
+  )";
+  CompileOutput Bad = FE.compile("out_of_scope.fg", OutOfScope);
+  std::cout << "Out-of-scope access is rejected:\n  "
+            << (Bad.Success ? "UNEXPECTEDLY ACCEPTED" : Bad.ErrorMessage)
+            << "\n";
+  return Bad.Success ? 1 : 0;
+}

@@ -1,0 +1,268 @@
+//===- core/AST.cpp - F_G term printer ------------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AST.h"
+#include <cassert>
+#include <sstream>
+
+using namespace fg;
+
+namespace {
+
+void printTerm(std::ostringstream &OS, const Term *T, bool Parens);
+
+void printConceptArgs(std::ostringstream &OS, const std::string &Name,
+                      const std::vector<const Type *> &Args) {
+  OS << Name << '<';
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      OS << ", ";
+    OS << typeToString(Args[I]);
+  }
+  OS << '>';
+}
+
+void printWhere(std::ostringstream &OS,
+                const std::vector<ConceptRef> &Requirements,
+                const std::vector<TypeEquation> &Equations) {
+  if (Requirements.empty() && Equations.empty())
+    return;
+  OS << " where ";
+  bool First = true;
+  for (const ConceptRef &R : Requirements) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << conceptRefToString(R);
+  }
+  for (const TypeEquation &E : Equations) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << typeToString(E.Lhs) << " == " << typeToString(E.Rhs);
+  }
+}
+
+void printTerm(std::ostringstream &OS, const Term *T, bool Parens) {
+  switch (T->getKind()) {
+  case TermKind::IntLit:
+    OS << cast<IntLit>(T)->getValue();
+    return;
+  case TermKind::BoolLit:
+    OS << (cast<BoolLit>(T)->getValue() ? "true" : "false");
+    return;
+  case TermKind::Var:
+    OS << cast<VarTerm>(T)->getName();
+    return;
+  case TermKind::Abs: {
+    const auto *A = cast<AbsTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "fun(";
+    for (size_t I = 0; I != A->getParams().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << A->getParams()[I].Name << " : "
+         << typeToString(A->getParams()[I].Ty);
+    }
+    OS << "). ";
+    printTerm(OS, A->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::App: {
+    const auto *A = cast<AppTerm>(T);
+    printTerm(OS, A->getFn(), /*Parens=*/true);
+    OS << '(';
+    for (size_t I = 0; I != A->getArgs().size(); ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(OS, A->getArgs()[I], /*Parens=*/false);
+    }
+    OS << ')';
+    return;
+  }
+  case TermKind::TyAbs: {
+    const auto *A = cast<TyAbsTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "generic ";
+    for (size_t I = 0; I != A->getParams().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << A->getParams()[I].Name;
+    }
+    printWhere(OS, A->getRequirements(), A->getEquations());
+    OS << ". ";
+    printTerm(OS, A->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::TyApp: {
+    const auto *A = cast<TyAppTerm>(T);
+    printTerm(OS, A->getFn(), /*Parens=*/true);
+    OS << '[';
+    for (size_t I = 0; I != A->getTypeArgs().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << typeToString(A->getTypeArgs()[I]);
+    }
+    OS << ']';
+    return;
+  }
+  case TermKind::Let: {
+    const auto *L = cast<LetTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "let " << L->getName() << " = ";
+    printTerm(OS, L->getInit(), /*Parens=*/false);
+    OS << " in ";
+    printTerm(OS, L->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::Tuple: {
+    const auto *Tu = cast<TupleTerm>(T);
+    OS << '(';
+    for (size_t I = 0; I != Tu->getElements().size(); ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(OS, Tu->getElements()[I], /*Parens=*/false);
+    }
+    if (Tu->getElements().size() == 1)
+      OS << ',';
+    OS << ')';
+    return;
+  }
+  case TermKind::Nth: {
+    const auto *N = cast<NthTerm>(T);
+    OS << "nth ";
+    printTerm(OS, N->getTuple(), /*Parens=*/true);
+    OS << ' ' << N->getIndex();
+    return;
+  }
+  case TermKind::If: {
+    const auto *I = cast<IfTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "if ";
+    printTerm(OS, I->getCond(), /*Parens=*/false);
+    OS << " then ";
+    printTerm(OS, I->getThen(), /*Parens=*/false);
+    OS << " else ";
+    printTerm(OS, I->getElse(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::Fix: {
+    const auto *F = cast<FixTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "fix ";
+    printTerm(OS, F->getOperand(), /*Parens=*/true);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::ConceptDecl: {
+    const auto *C = cast<ConceptDeclTerm>(T);
+    OS << "concept " << C->getName() << '<';
+    for (size_t I = 0; I != C->getParams().size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << C->getParams()[I].Name;
+    }
+    OS << "> { ";
+    if (!C->getAssocTypes().empty()) {
+      OS << "types ";
+      for (size_t I = 0; I != C->getAssocTypes().size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << C->getAssocTypes()[I].Name;
+      }
+      OS << "; ";
+    }
+    for (const ConceptRef &R : C->getRefines())
+      OS << "refines " << conceptRefToString(R) << "; ";
+    for (const ConceptMember &M : C->getMembers()) {
+      OS << M.Name << " : " << typeToString(M.Ty);
+      if (M.Default) {
+        OS << " = ";
+        printTerm(OS, M.Default, /*Parens=*/false);
+      }
+      OS << "; ";
+    }
+    for (const TypeEquation &E : C->getEquations())
+      OS << typeToString(E.Lhs) << " == " << typeToString(E.Rhs) << "; ";
+    OS << "} in ";
+    printTerm(OS, C->getBody(), /*Parens=*/false);
+    return;
+  }
+  case TermKind::ModelDecl: {
+    const auto *M = cast<ModelDeclTerm>(T);
+    OS << "model ";
+    if (M->getModelName())
+      OS << '[' << *M->getModelName() << "] ";
+    if (M->isParameterized()) {
+      OS << "forall ";
+      for (size_t I = 0; I != M->getParams().size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << M->getParams()[I].Name;
+      }
+      printWhere(OS, M->getRequirements(), M->getEquations());
+      OS << ". ";
+    }
+    printConceptArgs(OS, M->getConceptName(), M->getArgs());
+    OS << " { ";
+    for (const AssocBinding &A : M->getAssocBindings())
+      OS << "types " << A.Name << " = " << typeToString(A.Ty) << "; ";
+    for (const ModelMember &Mem : M->getMembers()) {
+      OS << Mem.Name << " = ";
+      printTerm(OS, Mem.Init, /*Parens=*/false);
+      OS << "; ";
+    }
+    OS << "} in ";
+    printTerm(OS, M->getBody(), /*Parens=*/false);
+    return;
+  }
+  case TermKind::MemberAccess: {
+    const auto *M = cast<MemberAccessTerm>(T);
+    printConceptArgs(OS, M->getConceptName(), M->getArgs());
+    OS << '.' << M->getMember();
+    return;
+  }
+  case TermKind::TypeAlias: {
+    const auto *A = cast<TypeAliasTerm>(T);
+    OS << "type " << A->getName() << " = " << typeToString(A->getAliased())
+       << " in ";
+    printTerm(OS, A->getBody(), /*Parens=*/false);
+    return;
+  }
+  case TermKind::UseModel: {
+    const auto *U = cast<UseModelTerm>(T);
+    OS << "use " << U->getModelName() << " in ";
+    printTerm(OS, U->getBody(), /*Parens=*/false);
+    return;
+  }
+  }
+  assert(false && "unknown term kind");
+}
+
+} // namespace
+
+std::string fg::termToString(const Term *T) {
+  if (!T)
+    return "<null-term>";
+  std::ostringstream OS;
+  printTerm(OS, T, /*Parens=*/false);
+  return OS.str();
+}

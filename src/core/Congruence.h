@@ -1,0 +1,148 @@
+//===- core/Congruence.h - Type equality via congruence closure -*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decides the type equality judgement  Gamma |- sigma = tau  of F_G
+/// with associated types and same-type constraints (paper section 5.1).
+///
+/// The paper observes that this judgement "is equivalent to the
+/// quantifier free theory of equality with uninterpreted function
+/// symbols, for which there is an efficient O(n log n) time algorithm",
+/// citing Nelson and Oppen's congruence closure.  That is what this
+/// class implements:
+///
+///  * every hash-consed type is a term-DAG node; `list`, `fn`, tuples,
+///    and each associated-type family c<...>.s are uninterpreted
+///    function symbols; type parameters, base types and quantified types
+///    are constants;
+///  * asserting an equation merges two equivalence classes and
+///    propagates congruences upward through parent occurrences;
+///  * queries are two find() calls.
+///
+/// Same-type constraints are lexically scoped (they enter via where
+/// clauses, model declarations and type aliases), so the closure supports
+/// rollback to a mark via an undo trail.
+///
+/// Each class tracks a *representative* type preferring concrete types
+/// over type parameters over associated types; the translation to
+/// System F emits representatives (paper section 5.2: "the translation
+/// outputs the representative for each type expression").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_CORE_CONGRUENCE_H
+#define FG_CORE_CONGRUENCE_H
+
+#include "core/Type.h"
+#include "support/UnionFind.h"
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fg {
+
+/// Congruence closure over F_G types.  All types must come from the
+/// TypeContext passed at construction.
+class Congruence {
+public:
+  explicit Congruence(TypeContext &Ctx) : Ctx(Ctx) {}
+
+  /// Asserts the equation \p Lhs == \p Rhs and propagates congruences.
+  void assertEqual(const Type *Lhs, const Type *Rhs);
+
+  /// Returns true if Gamma |- A = B under the asserted equations.
+  bool isEqual(const Type *A, const Type *B);
+
+  /// Returns the preferred representative of \p T's equivalence class.
+  /// Priority: concrete types, then type parameters, then associated
+  /// types; ties keep the earliest-interned.
+  const Type *getRepresentative(const Type *T);
+
+  /// Opaque undo position.
+  struct Mark {
+    size_t TrailSize;
+    UnionFind::Mark UFMark;
+    size_t NumNodes;
+  };
+
+  Mark mark() const { return {Trail.size(), UF.mark(), Nodes.size()}; }
+
+  /// Undoes every assertion and node creation since \p M.
+  void rollback(const Mark &M);
+
+  unsigned getNumNodes() const { return Nodes.size(); }
+  unsigned getNumClasses() const;
+
+private:
+  struct Node {
+    const Type *Ty;
+    bool IsApp;                     ///< Participates in congruence.
+    unsigned Tag;                   ///< Function symbol for IsApp nodes.
+    std::vector<unsigned> Children; ///< Node ids of operands.
+  };
+
+  /// A canonical application signature: function symbol plus the class
+  /// roots of the operands.
+  struct SigKey {
+    unsigned Tag;
+    std::vector<unsigned> Children;
+
+    friend bool operator==(const SigKey &A, const SigKey &B) {
+      return A.Tag == B.Tag && A.Children == B.Children;
+    }
+  };
+  struct SigKeyHash {
+    size_t operator()(const SigKey &K) const;
+  };
+
+  enum class UndoKind : uint8_t {
+    NodeCreated,
+    ParentPushed,
+    ParentsSpliced,
+    SigInserted,
+    SigErased,
+    RepChanged,
+  };
+
+  struct UndoOp {
+    UndoKind Kind;
+    const Type *Ty = nullptr;  ///< NodeCreated, RepChanged (old rep).
+    unsigned Root = 0;         ///< ParentPushed/ParentsSpliced/RepChanged.
+    size_t OldSize = 0;        ///< ParentsSpliced.
+    SigKey Key;                ///< SigInserted/SigErased.
+    unsigned NodeId = 0;       ///< SigErased.
+  };
+
+  unsigned internNode(const Type *T);
+  unsigned tagFor(const Type *T);
+  SigKey signatureOf(unsigned NodeId) const;
+  void processPending();
+  void merge(unsigned A, unsigned B);
+  static unsigned repPriority(const Type *T);
+
+  TypeContext &Ctx;
+  UnionFind UF;
+  std::vector<Node> Nodes;
+  std::unordered_map<const Type *, unsigned> NodeOf;
+  /// Parent occurrences, indexed by node id; authoritative at roots.
+  std::vector<std::vector<unsigned>> ClassParents;
+  /// Class representative, indexed by node id; authoritative at roots.
+  std::vector<const Type *> ClassRep;
+  /// Node id of the representative (for deterministic earliest-node
+  /// tie-breaking), parallel to ClassRep.
+  std::vector<unsigned> ClassRepNode;
+  std::unordered_map<SigKey, unsigned, SigKeyHash> SigTable;
+  std::map<std::pair<unsigned, std::string>, unsigned> AssocTags;
+  std::deque<std::pair<unsigned, unsigned>> Pending;
+  std::vector<UndoOp> Trail;
+};
+
+} // namespace fg
+
+#endif // FG_CORE_CONGRUENCE_H

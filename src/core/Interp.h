@@ -1,0 +1,336 @@
+//===- core/Interp.h - Direct F_G interpreter -------------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *direct* big-step interpreter for F_G, independent of the
+/// dictionary-passing translation.  The paper gives F_G's semantics via
+/// the translation to System F; this interpreter realizes the same
+/// informal semantics operationally:
+///
+///  * a model declaration evaluates its members and registers a runtime
+///    model in the lexical environment;
+///  * instantiating a generic function looks up the required models at
+///    the instantiation site and makes them visible to the body;
+///  * member access c<tau>.x normalizes tau under the runtime type
+///    environment, finds the innermost matching model, and walks the
+///    refinement tree exactly like the paper's b function.
+///
+/// Its purpose is cross-validation: tests assert that direct
+/// interpretation agrees with evaluating the System F translation on
+/// the same program — a dynamic adequacy check for the translation
+/// semantics, complementing the type-preservation check of Theorems
+/// 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_CORE_INTERP_H
+#define FG_CORE_INTERP_H
+
+#include "core/AST.h"
+#include "core/Type.h"
+#include "support/Casting.h"
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fg {
+namespace interp {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+//===----------------------------------------------------------------------===//
+// Environments (persistent, shared-tail)
+//===----------------------------------------------------------------------===//
+
+struct VarNode {
+  std::string Name;
+  ValuePtr Val;
+  std::shared_ptr<const VarNode> Next;
+};
+using VarEnv = std::shared_ptr<const VarNode>;
+
+struct TypeNode {
+  unsigned ParamId;
+  const Type *Ty; ///< Ground (normalized) type.
+  std::shared_ptr<const TypeNode> Next;
+};
+using TypeEnv = std::shared_ptr<const TypeNode>;
+
+struct RuntimeModel;
+struct ModelNode {
+  std::shared_ptr<const RuntimeModel> Model;
+  std::shared_ptr<const ModelNode> Next;
+};
+using ModelEnv = std::shared_ptr<const ModelNode>;
+
+struct NamedNode {
+  std::string Name;
+  std::shared_ptr<const RuntimeModel> Model;
+  std::shared_ptr<const NamedNode> Next;
+};
+using NamedEnv = std::shared_ptr<const NamedNode>;
+
+/// The full lexical environment captured by closures.
+struct Env {
+  VarEnv Vars;
+  TypeEnv Types;
+  ModelEnv Models;
+  NamedEnv Named;
+};
+
+/// A model at run time.  Ground models hold evaluated members; a
+/// parameterized model is instantiated into a fresh ground model at
+/// each matching lookup.
+struct RuntimeModel {
+  const ModelDeclTerm *Decl = nullptr;
+  unsigned ConceptId = 0;
+  /// Ground argument types (normalized); for parameterized models the
+  /// patterns over Decl->getParams().
+  std::vector<const Type *> Args;
+  bool Parameterized = false;
+  /// Own members by name (ground models and instantiations only).
+  std::map<std::string, ValuePtr> Members;
+  /// Refined models, parallel to the concept's refinement list.
+  std::vector<std::shared_ptr<const RuntimeModel>> Refined;
+  /// Ground associated-type assignments by name.
+  std::map<std::string, const Type *> AssocTypes;
+  /// Declaration-site environment (used to instantiate parameterized
+  /// models).
+  Env DeclEnv;
+};
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+enum class ValueKind : uint8_t {
+  Int,
+  Bool,
+  Tuple,
+  List,
+  Closure,
+  TyClosure,
+  Fix,
+  Builtin,
+};
+
+/// Outcome of evaluation.
+struct EvalResult {
+  ValuePtr Val;
+  std::string Error;
+  bool ok() const { return Val != nullptr; }
+  static EvalResult success(ValuePtr V) { return {std::move(V), {}}; }
+  static EvalResult failure(std::string M) { return {nullptr, std::move(M)}; }
+};
+
+class Value {
+public:
+  ValueKind getKind() const { return Kind; }
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+protected:
+  explicit Value(ValueKind K) : Kind(K) {}
+
+private:
+  ValueKind Kind;
+};
+
+class IntValue : public Value {
+public:
+  explicit IntValue(int64_t V) : Value(ValueKind::Int), Val(V) {}
+  int64_t getValue() const { return Val; }
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Int; }
+
+private:
+  int64_t Val;
+};
+
+class BoolValue : public Value {
+public:
+  explicit BoolValue(bool V) : Value(ValueKind::Bool), Val(V) {}
+  bool getValue() const { return Val; }
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Bool;
+  }
+
+private:
+  bool Val;
+};
+
+class TupleValue : public Value {
+public:
+  explicit TupleValue(std::vector<ValuePtr> Elements)
+      : Value(ValueKind::Tuple), Elements(std::move(Elements)) {}
+  const std::vector<ValuePtr> &getElements() const { return Elements; }
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Tuple;
+  }
+
+private:
+  std::vector<ValuePtr> Elements;
+};
+
+class ListValue : public Value {
+public:
+  ListValue() : Value(ValueKind::List) {}
+  ListValue(ValuePtr Head, std::shared_ptr<const ListValue> Tail)
+      : Value(ValueKind::List), Head(std::move(Head)), Tail(std::move(Tail)) {}
+  bool isNil() const { return Head == nullptr; }
+  const ValuePtr &getHead() const { return Head; }
+  const std::shared_ptr<const ListValue> &getTail() const { return Tail; }
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::List;
+  }
+
+private:
+  ValuePtr Head;
+  std::shared_ptr<const ListValue> Tail;
+};
+
+class ClosureValue : public Value {
+public:
+  ClosureValue(const AbsTerm *Fn, Env E)
+      : Value(ValueKind::Closure), Fn(Fn), E(std::move(E)) {}
+  const AbsTerm *getFn() const { return Fn; }
+  const Env &getEnv() const { return E; }
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Closure;
+  }
+
+private:
+  const AbsTerm *Fn;
+  Env E;
+};
+
+class TyClosureValue : public Value {
+public:
+  TyClosureValue(const TyAbsTerm *Fn, Env E)
+      : Value(ValueKind::TyClosure), Fn(Fn), E(std::move(E)) {}
+  const TyAbsTerm *getFn() const { return Fn; }
+  const Env &getEnv() const { return E; }
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::TyClosure;
+  }
+
+private:
+  const TyAbsTerm *Fn;
+  Env E;
+};
+
+class FixValue : public Value {
+public:
+  explicit FixValue(ValuePtr Fn) : Value(ValueKind::Fix), Fn(std::move(Fn)) {}
+  const ValuePtr &getFn() const { return Fn; }
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Fix; }
+
+private:
+  ValuePtr Fn;
+};
+
+class BuiltinValue : public Value {
+public:
+  using ImplFn = std::function<EvalResult(const std::vector<ValuePtr> &)>;
+  BuiltinValue(std::string Name, unsigned Arity, ImplFn Impl)
+      : Value(ValueKind::Builtin), Name(std::move(Name)), Arity(Arity),
+        Impl(std::move(Impl)) {}
+  const std::string &getName() const { return Name; }
+  unsigned getArity() const { return Arity; }
+  EvalResult invoke(const std::vector<ValuePtr> &Args) const {
+    return Impl(Args);
+  }
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Builtin;
+  }
+
+private:
+  std::string Name;
+  unsigned Arity;
+  ImplFn Impl;
+};
+
+/// Renders a value exactly like sf::valueToString renders the
+/// corresponding System F value, so results can be compared textually.
+std::string valueToString(const Value *V);
+inline std::string valueToString(const ValuePtr &V) {
+  return valueToString(V.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+struct InterpOptions {
+  uint64_t MaxSteps = 200'000'000;
+  unsigned MaxDepth = 50'000;
+};
+
+/// Direct big-step evaluator for (well-typed) F_G programs.
+class Interpreter {
+public:
+  explicit Interpreter(TypeContext &Ctx, InterpOptions Opts = InterpOptions())
+      : Ctx(Ctx), Opts(Opts) {}
+
+  /// Evaluates a closed, already-typechecked program under the builtin
+  /// prelude.  Ill-typed programs yield failures, not undefined
+  /// behaviour.
+  EvalResult run(const Term *Program);
+
+private:
+  EvalResult eval(const Term *T, const Env &E);
+  EvalResult apply(const ValuePtr &Fn, const std::vector<ValuePtr> &Args);
+
+  /// Normalizes a type to ground form: substitutes the runtime type
+  /// environment and resolves associated types through runtime models.
+  const Type *normalize(const Type *T, const Env &E, unsigned Depth = 0);
+
+  /// Innermost model of (ConceptId, Args) in \p E; instantiates
+  /// parameterized models on demand.  Returns null if none matches.
+  std::shared_ptr<const RuntimeModel>
+  resolveModel(unsigned ConceptId, const std::vector<const Type *> &Args,
+               const Env &E, unsigned Depth, std::string &ErrorOut);
+
+  /// Evaluates a model declaration head into a RuntimeModel (ground) or
+  /// records it for later instantiation (parameterized).
+  EvalResult evalModelDecl(const ModelDeclTerm *T, const Env &E);
+
+  /// Builds a ground RuntimeModel from \p Decl with pattern binding
+  /// \p Binding, resolving its requirements in \p UseSite.
+  std::shared_ptr<const RuntimeModel>
+  instantiate(const RuntimeModel &Param, const TypeSubst &Binding,
+              const Env &UseSite, unsigned Depth, std::string &ErrorOut);
+
+  /// Evaluates the members of a model (explicit definitions and concept
+  /// defaults, in concept order) into \p Out.Members.
+  bool evalMembers(const ModelDeclTerm *Decl, const ConceptDeclTerm *Concept,
+                   const Env &MemberEnv, RuntimeModel &Out,
+                   std::string &ErrorOut);
+
+  /// Member lookup through the refinement tree (the paper's b).
+  const ValuePtr *findMember(const RuntimeModel &M, const std::string &Name);
+
+  /// Looks up the concept declaration for an id.
+  const ConceptDeclTerm *getConcept(unsigned Id) const;
+
+  TypeContext &Ctx;
+  InterpOptions Opts;
+  uint64_t Steps = 0;
+  unsigned Depth = 0;
+  /// Concept declarations seen so far (ids are globally unique).
+  std::unordered_map<unsigned, const ConceptDeclTerm *> Concepts;
+};
+
+} // namespace interp
+} // namespace fg
+
+#endif // FG_CORE_INTERP_H

@@ -1,0 +1,559 @@
+//===- core/Type.cpp - F_G types ------------------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Type.h"
+#include <cassert>
+#include <sstream>
+
+using namespace fg;
+
+//===----------------------------------------------------------------------===//
+// Alpha-aware hashing and equality
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using BinderStack = std::vector<unsigned>;
+
+int lookupBinder(const BinderStack &Binders, unsigned Id) {
+  for (size_t I = Binders.size(); I != 0; --I)
+    if (Binders[I - 1] == Id)
+      return static_cast<int>(Binders.size() - I);
+  return -1;
+}
+
+size_t combineHash(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+size_t hashTypeImpl(const Type *T, BinderStack &Binders);
+
+size_t hashConceptRef(const ConceptRef &R, BinderStack &Binders) {
+  size_t H = combineHash(0xC0C0C0C0u, R.ConceptId);
+  for (const Type *A : R.Args)
+    H = combineHash(H, hashTypeImpl(A, Binders));
+  return H;
+}
+
+size_t hashTypeImpl(const Type *T, BinderStack &Binders) {
+  size_t H = static_cast<size_t>(T->getKind()) * 0x9e3779b1u;
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+    return H;
+  case TypeKind::Param: {
+    const auto *P = cast<ParamType>(T);
+    int Idx = lookupBinder(Binders, P->getId());
+    if (Idx >= 0)
+      return combineHash(H, 0xB0B0B0B0u + static_cast<size_t>(Idx));
+    return combineHash(H, 0xF1F1F1F1u + P->getId());
+  }
+  case TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    for (const Type *P : A->getParams())
+      H = combineHash(H, hashTypeImpl(P, Binders));
+    return combineHash(H, hashTypeImpl(A->getResult(), Binders));
+  }
+  case TypeKind::Tuple: {
+    const auto *Tu = cast<TupleType>(T);
+    H = combineHash(H, Tu->getNumElements());
+    for (const Type *E : Tu->getElements())
+      H = combineHash(H, hashTypeImpl(E, Binders));
+    return H;
+  }
+  case TypeKind::List:
+    return combineHash(H,
+                       hashTypeImpl(cast<ListType>(T)->getElement(), Binders));
+  case TypeKind::Assoc: {
+    const auto *A = cast<AssocType>(T);
+    H = combineHash(H, A->getConceptId());
+    H = combineHash(H, std::hash<std::string>()(A->getMember()));
+    for (const Type *Arg : A->getArgs())
+      H = combineHash(H, hashTypeImpl(Arg, Binders));
+    return H;
+  }
+  case TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    H = combineHash(H, F->getNumParams());
+    size_t Before = Binders.size();
+    for (const TypeParamDecl &P : F->getParams())
+      Binders.push_back(P.Id);
+    for (const ConceptRef &R : F->getRequirements())
+      H = combineHash(H, hashConceptRef(R, Binders));
+    for (const TypeEquation &E : F->getEquations()) {
+      H = combineHash(H, hashTypeImpl(E.Lhs, Binders));
+      H = combineHash(H, hashTypeImpl(E.Rhs, Binders));
+    }
+    H = combineHash(H, hashTypeImpl(F->getBody(), Binders));
+    Binders.resize(Before);
+    return H;
+  }
+  }
+  assert(false && "unknown type kind");
+  return H;
+}
+
+bool alphaEqualImpl(const Type *A, const Type *B, BinderStack &BA,
+                    BinderStack &BB);
+
+bool alphaEqualRef(const ConceptRef &A, const ConceptRef &B, BinderStack &BA,
+                   BinderStack &BB) {
+  if (A.ConceptId != B.ConceptId || A.Args.size() != B.Args.size())
+    return false;
+  for (size_t I = 0; I != A.Args.size(); ++I)
+    if (!alphaEqualImpl(A.Args[I], B.Args[I], BA, BB))
+      return false;
+  return true;
+}
+
+bool alphaEqualImpl(const Type *A, const Type *B, BinderStack &BA,
+                    BinderStack &BB) {
+  if (A == B && BA == BB)
+    return true;
+  if (A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+    return true;
+  case TypeKind::Param: {
+    const auto *PA = cast<ParamType>(A);
+    const auto *PB = cast<ParamType>(B);
+    int IA = lookupBinder(BA, PA->getId());
+    int IB = lookupBinder(BB, PB->getId());
+    if (IA >= 0 || IB >= 0)
+      return IA == IB;
+    return PA->getId() == PB->getId();
+  }
+  case TypeKind::Arrow: {
+    const auto *AA = cast<ArrowType>(A);
+    const auto *AB = cast<ArrowType>(B);
+    if (AA->getNumParams() != AB->getNumParams())
+      return false;
+    for (unsigned I = 0, E = AA->getNumParams(); I != E; ++I)
+      if (!alphaEqualImpl(AA->getParams()[I], AB->getParams()[I], BA, BB))
+        return false;
+    return alphaEqualImpl(AA->getResult(), AB->getResult(), BA, BB);
+  }
+  case TypeKind::Tuple: {
+    const auto *TA = cast<TupleType>(A);
+    const auto *TB = cast<TupleType>(B);
+    if (TA->getNumElements() != TB->getNumElements())
+      return false;
+    for (unsigned I = 0, E = TA->getNumElements(); I != E; ++I)
+      if (!alphaEqualImpl(TA->getElement(I), TB->getElement(I), BA, BB))
+        return false;
+    return true;
+  }
+  case TypeKind::List:
+    return alphaEqualImpl(cast<ListType>(A)->getElement(),
+                          cast<ListType>(B)->getElement(), BA, BB);
+  case TypeKind::Assoc: {
+    const auto *SA = cast<AssocType>(A);
+    const auto *SB = cast<AssocType>(B);
+    if (SA->getConceptId() != SB->getConceptId() ||
+        SA->getMember() != SB->getMember() ||
+        SA->getArgs().size() != SB->getArgs().size())
+      return false;
+    for (size_t I = 0; I != SA->getArgs().size(); ++I)
+      if (!alphaEqualImpl(SA->getArgs()[I], SB->getArgs()[I], BA, BB))
+        return false;
+    return true;
+  }
+  case TypeKind::ForAll: {
+    const auto *FA = cast<ForAllType>(A);
+    const auto *FB = cast<ForAllType>(B);
+    if (FA->getNumParams() != FB->getNumParams() ||
+        FA->getRequirements().size() != FB->getRequirements().size() ||
+        FA->getEquations().size() != FB->getEquations().size())
+      return false;
+    size_t BeforeA = BA.size(), BeforeB = BB.size();
+    for (const TypeParamDecl &P : FA->getParams())
+      BA.push_back(P.Id);
+    for (const TypeParamDecl &P : FB->getParams())
+      BB.push_back(P.Id);
+    bool Eq = true;
+    for (size_t I = 0; Eq && I != FA->getRequirements().size(); ++I)
+      Eq = alphaEqualRef(FA->getRequirements()[I], FB->getRequirements()[I],
+                         BA, BB);
+    for (size_t I = 0; Eq && I != FA->getEquations().size(); ++I)
+      Eq = alphaEqualImpl(FA->getEquations()[I].Lhs, FB->getEquations()[I].Lhs,
+                          BA, BB) &&
+           alphaEqualImpl(FA->getEquations()[I].Rhs, FB->getEquations()[I].Rhs,
+                          BA, BB);
+    if (Eq)
+      Eq = alphaEqualImpl(FA->getBody(), FB->getBody(), BA, BB);
+    BA.resize(BeforeA);
+    BB.resize(BeforeB);
+    return Eq;
+  }
+  }
+  assert(false && "unknown type kind");
+  return false;
+}
+
+} // namespace
+
+size_t TypeContext::Hash::operator()(const Type *T) const {
+  BinderStack Binders;
+  return hashTypeImpl(T, Binders);
+}
+
+bool TypeContext::AlphaEq::operator()(const Type *A, const Type *B) const {
+  BinderStack BA, BB;
+  return alphaEqualImpl(A, B, BA, BB);
+}
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+TypeContext::TypeContext() {
+  IntTy = intern(new IntType());
+  BoolTy = intern(new BoolType());
+}
+
+TypeContext::~TypeContext() = default;
+
+const Type *TypeContext::intern(Type *Candidate) {
+  std::unique_ptr<Type> Holder(Candidate);
+  auto It = Uniq.find(Candidate);
+  if (It != Uniq.end())
+    return *It;
+  Owned.push_back(std::move(Holder));
+  Uniq.insert(Candidate);
+  return Candidate;
+}
+
+const Type *TypeContext::getParamType(unsigned Id, const std::string &Name) {
+  return intern(new ParamType(Id, Name));
+}
+
+const Type *TypeContext::getArrowType(std::vector<const Type *> Params,
+                                      const Type *Result) {
+  assert(Result && "arrow result type must be non-null");
+  return intern(new ArrowType(std::move(Params), Result));
+}
+
+const Type *TypeContext::getTupleType(std::vector<const Type *> Elements) {
+  return intern(new TupleType(std::move(Elements)));
+}
+
+const Type *TypeContext::getListType(const Type *Element) {
+  assert(Element && "list element type must be non-null");
+  return intern(new ListType(Element));
+}
+
+const Type *TypeContext::getForAllType(std::vector<TypeParamDecl> Params,
+                                       std::vector<ConceptRef> Requirements,
+                                       std::vector<TypeEquation> Equations,
+                                       const Type *Body) {
+  assert(!Params.empty() && "forall must bind at least one parameter");
+  assert(Body && "forall body type must be non-null");
+  return intern(new ForAllType(std::move(Params), std::move(Requirements),
+                               std::move(Equations), Body));
+}
+
+const Type *TypeContext::getAssocType(unsigned ConceptId,
+                                      const std::string &ConceptName,
+                                      std::vector<const Type *> Args,
+                                      const std::string &Member) {
+  return intern(new AssocType(ConceptId, ConceptName, std::move(Args), Member));
+}
+
+ConceptRef TypeContext::substitute(const ConceptRef &R,
+                                   const TypeSubst &Subst) {
+  ConceptRef Out;
+  Out.ConceptId = R.ConceptId;
+  Out.ConceptName = R.ConceptName;
+  Out.Args.reserve(R.Args.size());
+  for (const Type *A : R.Args)
+    Out.Args.push_back(substitute(A, Subst));
+  return Out;
+}
+
+TypeEquation TypeContext::substitute(const TypeEquation &E,
+                                     const TypeSubst &Subst) {
+  return {substitute(E.Lhs, Subst), substitute(E.Rhs, Subst)};
+}
+
+const Type *TypeContext::substitute(const Type *T, const TypeSubst &Subst) {
+  if (Subst.empty())
+    return T;
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+    return T;
+  case TypeKind::Param: {
+    auto It = Subst.find(cast<ParamType>(T)->getId());
+    return It == Subst.end() ? T : It->second;
+  }
+  case TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    std::vector<const Type *> Params;
+    Params.reserve(A->getNumParams());
+    for (const Type *P : A->getParams())
+      Params.push_back(substitute(P, Subst));
+    return getArrowType(std::move(Params), substitute(A->getResult(), Subst));
+  }
+  case TypeKind::Tuple: {
+    const auto *Tu = cast<TupleType>(T);
+    std::vector<const Type *> Elems;
+    Elems.reserve(Tu->getNumElements());
+    for (const Type *E : Tu->getElements())
+      Elems.push_back(substitute(E, Subst));
+    return getTupleType(std::move(Elems));
+  }
+  case TypeKind::List:
+    return getListType(substitute(cast<ListType>(T)->getElement(), Subst));
+  case TypeKind::Assoc: {
+    const auto *A = cast<AssocType>(T);
+    std::vector<const Type *> Args;
+    Args.reserve(A->getArgs().size());
+    for (const Type *Arg : A->getArgs())
+      Args.push_back(substitute(Arg, Subst));
+    return getAssocType(A->getConceptId(), A->getConceptName(),
+                        std::move(Args), A->getMember());
+  }
+  case TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    for ([[maybe_unused]] const TypeParamDecl &P : F->getParams())
+      assert(!Subst.count(P.Id) && "substitution would capture a binder");
+    std::vector<ConceptRef> Reqs;
+    Reqs.reserve(F->getRequirements().size());
+    for (const ConceptRef &R : F->getRequirements())
+      Reqs.push_back(substitute(R, Subst));
+    std::vector<TypeEquation> Eqs;
+    Eqs.reserve(F->getEquations().size());
+    for (const TypeEquation &E : F->getEquations())
+      Eqs.push_back(substitute(E, Subst));
+    return getForAllType(F->getParams(), std::move(Reqs), std::move(Eqs),
+                         substitute(F->getBody(), Subst));
+  }
+  }
+  assert(false && "unknown type kind");
+  return T;
+}
+
+void TypeContext::collectFreeParams(const Type *T,
+                                    std::unordered_set<unsigned> &Out) const {
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+    return;
+  case TypeKind::Param:
+    Out.insert(cast<ParamType>(T)->getId());
+    return;
+  case TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    for (const Type *P : A->getParams())
+      collectFreeParams(P, Out);
+    collectFreeParams(A->getResult(), Out);
+    return;
+  }
+  case TypeKind::Tuple:
+    for (const Type *E : cast<TupleType>(T)->getElements())
+      collectFreeParams(E, Out);
+    return;
+  case TypeKind::List:
+    collectFreeParams(cast<ListType>(T)->getElement(), Out);
+    return;
+  case TypeKind::Assoc:
+    for (const Type *A : cast<AssocType>(T)->getArgs())
+      collectFreeParams(A, Out);
+    return;
+  case TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    std::unordered_set<unsigned> Inner;
+    for (const ConceptRef &R : F->getRequirements())
+      for (const Type *A : R.Args)
+        collectFreeParams(A, Inner);
+    for (const TypeEquation &E : F->getEquations()) {
+      collectFreeParams(E.Lhs, Inner);
+      collectFreeParams(E.Rhs, Inner);
+    }
+    collectFreeParams(F->getBody(), Inner);
+    for (const TypeParamDecl &P : F->getParams())
+      Inner.erase(P.Id);
+    Out.insert(Inner.begin(), Inner.end());
+    return;
+  }
+  }
+}
+
+void TypeContext::collectConceptIds(const Type *T,
+                                    std::unordered_set<unsigned> &Out) const {
+  switch (T->getKind()) {
+  case TypeKind::Int:
+  case TypeKind::Bool:
+  case TypeKind::Param:
+    return;
+  case TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    for (const Type *P : A->getParams())
+      collectConceptIds(P, Out);
+    collectConceptIds(A->getResult(), Out);
+    return;
+  }
+  case TypeKind::Tuple:
+    for (const Type *E : cast<TupleType>(T)->getElements())
+      collectConceptIds(E, Out);
+    return;
+  case TypeKind::List:
+    collectConceptIds(cast<ListType>(T)->getElement(), Out);
+    return;
+  case TypeKind::Assoc: {
+    const auto *A = cast<AssocType>(T);
+    Out.insert(A->getConceptId());
+    for (const Type *Arg : A->getArgs())
+      collectConceptIds(Arg, Out);
+    return;
+  }
+  case TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    for (const ConceptRef &R : F->getRequirements()) {
+      Out.insert(R.ConceptId);
+      for (const Type *A : R.Args)
+        collectConceptIds(A, Out);
+    }
+    for (const TypeEquation &E : F->getEquations()) {
+      collectConceptIds(E.Lhs, Out);
+      collectConceptIds(E.Rhs, Out);
+    }
+    collectConceptIds(F->getBody(), Out);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void printType(std::ostringstream &OS, const Type *T, bool Parens);
+
+void printConceptRef(std::ostringstream &OS, const ConceptRef &R) {
+  OS << R.ConceptName << '<';
+  for (size_t I = 0; I != R.Args.size(); ++I) {
+    if (I)
+      OS << ", ";
+    printType(OS, R.Args[I], /*Parens=*/false);
+  }
+  OS << '>';
+}
+
+void printType(std::ostringstream &OS, const Type *T, bool Parens) {
+  switch (T->getKind()) {
+  case TypeKind::Int:
+    OS << "int";
+    return;
+  case TypeKind::Bool:
+    OS << "bool";
+    return;
+  case TypeKind::Param:
+    OS << cast<ParamType>(T)->getName();
+    return;
+  case TypeKind::Arrow: {
+    const auto *A = cast<ArrowType>(T);
+    if (Parens)
+      OS << '(';
+    OS << "fn(";
+    for (unsigned I = 0, E = A->getNumParams(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      printType(OS, A->getParams()[I], /*Parens=*/false);
+    }
+    OS << ") -> ";
+    printType(OS, A->getResult(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TypeKind::Tuple: {
+    const auto *Tu = cast<TupleType>(T);
+    OS << '(';
+    for (unsigned I = 0, E = Tu->getNumElements(); I != E; ++I) {
+      if (I)
+        OS << " * ";
+      printType(OS, Tu->getElement(I), /*Parens=*/true);
+    }
+    OS << ')';
+    return;
+  }
+  case TypeKind::List:
+    if (Parens)
+      OS << '(';
+    OS << "list ";
+    printType(OS, cast<ListType>(T)->getElement(), /*Parens=*/true);
+    if (Parens)
+      OS << ')';
+    return;
+  case TypeKind::Assoc: {
+    const auto *A = cast<AssocType>(T);
+    OS << A->getConceptName() << '<';
+    for (size_t I = 0; I != A->getArgs().size(); ++I) {
+      if (I)
+        OS << ", ";
+      printType(OS, A->getArgs()[I], /*Parens=*/false);
+    }
+    OS << ">." << A->getMember();
+    return;
+  }
+  case TypeKind::ForAll: {
+    const auto *F = cast<ForAllType>(T);
+    if (Parens)
+      OS << '(';
+    OS << "forall ";
+    for (unsigned I = 0, E = F->getNumParams(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << F->getParams()[I].Name;
+    }
+    if (!F->getRequirements().empty() || !F->getEquations().empty()) {
+      OS << " where ";
+      bool First = true;
+      for (const ConceptRef &R : F->getRequirements()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        printConceptRef(OS, R);
+      }
+      for (const TypeEquation &E : F->getEquations()) {
+        if (!First)
+          OS << ", ";
+        First = false;
+        printType(OS, E.Lhs, /*Parens=*/false);
+        OS << " == ";
+        printType(OS, E.Rhs, /*Parens=*/false);
+      }
+    }
+    OS << ". ";
+    printType(OS, F->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  }
+}
+
+} // namespace
+
+std::string fg::typeToString(const Type *T) {
+  if (!T)
+    return "<null-type>";
+  std::ostringstream OS;
+  printType(OS, T, /*Parens=*/false);
+  return OS.str();
+}
+
+std::string fg::conceptRefToString(const ConceptRef &R) {
+  std::ostringstream OS;
+  printConceptRef(OS, R);
+  return OS.str();
+}

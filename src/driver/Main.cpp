@@ -1,0 +1,154 @@
+//===- driver/Main.cpp - The fgc command-line tool ------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver:
+///
+///   fgc [options] file.fg      compile and run an F_G program
+///   fgc [options] -            read the program from stdin
+///
+/// Options:
+///   --check        stop after typechecking; print the F_G type
+///   --translate    print the System F translation and its type
+///   --ast          print the parsed F_G program
+///   --no-verify    skip re-checking the translation in System F
+///   --direct       evaluate with the direct F_G interpreter instead of
+///                  the System F translation (and cross-check the two)
+///   --optimize     also specialize the translation (dictionary
+///                  elimination), print it, and cross-check its value
+///
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace fg;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: fgc [--check] [--translate] [--ast] [--no-verify] "
+               "[--direct] <file.fg | ->\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool CheckOnly = false, PrintTranslation = false, PrintAst = false;
+  bool Direct = false, Optimize = false;
+  CompileOptions Opts;
+  std::string Path;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--check")
+      CheckOnly = true;
+    else if (Arg == "--translate")
+      PrintTranslation = true;
+    else if (Arg == "--ast")
+      PrintAst = true;
+    else if (Arg == "--direct")
+      Direct = true;
+    else if (Arg == "--optimize")
+      Optimize = true;
+    else if (Arg == "--no-verify")
+      Opts.VerifyTranslation = false;
+    else if (Arg == "--help" || Arg == "-h")
+      return usage();
+    else if (!Arg.empty() && Arg[0] == '-' && Arg != "-")
+      return usage();
+    else if (Path.empty())
+      Path = Arg;
+    else
+      return usage();
+  }
+  if (Path.empty())
+    return usage();
+
+  std::string Source;
+  if (Path == "-") {
+    std::ostringstream SS;
+    SS << std::cin.rdbuf();
+    Source = SS.str();
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::cerr << "fgc: error: cannot open `" << Path << "`\n";
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+
+  Frontend FE;
+  CompileOutput Out = FE.compile(Path == "-" ? "<stdin>" : Path, Source,
+                                 Opts);
+  if (!Out.Success) {
+    std::cerr << FE.getDiags().render();
+    return 1;
+  }
+  if (PrintAst)
+    std::cout << "ast: " << termToString(Out.Ast) << "\n";
+  if (PrintTranslation) {
+    std::cout << "systemf: " << sf::termToString(Out.SfTerm) << "\n";
+    if (Out.SfType)
+      std::cout << "systemf-type: " << sf::typeToString(Out.SfType) << "\n";
+  }
+  std::cout << "type: " << typeToString(Out.FgType) << "\n";
+  if (CheckOnly)
+    return 0;
+
+  sf::EvalResult R = FE.run(Out);
+  if (!R.ok()) {
+    std::cerr << "runtime error: " << R.Error << "\n";
+    return 1;
+  }
+  std::cout << "value: " << sf::valueToString(R.Val) << "\n";
+
+  if (Optimize) {
+    sf::OptimizeStats Stats;
+    FE.optimize(Out, &Stats);
+    std::cout << "specialized: " << sf::termToString(Out.SfOptimized)
+              << "\n";
+    std::cout << "  (nodes " << Stats.NodesBefore << " -> "
+              << Stats.NodesAfter << ", " << Stats.TypeAppsInlined
+              << " instantiations, " << Stats.LetsInlined
+              << " lets inlined, " << Stats.ProjectionsFolded
+              << " projections folded)\n";
+    sf::EvalResult O = FE.runOptimized(Out);
+    if (!O.ok()) {
+      std::cerr << "specialized evaluation error: " << O.Error << "\n";
+      return 1;
+    }
+    std::cout << "optimized value: " << sf::valueToString(O.Val) << "\n";
+    if (sf::valueToString(O.Val) != sf::valueToString(R.Val)) {
+      std::cerr << "error: specialization changed the program's value\n";
+      return 1;
+    }
+  }
+
+  if (Direct) {
+    interp::EvalResult D = FE.runDirect(Out);
+    if (!D.ok()) {
+      std::cerr << "direct interpreter error: " << D.Error << "\n";
+      return 1;
+    }
+    std::cout << "direct: " << interp::valueToString(D.Val) << "\n";
+    if (interp::valueToString(D.Val) != sf::valueToString(R.Val)) {
+      std::cerr << "error: direct interpretation disagrees with the "
+                   "translation\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- support/Casting.h - Kind-based RTTI helpers --------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight isa/cast/dyn_cast in the style of LLVM's Support/Casting.h.
+/// A class opts in by providing a `static bool classof(const Base *)`
+/// predicate, typically implemented with a kind enumerator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SUPPORT_CASTING_H
+#define FG_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace fg {
+
+/// Returns true if \p Val is an instance of type \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Casts \p Val to type \p To, asserting that the cast is valid.
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Casts \p Val to type \p To (mutable overload).
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Casts \p Val to type \p To, or returns null if \p Val is not a \p To.
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Mutable overload of dyn_cast.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null input.
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace fg
+
+#endif // FG_SUPPORT_CASTING_H

@@ -1,0 +1,71 @@
+//===- support/Diagnostics.cpp - Diagnostic reporting --------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include <sstream>
+
+using namespace fg;
+
+void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
+  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+}
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream OS;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid() && SM) {
+      OS << SM->getBufferName(D.Loc.BufferId) << ':' << D.Loc.Line << ':'
+         << D.Loc.Column << ": ";
+    } else if (D.Loc.isValid()) {
+      OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
+    }
+    OS << severityName(D.Severity) << ": " << D.Message << '\n';
+    if (D.Loc.isValid() && SM) {
+      std::string_view Line = SM->getLineText(D.Loc.BufferId, D.Loc.Line);
+      if (!Line.empty()) {
+        OS << "  " << Line << '\n';
+        OS << "  " << std::string(D.Loc.Column ? D.Loc.Column - 1 : 0, ' ')
+           << "^\n";
+      }
+    }
+  }
+  return OS.str();
+}
+
+std::string DiagnosticEngine::firstError() const {
+  for (const Diagnostic &D : Diags)
+    if (D.Severity == DiagSeverity::Error)
+      return D.Message;
+  return {};
+}

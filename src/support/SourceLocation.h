@@ -1,0 +1,48 @@
+//===- support/SourceLocation.h - Source positions --------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain value types describing positions and ranges in source buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SUPPORT_SOURCELOCATION_H
+#define FG_SUPPORT_SOURCELOCATION_H
+
+#include <cstdint>
+
+namespace fg {
+
+/// A position in a source buffer: 1-based line and column plus the id of
+/// the buffer it came from.  An invalid location has Line == 0.
+struct SourceLocation {
+  uint32_t BufferId = 0;
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLocation &A, const SourceLocation &B) {
+    return A.BufferId == B.BufferId && A.Line == B.Line && A.Column == B.Column;
+  }
+};
+
+/// A half-open range of source text [Begin, End).
+struct SourceRange {
+  SourceLocation Begin;
+  SourceLocation End;
+
+  SourceRange() = default;
+  SourceRange(SourceLocation B, SourceLocation E) : Begin(B), End(E) {}
+  explicit SourceRange(SourceLocation L) : Begin(L), End(L) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace fg
+
+#endif // FG_SUPPORT_SOURCELOCATION_H

@@ -1,0 +1,63 @@
+//===- support/SourceManager.cpp - Source buffer registry ----------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+#include <algorithm>
+#include <cassert>
+
+using namespace fg;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Text = std::move(Text);
+  B.LineStarts.push_back(0);
+  for (size_t I = 0, E = B.Text.size(); I != E; ++I)
+    if (B.Text[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  Buffers.push_back(std::move(B));
+  return static_cast<uint32_t>(Buffers.size());
+}
+
+const SourceManager::Buffer &SourceManager::getBuffer(uint32_t BufferId) const {
+  assert(BufferId >= 1 && BufferId <= Buffers.size() && "invalid buffer id");
+  return Buffers[BufferId - 1];
+}
+
+std::string_view SourceManager::getBufferText(uint32_t BufferId) const {
+  return getBuffer(BufferId).Text;
+}
+
+std::string_view SourceManager::getBufferName(uint32_t BufferId) const {
+  return getBuffer(BufferId).Name;
+}
+
+SourceLocation SourceManager::getLocation(uint32_t BufferId,
+                                          size_t Offset) const {
+  const Buffer &B = getBuffer(BufferId);
+  assert(Offset <= B.Text.size() && "offset past end of buffer");
+  // Find the last line start <= Offset.
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(), Offset);
+  size_t LineIdx = static_cast<size_t>(It - B.LineStarts.begin()) - 1;
+  SourceLocation Loc;
+  Loc.BufferId = BufferId;
+  Loc.Line = static_cast<uint32_t>(LineIdx + 1);
+  Loc.Column = static_cast<uint32_t>(Offset - B.LineStarts[LineIdx] + 1);
+  return Loc;
+}
+
+std::string_view SourceManager::getLineText(uint32_t BufferId,
+                                            uint32_t Line) const {
+  const Buffer &B = getBuffer(BufferId);
+  if (Line == 0 || Line > B.LineStarts.size())
+    return {};
+  size_t Begin = B.LineStarts[Line - 1];
+  size_t End = Line < B.LineStarts.size() ? B.LineStarts[Line] : B.Text.size();
+  while (End > Begin && (B.Text[End - 1] == '\n' || B.Text[End - 1] == '\r'))
+    --End;
+  return std::string_view(B.Text).substr(Begin, End - Begin);
+}

@@ -1,0 +1,60 @@
+//===- support/SourceManager.h - Source buffer registry ---------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns source buffers and maps byte offsets to line/column locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SUPPORT_SOURCEMANAGER_H
+#define FG_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLocation.h"
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fg {
+
+/// Registry of in-memory source buffers.  Buffer ids are 1-based so that
+/// a zero BufferId in SourceLocation means "no buffer".
+class SourceManager {
+public:
+  /// Registers \p Text under \p Name and returns its buffer id.
+  uint32_t addBuffer(std::string Name, std::string Text);
+
+  /// Returns the text of buffer \p BufferId.
+  std::string_view getBufferText(uint32_t BufferId) const;
+
+  /// Returns the name under which buffer \p BufferId was registered.
+  std::string_view getBufferName(uint32_t BufferId) const;
+
+  /// Translates a byte offset within a buffer to a line/column location.
+  SourceLocation getLocation(uint32_t BufferId, size_t Offset) const;
+
+  /// Returns the full text of line \p Line (1-based) of a buffer, without
+  /// the trailing newline.  Used for diagnostic snippets.
+  std::string_view getLineText(uint32_t BufferId, uint32_t Line) const;
+
+  unsigned getNumBuffers() const { return Buffers.size(); }
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Text;
+    /// Byte offset of the start of each line; LineStarts[0] == 0.
+    std::vector<size_t> LineStarts;
+  };
+
+  const Buffer &getBuffer(uint32_t BufferId) const;
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace fg
+
+#endif // FG_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,124 @@
+//===- support/UnionFind.h - Union/find with rollback -----------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Disjoint-set forest used by the congruence closure that decides type
+/// equality in F_G (paper section 5.1, citing MacQueen's union/find-based
+/// type sharing implementation for Standard ML and Nelson-Oppen congruence
+/// closure).
+///
+/// Same-type constraints are lexically scoped in F_G: entering a type
+/// abstraction adds equalities that must disappear when checking leaves
+/// its body.  The structure therefore supports rollback to a mark.  To
+/// keep rollback exact we use union by rank without path compression;
+/// find() is O(log n), which matches the paper's O(n log n) bound for the
+/// overall decision procedure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SUPPORT_UNIONFIND_H
+#define FG_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fg {
+
+/// Disjoint-set forest over dense unsigned ids with undo support.
+class UnionFind {
+public:
+  /// Creates a fresh singleton set and returns its id.
+  unsigned makeNode() {
+    Parent.push_back(static_cast<unsigned>(Parent.size()));
+    Rank.push_back(0);
+    return static_cast<unsigned>(Parent.size() - 1);
+  }
+
+  unsigned size() const { return static_cast<unsigned>(Parent.size()); }
+
+  /// Returns the representative of the set containing \p Id.
+  unsigned find(unsigned Id) const {
+    assert(Id < Parent.size() && "find() id out of range");
+    while (Parent[Id] != Id)
+      Id = Parent[Id];
+    return Id;
+  }
+
+  /// Returns true if \p A and \p B are in the same set.
+  bool same(unsigned A, unsigned B) const { return find(A) == find(B); }
+
+  /// Merges the sets of \p A and \p B.  Returns true if they were
+  /// previously distinct.
+  bool unite(unsigned A, unsigned B) {
+    unsigned RA = find(A), RB = find(B);
+    if (RA == RB)
+      return false;
+    // Attach the lower-rank root beneath the higher-rank one.
+    if (Rank[RA] < Rank[RB])
+      std::swap(RA, RB);
+    Trail.push_back({RB, Rank[RA]});
+    Parent[RB] = RA;
+    if (Rank[RA] == Rank[RB])
+      ++Rank[RA];
+    return true;
+  }
+
+  /// Links \p LoserRoot beneath \p WinnerRoot, overriding the rank
+  /// heuristic.  The congruence closure uses this to control which class
+  /// root survives a merge (the one whose parent-occurrence list is
+  /// larger, in the style of Nelson-Oppen).  Both arguments must be
+  /// roots and distinct.
+  void uniteDirected(unsigned WinnerRoot, unsigned LoserRoot) {
+    assert(find(WinnerRoot) == WinnerRoot && "winner must be a root");
+    assert(find(LoserRoot) == LoserRoot && "loser must be a root");
+    assert(WinnerRoot != LoserRoot && "cannot unite a root with itself");
+    Trail.push_back({LoserRoot, Rank[WinnerRoot]});
+    Parent[LoserRoot] = WinnerRoot;
+    if (Rank[WinnerRoot] <= Rank[LoserRoot])
+      Rank[WinnerRoot] = Rank[LoserRoot] + 1;
+  }
+
+  /// Opaque undo position; pass to rollback().
+  struct Mark {
+    size_t TrailSize;
+    size_t NumNodes;
+  };
+
+  Mark mark() const { return {Trail.size(), Parent.size()}; }
+
+  /// Undoes every unite() and makeNode() performed since \p M was taken.
+  void rollback(Mark M) {
+    assert(M.TrailSize <= Trail.size() && "rollback mark from the future");
+    while (Trail.size() > M.TrailSize) {
+      const Undo &U = Trail.back();
+      unsigned Root = Parent[U.Child];
+      Parent[U.Child] = U.Child;
+      Rank[Root] = U.OldRootRank;
+      Trail.pop_back();
+    }
+    assert(M.NumNodes <= Parent.size() && "rollback mark from the future");
+    Parent.resize(M.NumNodes);
+    Rank.resize(M.NumNodes);
+  }
+
+private:
+  struct Undo {
+    unsigned Child;       ///< Root that was linked under another root.
+    uint32_t OldRootRank; ///< Rank of the surviving root before the link.
+  };
+
+  std::vector<unsigned> Parent;
+  std::vector<uint32_t> Rank;
+  std::vector<Undo> Trail;
+};
+
+} // namespace fg
+
+#endif // FG_SUPPORT_UNIONFIND_H

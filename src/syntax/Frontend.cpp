@@ -1,0 +1,103 @@
+//===- syntax/Frontend.cpp - End-to-end F_G pipeline ----------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Frontend.h"
+
+using namespace fg;
+
+CompileOutput Frontend::compile(const std::string &Name,
+                                const std::string &Source,
+                                const CompileOptions &Opts) {
+  CompileOutput Out;
+  uint32_t BufferId = SM.addBuffer(Name, Source);
+  Parser P(SM, Diags, FgCtx, FgArena);
+  Out.Ast = P.parseProgram(BufferId);
+  if (!Out.Ast) {
+    Out.ErrorMessage = Diags.firstError();
+    return Out;
+  }
+
+  Checked C = TheChecker.check(Out.Ast);
+  if (!C.ok()) {
+    Out.ErrorMessage = Diags.firstError();
+    return Out;
+  }
+  Out.FgType = C.Ty;
+  Out.SfTerm = C.Sf;
+
+  if (Opts.VerifyTranslation) {
+    // Dynamic check of the paper's Theorems 1 and 2: the translation
+    // must be well typed in plain System F.
+    sf::TypeChecker SfChecker(SfCtx);
+    Out.SfType = SfChecker.check(Out.SfTerm, ThePrelude.Types);
+    if (!Out.SfType) {
+      Out.ErrorMessage =
+          "internal error: translation is not well typed in System F: " +
+          SfChecker.firstError();
+      Diags.error({}, Out.ErrorMessage);
+      return Out;
+    }
+  }
+  Out.Success = true;
+  return Out;
+}
+
+sf::EvalResult Frontend::run(const CompileOutput &Out,
+                             const sf::EvalOptions &Opts) {
+  if (!Out.Success)
+    return sf::EvalResult::failure("cannot run a failed compilation");
+  sf::Evaluator E(Opts);
+  return E.eval(Out.SfTerm, ThePrelude.Values);
+}
+
+sf::EvalResult Frontend::runProgram(const std::string &Name,
+                                    const std::string &Source) {
+  CompileOutput Out = compile(Name, Source);
+  if (!Out.Success)
+    return sf::EvalResult::failure(Out.ErrorMessage);
+  return run(Out);
+}
+
+interp::EvalResult Frontend::runDirect(const CompileOutput &Out,
+                                       const interp::InterpOptions &Opts) {
+  if (!Out.Success)
+    return interp::EvalResult::failure("cannot run a failed compilation");
+  interp::Interpreter I(FgCtx, Opts);
+  return I.run(Out.Ast);
+}
+
+const sf::Term *Frontend::optimize(CompileOutput &Out,
+                                   sf::OptimizeStats *Stats,
+                                   const sf::OptimizeOptions &Opts) {
+  if (!Out.Success)
+    return nullptr;
+  if (!Out.SfOptimized || Stats)
+    Out.SfOptimized = sf::specialize(SfArena, SfCtx, Out.SfTerm, Opts, Stats);
+  return Out.SfOptimized;
+}
+
+sf::EvalResult Frontend::runOptimized(CompileOutput &Out,
+                                      const sf::EvalOptions &Opts) {
+  const sf::Term *T = optimize(Out);
+  if (!T)
+    return sf::EvalResult::failure("cannot run a failed compilation");
+  sf::Evaluator E(Opts);
+  return E.eval(T, ThePrelude.Values);
+}
+
+sf::EvalResult Frontend::runCompiled(const CompileOutput &Out,
+                                     const sf::EvalOptions &Opts) {
+  if (!Out.Success)
+    return sf::EvalResult::failure("cannot run a failed compilation");
+  std::string Error;
+  std::unique_ptr<sf::CompiledTerm> C =
+      sf::CompiledTerm::compile(Out.SfTerm, ThePrelude, &Error);
+  if (!C)
+    return sf::EvalResult::failure("compilation to closures failed: " +
+                                   Error);
+  return C->run(Opts);
+}

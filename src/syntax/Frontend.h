@@ -1,0 +1,139 @@
+//===- syntax/Frontend.h - End-to-end F_G pipeline --------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: parse an F_G program, check
+/// and translate it to System F, optionally re-check the output with the
+/// independent System F typechecker (a dynamic verification of the
+/// paper's Theorems 1 and 2), and evaluate it.
+///
+/// Typical use:
+/// \code
+///   fg::Frontend FE;
+///   fg::CompileOutput Out = FE.compile("demo", Source);
+///   if (Out.Success) {
+///     sf::EvalResult R = FE.run(Out);
+///     ... sf::valueToString(R.Val) ...
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SYNTAX_FRONTEND_H
+#define FG_SYNTAX_FRONTEND_H
+
+#include "core/Builtins.h"
+#include "core/Check.h"
+#include "core/Interp.h"
+#include "systemf/Compile.h"
+#include "systemf/Optimize.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include "syntax/Parser.h"
+#include "systemf/Builtins.h"
+#include "systemf/Eval.h"
+#include "systemf/TypeCheck.h"
+#include <memory>
+#include <string>
+
+namespace fg {
+
+/// Options controlling one compilation.
+struct CompileOptions {
+  /// Re-check the translated term with the System F typechecker and
+  /// fail if it does not typecheck (Theorem 1/2 as a dynamic check).
+  bool VerifyTranslation = true;
+};
+
+/// Everything produced for one program.
+struct CompileOutput {
+  bool Success = false;
+  const Term *Ast = nullptr;        ///< Parsed F_G program.
+  const Type *FgType = nullptr;     ///< F_G type of the program.
+  const sf::Term *SfTerm = nullptr; ///< Dictionary-passing translation.
+  const sf::Type *SfType = nullptr; ///< Type assigned by the SF checker.
+  /// Specialized translation (dictionaries eliminated); populated by
+  /// Frontend::optimize().
+  const sf::Term *SfOptimized = nullptr;
+  std::string ErrorMessage;         ///< First error, empty on success.
+};
+
+/// Owns every context needed to compile and run F_G programs.  One
+/// Frontend can compile many programs; they share builtins and interned
+/// types.
+class Frontend {
+public:
+  Frontend()
+      : Diags(&SM), ThePrelude(sf::makePrelude(SfCtx)),
+        TheChecker(FgCtx, SfCtx, SfArena, Diags) {
+    bindPrelude(TheChecker, FgCtx, ThePrelude);
+  }
+
+  /// Parses, checks and translates \p Source (registered as buffer
+  /// \p Name).  Diagnostics accumulate in getDiags().
+  CompileOutput compile(const std::string &Name, const std::string &Source,
+                        const CompileOptions &Opts = CompileOptions());
+
+  /// Evaluates a successful compilation under the builtin prelude.
+  sf::EvalResult run(const CompileOutput &Out,
+                     const sf::EvalOptions &Opts = sf::EvalOptions());
+
+  /// Compile-and-run convenience; returns a failure EvalResult carrying
+  /// the first diagnostic if compilation fails.
+  sf::EvalResult runProgram(const std::string &Name,
+                            const std::string &Source);
+
+  /// Evaluates a compiled program with the *direct* F_G interpreter
+  /// (core/Interp.h), bypassing the System F translation entirely.
+  /// Tests compare this against run() to validate translation adequacy.
+  interp::EvalResult runDirect(const CompileOutput &Out,
+                               const interp::InterpOptions &Opts =
+                                   interp::InterpOptions());
+
+  /// Specializes the translation (systemf/Optimize.h): instantiates
+  /// type applications, inlines dictionaries, folds member-access
+  /// projections.  Stores and returns Out.SfOptimized.
+  const sf::Term *optimize(CompileOutput &Out,
+                           sf::OptimizeStats *Stats = nullptr,
+                           const sf::OptimizeOptions &Opts =
+                               sf::OptimizeOptions());
+
+  /// Evaluates the specialized translation (optimizing on demand).
+  sf::EvalResult runOptimized(CompileOutput &Out,
+                              const sf::EvalOptions &Opts =
+                                  sf::EvalOptions());
+
+  /// Evaluates via the closure-compiling engine (systemf/Compile.h):
+  /// compiles the translation once, then executes with compile-time-
+  /// resolved variables.  Observationally equivalent to run().
+  sf::EvalResult runCompiled(const CompileOutput &Out,
+                             const sf::EvalOptions &Opts =
+                                 sf::EvalOptions());
+
+  SourceManager &getSourceManager() { return SM; }
+  DiagnosticEngine &getDiags() { return Diags; }
+  TypeContext &getFgContext() { return FgCtx; }
+  sf::TypeContext &getSfContext() { return SfCtx; }
+  sf::TermArena &getSfArena() { return SfArena; }
+  TermArena &getFgArena() { return FgArena; }
+  const sf::Prelude &getPrelude() const { return ThePrelude; }
+  Checker &getChecker() { return TheChecker; }
+
+private:
+  SourceManager SM;
+  DiagnosticEngine Diags;
+  TypeContext FgCtx;
+  sf::TypeContext SfCtx;
+  TermArena FgArena;
+  sf::TermArena SfArena;
+  sf::Prelude ThePrelude;
+  Checker TheChecker;
+};
+
+} // namespace fg
+
+#endif // FG_SYNTAX_FRONTEND_H

@@ -1,0 +1,270 @@
+//===- syntax/Lexer.cpp - F_G lexer ---------------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Lexer.h"
+#include <cctype>
+#include <unordered_map>
+
+using namespace fg;
+
+const char *fg::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  case TokenKind::Ident:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwLet:
+    return "'let'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwFun:
+    return "'fun'";
+  case TokenKind::KwForall:
+    return "'forall'";
+  case TokenKind::KwWhere:
+    return "'where'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwFix:
+    return "'fix'";
+  case TokenKind::KwNth:
+    return "'nth'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwConcept:
+    return "'concept'";
+  case TokenKind::KwModel:
+    return "'model'";
+  case TokenKind::KwRefines:
+    return "'refines'";
+  case TokenKind::KwRequires:
+    return "'requires'";
+  case TokenKind::KwTypes:
+    return "'types'";
+  case TokenKind::KwType:
+    return "'type'";
+  case TokenKind::KwUse:
+    return "'use'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwList:
+    return "'list'";
+  case TokenKind::KwFn:
+    return "'fn'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::Arrow:
+    return "'->'";
+  }
+  return "token";
+}
+
+static const std::unordered_map<std::string, TokenKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokenKind> Table = {
+      {"let", TokenKind::KwLet},         {"in", TokenKind::KwIn},
+      {"fun", TokenKind::KwFun},         {"forall", TokenKind::KwForall},
+      {"generic", TokenKind::KwForall},  {"where", TokenKind::KwWhere},
+      {"if", TokenKind::KwIf},           {"then", TokenKind::KwThen},
+      {"else", TokenKind::KwElse},       {"fix", TokenKind::KwFix},
+      {"nth", TokenKind::KwNth},         {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"concept", TokenKind::KwConcept},
+      {"model", TokenKind::KwModel},     {"refines", TokenKind::KwRefines},
+      {"requires", TokenKind::KwRequires}, {"types", TokenKind::KwTypes},
+      {"type", TokenKind::KwType},       {"use", TokenKind::KwUse},
+      {"int", TokenKind::KwInt},         {"bool", TokenKind::KwBool},
+      {"list", TokenKind::KwList},       {"fn", TokenKind::KwFn},
+  };
+  return Table;
+}
+
+std::vector<Token> fg::lexBuffer(const SourceManager &SM, uint32_t BufferId,
+                                 DiagnosticEngine &Diags) {
+  std::string_view Text = SM.getBufferText(BufferId);
+  std::vector<Token> Tokens;
+  size_t I = 0, E = Text.size();
+
+  auto locAt = [&](size_t Offset) { return SM.getLocation(BufferId, Offset); };
+  auto push = [&](TokenKind K, size_t Begin, size_t End) {
+    Token T;
+    T.Kind = K;
+    T.Text = std::string(Text.substr(Begin, End - Begin));
+    T.Loc = locAt(Begin);
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < E) {
+    char C = Text[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < E && Text[I + 1] == '/') {
+      while (I < E && Text[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '/' && I + 1 < E && Text[I + 1] == '*') {
+      size_t Begin = I;
+      I += 2;
+      unsigned Depth = 1;
+      while (I < E && Depth) {
+        if (Text[I] == '*' && I + 1 < E && Text[I + 1] == '/') {
+          --Depth;
+          I += 2;
+        } else if (Text[I] == '/' && I + 1 < E && Text[I + 1] == '*') {
+          ++Depth;
+          I += 2;
+        } else {
+          ++I;
+        }
+      }
+      if (Depth)
+        Diags.error(locAt(Begin), "unterminated block comment");
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Begin = I;
+      while (I < E && (std::isalnum(static_cast<unsigned char>(Text[I])) ||
+                       Text[I] == '_'))
+        ++I;
+      std::string Word(Text.substr(Begin, I - Begin));
+      auto It = keywordTable().find(Word);
+      push(It != keywordTable().end() ? It->second : TokenKind::Ident, Begin,
+           I);
+      continue;
+    }
+    // Integer literals (optionally negative).
+    bool NegativeLiteral =
+        C == '-' && I + 1 < E &&
+        std::isdigit(static_cast<unsigned char>(Text[I + 1]));
+    if (std::isdigit(static_cast<unsigned char>(C)) || NegativeLiteral) {
+      size_t Begin = I;
+      if (NegativeLiteral)
+        ++I;
+      while (I < E && std::isdigit(static_cast<unsigned char>(Text[I])))
+        ++I;
+      push(TokenKind::IntLiteral, Begin, I);
+      Tokens.back().IntValue = std::stoll(Tokens.back().Text);
+      continue;
+    }
+    // Punctuation.
+    size_t Begin = I;
+    auto single = [&](TokenKind K) {
+      ++I;
+      push(K, Begin, I);
+    };
+    switch (C) {
+    case '(':
+      single(TokenKind::LParen);
+      continue;
+    case ')':
+      single(TokenKind::RParen);
+      continue;
+    case '{':
+      single(TokenKind::LBrace);
+      continue;
+    case '}':
+      single(TokenKind::RBrace);
+      continue;
+    case '[':
+      single(TokenKind::LBracket);
+      continue;
+    case ']':
+      single(TokenKind::RBracket);
+      continue;
+    case '<':
+      single(TokenKind::Less);
+      continue;
+    case '>':
+      single(TokenKind::Greater);
+      continue;
+    case ',':
+      single(TokenKind::Comma);
+      continue;
+    case ';':
+      single(TokenKind::Semi);
+      continue;
+    case ':':
+      single(TokenKind::Colon);
+      continue;
+    case '.':
+      single(TokenKind::Dot);
+      continue;
+    case '*':
+      single(TokenKind::Star);
+      continue;
+    case '=':
+      if (I + 1 < E && Text[I + 1] == '=') {
+        I += 2;
+        push(TokenKind::EqualEqual, Begin, I);
+      } else {
+        single(TokenKind::Equal);
+      }
+      continue;
+    case '-':
+      if (I + 1 < E && Text[I + 1] == '>') {
+        I += 2;
+        push(TokenKind::Arrow, Begin, I);
+        continue;
+      }
+      [[fallthrough]];
+    default:
+      Diags.error(locAt(Begin), std::string("unexpected character `") + C +
+                                    "`");
+      single(TokenKind::Error);
+      continue;
+    }
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Loc = locAt(E);
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

@@ -1,0 +1,98 @@
+//===- syntax/Lexer.h - F_G lexer -------------------------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the F_G concrete syntax.  The syntax follows the
+/// paper's figures with ASCII spellings: `forall` for the capital
+/// lambda, `fun` for lambda, `->` in function types, `==` for same-type
+/// constraints, and `//` line comments plus `/* */` block comments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SYNTAX_LEXER_H
+#define FG_SYNTAX_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLocation.h"
+#include "support/SourceManager.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fg {
+
+/// Token kinds of the F_G surface syntax.
+enum class TokenKind : uint8_t {
+  Eof,
+  Error,
+  Ident,
+  IntLiteral,
+  // Keywords.
+  KwLet,
+  KwIn,
+  KwFun,
+  KwForall,
+  KwWhere,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwFix,
+  KwNth,
+  KwTrue,
+  KwFalse,
+  KwConcept,
+  KwModel,
+  KwRefines,
+  KwRequires,
+  KwTypes,
+  KwType,
+  KwUse,
+  KwInt,
+  KwBool,
+  KwList,
+  KwFn,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Less,
+  Greater,
+  Comma,
+  Semi,
+  Colon,
+  Dot,
+  Star,
+  Equal,
+  EqualEqual,
+  Arrow,
+};
+
+/// Returns a human-readable spelling for diagnostics.
+const char *tokenKindName(TokenKind K);
+
+/// One lexed token.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  SourceLocation Loc;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Lexes a registered source buffer into a token vector (plus a final
+/// Eof token).  Errors are reported to the DiagnosticEngine and yield
+/// Error tokens.
+std::vector<Token> lexBuffer(const SourceManager &SM, uint32_t BufferId,
+                             DiagnosticEngine &Diags);
+
+} // namespace fg
+
+#endif // FG_SYNTAX_LEXER_H

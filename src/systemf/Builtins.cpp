@@ -1,0 +1,223 @@
+//===- systemf/Builtins.cpp - Builtin prelude -----------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Builtins.h"
+#include <cassert>
+
+using namespace fg;
+using namespace fg::sf;
+
+namespace {
+
+EvalResult wrongArg(const std::string &Name) {
+  return EvalResult::failure("builtin `" + Name +
+                             "` applied to a value of the wrong kind");
+}
+
+/// Makes a binary int -> int builtin.
+ValuePtr makeIntBinOp(const std::string &Name,
+                      int64_t (*Op)(int64_t, int64_t)) {
+  return std::make_shared<BuiltinValue>(
+      Name, 2, [Name, Op](const std::vector<ValuePtr> &Args) -> EvalResult {
+        const auto *A = dyn_cast<IntValue>(Args[0].get());
+        const auto *B = dyn_cast<IntValue>(Args[1].get());
+        if (!A || !B)
+          return wrongArg(Name);
+        return EvalResult::success(
+            std::make_shared<IntValue>(Op(A->getValue(), B->getValue())));
+      });
+}
+
+/// Makes a binary int -> bool builtin.
+ValuePtr makeIntCmpOp(const std::string &Name, bool (*Op)(int64_t, int64_t)) {
+  return std::make_shared<BuiltinValue>(
+      Name, 2, [Name, Op](const std::vector<ValuePtr> &Args) -> EvalResult {
+        const auto *A = dyn_cast<IntValue>(Args[0].get());
+        const auto *B = dyn_cast<IntValue>(Args[1].get());
+        if (!A || !B)
+          return wrongArg(Name);
+        return EvalResult::success(
+            std::make_shared<BoolValue>(Op(A->getValue(), B->getValue())));
+      });
+}
+
+/// Makes a binary bool -> bool builtin.
+ValuePtr makeBoolBinOp(const std::string &Name, bool (*Op)(bool, bool)) {
+  return std::make_shared<BuiltinValue>(
+      Name, 2, [Name, Op](const std::vector<ValuePtr> &Args) -> EvalResult {
+        const auto *A = dyn_cast<BoolValue>(Args[0].get());
+        const auto *B = dyn_cast<BoolValue>(Args[1].get());
+        if (!A || !B)
+          return wrongArg(Name);
+        return EvalResult::success(
+            std::make_shared<BoolValue>(Op(A->getValue(), B->getValue())));
+      });
+}
+
+} // namespace
+
+ValuePtr fg::sf::makeListValue(const std::vector<ValuePtr> &Elements) {
+  std::shared_ptr<const ListValue> L = std::make_shared<ListValue>();
+  for (size_t I = Elements.size(); I != 0; --I)
+    L = std::make_shared<ListValue>(Elements[I - 1], L);
+  return L;
+}
+
+ValuePtr fg::sf::makeIntListValue(const std::vector<int64_t> &Elements) {
+  std::vector<ValuePtr> Vals;
+  Vals.reserve(Elements.size());
+  for (int64_t E : Elements)
+    Vals.push_back(std::make_shared<IntValue>(E));
+  return makeListValue(Vals);
+}
+
+Prelude fg::sf::makePrelude(TypeContext &Ctx) {
+  Prelude P;
+  const Type *IntTy = Ctx.getIntType();
+  const Type *BoolTy = Ctx.getBoolType();
+
+  auto Add = [&P](std::string Name, const Type *Ty, ValuePtr Val) {
+    P.Entries.push_back({Name, Ty, Val});
+    P.Types.bind(Name, Ty);
+    P.Values = envBind(P.Values, std::move(Name), std::move(Val));
+  };
+
+  const Type *IntBinTy = Ctx.getArrowType({IntTy, IntTy}, IntTy);
+  const Type *IntCmpTy = Ctx.getArrowType({IntTy, IntTy}, BoolTy);
+  const Type *BoolBinTy = Ctx.getArrowType({BoolTy, BoolTy}, BoolTy);
+
+  Add("iadd", IntBinTy,
+      makeIntBinOp("iadd", [](int64_t A, int64_t B) { return A + B; }));
+  Add("isub", IntBinTy,
+      makeIntBinOp("isub", [](int64_t A, int64_t B) { return A - B; }));
+  Add("imult", IntBinTy,
+      makeIntBinOp("imult", [](int64_t A, int64_t B) { return A * B; }));
+  Add("imax", IntBinTy, makeIntBinOp("imax", [](int64_t A, int64_t B) {
+        return A > B ? A : B;
+      }));
+  Add("imin", IntBinTy, makeIntBinOp("imin", [](int64_t A, int64_t B) {
+        return A < B ? A : B;
+      }));
+
+  // Division and modulus can fail at runtime; they get bespoke bodies.
+  Add("idiv", IntBinTy,
+      std::make_shared<BuiltinValue>(
+          "idiv", 2, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *A = dyn_cast<IntValue>(Args[0].get());
+            const auto *B = dyn_cast<IntValue>(Args[1].get());
+            if (!A || !B)
+              return wrongArg("idiv");
+            if (B->getValue() == 0)
+              return EvalResult::failure("division by zero");
+            return EvalResult::success(
+                std::make_shared<IntValue>(A->getValue() / B->getValue()));
+          }));
+  Add("imod", IntBinTy,
+      std::make_shared<BuiltinValue>(
+          "imod", 2, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *A = dyn_cast<IntValue>(Args[0].get());
+            const auto *B = dyn_cast<IntValue>(Args[1].get());
+            if (!A || !B)
+              return wrongArg("imod");
+            if (B->getValue() == 0)
+              return EvalResult::failure("modulus by zero");
+            return EvalResult::success(
+                std::make_shared<IntValue>(A->getValue() % B->getValue()));
+          }));
+
+  Add("ineg", Ctx.getArrowType({IntTy}, IntTy),
+      std::make_shared<BuiltinValue>(
+          "ineg", 1, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *A = dyn_cast<IntValue>(Args[0].get());
+            if (!A)
+              return wrongArg("ineg");
+            return EvalResult::success(
+                std::make_shared<IntValue>(-A->getValue()));
+          }));
+
+  Add("ieq", IntCmpTy,
+      makeIntCmpOp("ieq", [](int64_t A, int64_t B) { return A == B; }));
+  Add("ine", IntCmpTy,
+      makeIntCmpOp("ine", [](int64_t A, int64_t B) { return A != B; }));
+  Add("ilt", IntCmpTy,
+      makeIntCmpOp("ilt", [](int64_t A, int64_t B) { return A < B; }));
+  Add("ile", IntCmpTy,
+      makeIntCmpOp("ile", [](int64_t A, int64_t B) { return A <= B; }));
+  Add("igt", IntCmpTy,
+      makeIntCmpOp("igt", [](int64_t A, int64_t B) { return A > B; }));
+  Add("ige", IntCmpTy,
+      makeIntCmpOp("ige", [](int64_t A, int64_t B) { return A >= B; }));
+
+  Add("band", BoolBinTy,
+      makeBoolBinOp("band", [](bool A, bool B) { return A && B; }));
+  Add("bor", BoolBinTy,
+      makeBoolBinOp("bor", [](bool A, bool B) { return A || B; }));
+  Add("bnot", Ctx.getArrowType({BoolTy}, BoolTy),
+      std::make_shared<BuiltinValue>(
+          "bnot", 1, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *A = dyn_cast<BoolValue>(Args[0].get());
+            if (!A)
+              return wrongArg("bnot");
+            return EvalResult::success(
+                std::make_shared<BoolValue>(!A->getValue()));
+          }));
+
+  // Polymorphic list primitives.  At runtime, type application is the
+  // identity on builtins (types are erased), so `nil[int]` is just nil.
+  unsigned TId = Ctx.freshParamId();
+  const Type *TVar = Ctx.getParamType(TId, "t");
+  const Type *ListT = Ctx.getListType(TVar);
+  auto Poly = [&](const Type *Body) {
+    return Ctx.getForAllType({{TId, "t"}}, Body);
+  };
+
+  Add("nil", Poly(ListT), std::make_shared<ListValue>());
+
+  Add("cons", Poly(Ctx.getArrowType({TVar, ListT}, ListT)),
+      std::make_shared<BuiltinValue>(
+          "cons", 2, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            auto Tail = std::dynamic_pointer_cast<const ListValue>(Args[1]);
+            if (!Tail)
+              return wrongArg("cons");
+            return EvalResult::success(
+                std::make_shared<ListValue>(Args[0], Tail));
+          }));
+
+  Add("car", Poly(Ctx.getArrowType({ListT}, TVar)),
+      std::make_shared<BuiltinValue>(
+          "car", 1, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *L = dyn_cast<ListValue>(Args[0].get());
+            if (!L)
+              return wrongArg("car");
+            if (L->isNil())
+              return EvalResult::failure("`car` of the empty list");
+            return EvalResult::success(L->getHead());
+          }));
+
+  Add("cdr", Poly(Ctx.getArrowType({ListT}, ListT)),
+      std::make_shared<BuiltinValue>(
+          "cdr", 1, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *L = dyn_cast<ListValue>(Args[0].get());
+            if (!L)
+              return wrongArg("cdr");
+            if (L->isNil())
+              return EvalResult::failure("`cdr` of the empty list");
+            return EvalResult::success(L->getTail());
+          }));
+
+  Add("null", Poly(Ctx.getArrowType({ListT}, BoolTy)),
+      std::make_shared<BuiltinValue>(
+          "null", 1, [](const std::vector<ValuePtr> &Args) -> EvalResult {
+            const auto *L = dyn_cast<ListValue>(Args[0].get());
+            if (!L)
+              return wrongArg("null");
+            return EvalResult::success(
+                std::make_shared<BoolValue>(L->isNil()));
+          }));
+
+  return P;
+}

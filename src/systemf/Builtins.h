@@ -1,0 +1,56 @@
+//===- systemf/Builtins.h - Builtin prelude ---------------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin operations the paper's programs assume: integer
+/// arithmetic (`iadd`, `imult`, ...), comparisons, booleans, and the
+/// polymorphic list primitives `nil`, `cons`, `car`, `cdr`, `null`
+/// (Figures 3 and 5).  One definition serves both the System F
+/// typechecker (types) and the evaluator (values), and the F_G front
+/// end imports the same set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SYSTEMF_BUILTINS_H
+#define FG_SYSTEMF_BUILTINS_H
+
+#include "systemf/TypeCheck.h"
+#include "systemf/Value.h"
+#include <string>
+#include <vector>
+
+namespace fg {
+namespace sf {
+
+/// One builtin: its name, System F type, and runtime value.
+struct BuiltinEntry {
+  std::string Name;
+  const Type *Ty;
+  ValuePtr Val;
+};
+
+/// The full builtin environment.
+struct Prelude {
+  std::vector<BuiltinEntry> Entries;
+  TypeEnv Types; ///< Name -> type, for the typechecker.
+  EnvPtr Values; ///< Runtime environment, for the evaluator.
+};
+
+/// Builds the prelude against \p Ctx.  The same TypeContext must be used
+/// for the program being checked.
+Prelude makePrelude(TypeContext &Ctx);
+
+/// Convenience: builds a ListValue from \p Elements.
+ValuePtr makeListValue(const std::vector<ValuePtr> &Elements);
+
+/// Convenience: builds a list-of-int value.
+ValuePtr makeIntListValue(const std::vector<int64_t> &Elements);
+
+} // namespace sf
+} // namespace fg
+
+#endif // FG_SYSTEMF_BUILTINS_H

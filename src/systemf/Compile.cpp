@@ -1,0 +1,377 @@
+//===- systemf/Compile.cpp - Closure-compiling evaluator ------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Compile.h"
+#include <cassert>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+using namespace fg;
+using namespace fg::sf;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Runtime representation
+//===----------------------------------------------------------------------===//
+
+/// A runtime frame: one per lambda application or let binding.
+struct Frame {
+  std::vector<ValuePtr> Slots;
+  std::shared_ptr<const Frame> Parent;
+};
+using FramePtr = std::shared_ptr<const Frame>;
+
+/// Shared execution state (limits).
+struct VMState {
+  uint64_t Steps = 0;
+  unsigned Depth = 0;
+  EvalOptions Opts;
+};
+
+/// Compiled code: evaluate under a frame chain.
+using Code = std::function<EvalResult(VMState &, const FramePtr &)>;
+using CodePtr = std::shared_ptr<const Code>;
+
+class CompiledClosureValue : public Value {
+public:
+  CompiledClosureValue(CodePtr Body, unsigned Arity, FramePtr Env)
+      : Value(ValueKind::CompiledClosure), Body(std::move(Body)),
+        Arity(Arity), Env(std::move(Env)) {}
+  CodePtr Body;
+  unsigned Arity;
+  FramePtr Env;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::CompiledClosure;
+  }
+};
+
+class CompiledTyClosureValue : public Value {
+public:
+  CompiledTyClosureValue(CodePtr Body, FramePtr Env)
+      : Value(ValueKind::CompiledTyClosure), Body(std::move(Body)),
+        Env(std::move(Env)) {}
+  CodePtr Body;
+  FramePtr Env;
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::CompiledTyClosure;
+  }
+};
+
+EvalResult applyValue(VMState &S, const ValuePtr &Fn,
+                      const std::vector<ValuePtr> &Args) {
+  if (++S.Steps > S.Opts.MaxSteps)
+    return EvalResult::failure("evaluation exceeded the step limit");
+  if (S.Depth >= S.Opts.MaxDepth)
+    return EvalResult::failure("evaluation exceeded the recursion depth "
+                               "limit");
+  ++S.Depth;
+  EvalResult R = [&]() -> EvalResult {
+    switch (Fn->getKind()) {
+    case ValueKind::CompiledClosure: {
+      const auto *C = cast<CompiledClosureValue>(Fn.get());
+      if (C->Arity != Args.size())
+        return EvalResult::failure("function called with wrong arity");
+      auto F = std::make_shared<Frame>();
+      F->Slots = Args;
+      F->Parent = C->Env;
+      return (*C->Body)(S, F);
+    }
+    case ValueKind::Fix: {
+      const auto *FV = cast<FixValue>(Fn.get());
+      EvalResult Unrolled = applyValue(S, FV->getFn(), {Fn});
+      if (!Unrolled.ok())
+        return Unrolled;
+      return applyValue(S, Unrolled.Val, Args);
+    }
+    case ValueKind::Builtin: {
+      const auto *B = cast<BuiltinValue>(Fn.get());
+      if (B->getArity() != Args.size())
+        return EvalResult::failure("builtin `" + B->getName() +
+                                   "` called with wrong arity");
+      return B->invoke(Args);
+    }
+    default:
+      return EvalResult::failure("attempt to call a non-function value `" +
+                                 valueToString(Fn.get()) + "`");
+    }
+  }();
+  --S.Depth;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+/// Compile-time scope: one name list per runtime frame, innermost last.
+class Scope {
+public:
+  void pushFrame(std::vector<std::string> Names) {
+    Frames.push_back(std::move(Names));
+  }
+  void popFrame() { Frames.pop_back(); }
+
+  /// Resolves a name to (frames-up, slot) coordinates.
+  bool resolve(const std::string &Name, unsigned &UpOut,
+               unsigned &SlotOut) const {
+    for (size_t D = Frames.size(); D != 0; --D) {
+      const auto &F = Frames[D - 1];
+      // Scan backwards so later duplicate parameters shadow earlier.
+      for (size_t I = F.size(); I != 0; --I)
+        if (F[I - 1] == Name) {
+          UpOut = static_cast<unsigned>(Frames.size() - D);
+          SlotOut = static_cast<unsigned>(I - 1);
+          return true;
+        }
+    }
+    return false;
+  }
+
+private:
+  std::vector<std::vector<std::string>> Frames;
+};
+
+class Compiler {
+public:
+  Compiler(const Prelude &P) {
+    for (const BuiltinEntry &E : P.Entries)
+      Globals[E.Name] = E.Val;
+  }
+
+  bool ok() const { return Error.empty(); }
+  std::string Error;
+
+  Code compile(const Term *T, Scope &S) {
+    switch (T->getKind()) {
+    case TermKind::IntLit: {
+      ValuePtr V = std::make_shared<IntValue>(cast<IntLit>(T)->getValue());
+      return [V](VMState &, const FramePtr &) {
+        return EvalResult::success(V);
+      };
+    }
+    case TermKind::BoolLit: {
+      ValuePtr V = std::make_shared<BoolValue>(cast<BoolLit>(T)->getValue());
+      return [V](VMState &, const FramePtr &) {
+        return EvalResult::success(V);
+      };
+    }
+
+    case TermKind::Var: {
+      const std::string &Name = cast<VarTerm>(T)->getName();
+      unsigned Up = 0, Slot = 0;
+      if (S.resolve(Name, Up, Slot)) {
+        return [Up, Slot](VMState &, const FramePtr &F) {
+          const Frame *Fr = F.get();
+          for (unsigned I = 0; I < Up; ++I)
+            Fr = Fr->Parent.get();
+          return EvalResult::success(Fr->Slots[Slot]);
+        };
+      }
+      auto It = Globals.find(Name);
+      if (It != Globals.end()) {
+        ValuePtr V = It->second;
+        return [V](VMState &, const FramePtr &) {
+          return EvalResult::success(V);
+        };
+      }
+      if (Error.empty())
+        Error = "unbound variable `" + Name + "` at compile time";
+      return [](VMState &, const FramePtr &) {
+        return EvalResult::failure("internal error: unbound variable");
+      };
+    }
+
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      std::vector<std::string> Names;
+      for (const ParamBinding &P : A->getParams())
+        Names.push_back(P.Name);
+      unsigned Arity = Names.size();
+      S.pushFrame(std::move(Names));
+      CodePtr Body = std::make_shared<Code>(compile(A->getBody(), S));
+      S.popFrame();
+      return [Body, Arity](VMState &, const FramePtr &F) {
+        return EvalResult::success(
+            std::make_shared<CompiledClosureValue>(Body, Arity, F));
+      };
+    }
+
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      Code Fn = compile(A->getFn(), S);
+      std::vector<Code> Args;
+      for (const Term *Arg : A->getArgs())
+        Args.push_back(compile(Arg, S));
+      return [Fn = std::move(Fn),
+              Args = std::move(Args)](VMState &St, const FramePtr &F) {
+        EvalResult FnV = Fn(St, F);
+        if (!FnV.ok())
+          return FnV;
+        std::vector<ValuePtr> ArgVs;
+        ArgVs.reserve(Args.size());
+        for (const Code &C : Args) {
+          EvalResult R = C(St, F);
+          if (!R.ok())
+            return R;
+          ArgVs.push_back(std::move(R.Val));
+        }
+        return applyValue(St, FnV.Val, ArgVs);
+      };
+    }
+
+    case TermKind::TyAbs: {
+      const auto *A = cast<TyAbsTerm>(T);
+      CodePtr Body = std::make_shared<Code>(compile(A->getBody(), S));
+      return [Body](VMState &, const FramePtr &F) {
+        return EvalResult::success(
+            std::make_shared<CompiledTyClosureValue>(Body, F));
+      };
+    }
+
+    case TermKind::TyApp: {
+      const auto *A = cast<TyAppTerm>(T);
+      Code Fn = compile(A->getFn(), S);
+      return [Fn = std::move(Fn)](VMState &St, const FramePtr &F) {
+        EvalResult R = Fn(St, F);
+        if (!R.ok())
+          return R;
+        if (const auto *TC =
+                dyn_cast<CompiledTyClosureValue>(R.Val.get()))
+          return (*TC->Body)(St, TC->Env);
+        return R; // Builtins are type-erased.
+      };
+    }
+
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      Code Init = compile(L->getInit(), S);
+      S.pushFrame({L->getName()});
+      Code Body = compile(L->getBody(), S);
+      S.popFrame();
+      return [Init = std::move(Init),
+              Body = std::move(Body)](VMState &St, const FramePtr &F) {
+        EvalResult I = Init(St, F);
+        if (!I.ok())
+          return I;
+        auto NF = std::make_shared<Frame>();
+        NF->Slots.push_back(std::move(I.Val));
+        NF->Parent = F;
+        return Body(St, NF);
+      };
+    }
+
+    case TermKind::Tuple: {
+      const auto *Tu = cast<TupleTerm>(T);
+      std::vector<Code> Elems;
+      for (const Term *E : Tu->getElements())
+        Elems.push_back(compile(E, S));
+      return [Elems = std::move(Elems)](VMState &St, const FramePtr &F) {
+        std::vector<ValuePtr> Vs;
+        Vs.reserve(Elems.size());
+        for (const Code &C : Elems) {
+          EvalResult R = C(St, F);
+          if (!R.ok())
+            return R;
+          Vs.push_back(std::move(R.Val));
+        }
+        return EvalResult::success(
+            std::make_shared<TupleValue>(std::move(Vs)));
+      };
+    }
+
+    case TermKind::Nth: {
+      const auto *N = cast<NthTerm>(T);
+      Code Tu = compile(N->getTuple(), S);
+      unsigned Idx = N->getIndex();
+      return [Tu = std::move(Tu), Idx](VMState &St, const FramePtr &F) {
+        EvalResult R = Tu(St, F);
+        if (!R.ok())
+          return R;
+        const auto *T = dyn_cast<TupleValue>(R.Val.get());
+        if (!T || Idx >= T->getElements().size())
+          return EvalResult::failure("invalid tuple projection at runtime");
+        return EvalResult::success(T->getElements()[Idx]);
+      };
+    }
+
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      Code C = compile(I->getCond(), S);
+      Code Th = compile(I->getThen(), S);
+      Code El = compile(I->getElse(), S);
+      return [C = std::move(C), Th = std::move(Th),
+              El = std::move(El)](VMState &St, const FramePtr &F) {
+        EvalResult R = C(St, F);
+        if (!R.ok())
+          return R;
+        const auto *B = dyn_cast<BoolValue>(R.Val.get());
+        if (!B)
+          return EvalResult::failure("`if` condition evaluated to a "
+                                     "non-boolean");
+        return B->getValue() ? Th(St, F) : El(St, F);
+      };
+    }
+
+    case TermKind::Fix: {
+      Code Op = compile(cast<FixTerm>(T)->getOperand(), S);
+      return [Op = std::move(Op)](VMState &St, const FramePtr &F) {
+        EvalResult R = Op(St, F);
+        if (!R.ok())
+          return R;
+        return EvalResult::success(std::make_shared<FixValue>(R.Val));
+      };
+    }
+    }
+    assert(false && "unknown term kind");
+    return [](VMState &, const FramePtr &) {
+      return EvalResult::failure("internal error: unknown term kind");
+    };
+  }
+
+private:
+  std::unordered_map<std::string, ValuePtr> Globals;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CompiledTerm
+//===----------------------------------------------------------------------===//
+
+struct CompiledTerm::Impl {
+  Code Entry;
+};
+
+CompiledTerm::CompiledTerm() : P(std::make_unique<Impl>()) {}
+CompiledTerm::~CompiledTerm() = default;
+CompiledTerm::CompiledTerm(CompiledTerm &&) noexcept = default;
+
+std::unique_ptr<CompiledTerm> CompiledTerm::compile(const Term *T,
+                                                    const Prelude &Pre,
+                                                    std::string *ErrorOut) {
+  Compiler C(Pre);
+  Scope S;
+  Code Entry = C.compile(T, S);
+  if (!C.ok()) {
+    if (ErrorOut)
+      *ErrorOut = C.Error;
+    return nullptr;
+  }
+  auto Out = std::unique_ptr<CompiledTerm>(new CompiledTerm());
+  Out->P->Entry = std::move(Entry);
+  return Out;
+}
+
+EvalResult CompiledTerm::run(const EvalOptions &Opts) const {
+  VMState S;
+  S.Opts = Opts;
+  return P->Entry(S, nullptr);
+}

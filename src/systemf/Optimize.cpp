@@ -1,0 +1,629 @@
+//===- systemf/Optimize.cpp - Dictionary specialization -------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Optimize.h"
+#include <cassert>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace fg;
+using namespace fg::sf;
+
+size_t fg::sf::countTermNodes(const Term *T) {
+  switch (T->getKind()) {
+  case TermKind::IntLit:
+  case TermKind::BoolLit:
+  case TermKind::Var:
+    return 1;
+  case TermKind::Abs:
+    return 1 + countTermNodes(cast<AbsTerm>(T)->getBody());
+  case TermKind::App: {
+    const auto *A = cast<AppTerm>(T);
+    size_t N = 1 + countTermNodes(A->getFn());
+    for (const Term *Arg : A->getArgs())
+      N += countTermNodes(Arg);
+    return N;
+  }
+  case TermKind::TyAbs:
+    return 1 + countTermNodes(cast<TyAbsTerm>(T)->getBody());
+  case TermKind::TyApp:
+    return 1 + countTermNodes(cast<TyAppTerm>(T)->getFn());
+  case TermKind::Let: {
+    const auto *L = cast<LetTerm>(T);
+    return 1 + countTermNodes(L->getInit()) + countTermNodes(L->getBody());
+  }
+  case TermKind::Tuple: {
+    size_t N = 1;
+    for (const Term *E : cast<TupleTerm>(T)->getElements())
+      N += countTermNodes(E);
+    return N;
+  }
+  case TermKind::Nth:
+    return 1 + countTermNodes(cast<NthTerm>(T)->getTuple());
+  case TermKind::If: {
+    const auto *I = cast<IfTerm>(T);
+    return 1 + countTermNodes(I->getCond()) + countTermNodes(I->getThen()) +
+           countTermNodes(I->getElse());
+  }
+  case TermKind::Fix:
+    return 1 + countTermNodes(cast<FixTerm>(T)->getOperand());
+  }
+  return 1;
+}
+
+namespace {
+
+/// The specializer.  All rewriting preserves sharing: a transform
+/// returns the original node when nothing changed underneath it.
+class Specializer {
+public:
+  Specializer(TermArena &Arena, TypeContext &Ctx,
+              const OptimizeOptions &Opts, OptimizeStats &Stats)
+      : Arena(Arena), Ctx(Ctx), Opts(Opts), Stats(Stats) {}
+
+  const Term *run(const Term *T) {
+    Stats.NodesBefore = countTermNodes(T);
+    Budget = std::max<size_t>(4096, Stats.NodesBefore * Opts.MaxGrowthFactor);
+    for (unsigned I = 0; I < Opts.MaxIterations; ++I) {
+      const Term *Next = rewrite(T);
+      if (Next == T)
+        break;
+      T = Next;
+      if (countTermNodes(T) > Budget)
+        break;
+    }
+    Stats.NodesAfter = countTermNodes(T);
+    return T;
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Predicates
+  //===--------------------------------------------------------------===//
+
+  /// Pure, terminating terms: safe to duplicate, reorder, or drop.  On a
+  /// *well-typed* program `nth` of a pure tuple cannot fail, so it is
+  /// included; applications are not (they may diverge or error).
+  static bool isPure(const Term *T) {
+    switch (T->getKind()) {
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+    case TermKind::Var:
+    case TermKind::Abs:
+    case TermKind::TyAbs:
+      return true;
+    case TermKind::Tuple:
+      for (const Term *E : cast<TupleTerm>(T)->getElements())
+        if (!isPure(E))
+          return false;
+      return true;
+    case TermKind::Nth:
+      return isPure(cast<NthTerm>(T)->getTuple());
+    case TermKind::Fix:
+      return isPure(cast<FixTerm>(T)->getOperand());
+    default:
+      return false;
+    }
+  }
+
+  //===--------------------------------------------------------------===//
+  // Free variables / occurrence counting
+  //===--------------------------------------------------------------===//
+
+  static void freeVarsImpl(const Term *T,
+                           std::unordered_set<std::string> &Bound,
+                           std::unordered_set<std::string> &Out) {
+    switch (T->getKind()) {
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+      return;
+    case TermKind::Var: {
+      const std::string &N = cast<VarTerm>(T)->getName();
+      if (!Bound.count(N))
+        Out.insert(N);
+      return;
+    }
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      std::vector<std::string> Added;
+      for (const ParamBinding &P : A->getParams())
+        if (Bound.insert(P.Name).second)
+          Added.push_back(P.Name);
+      freeVarsImpl(A->getBody(), Bound, Out);
+      for (const std::string &N : Added)
+        Bound.erase(N);
+      return;
+    }
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      freeVarsImpl(A->getFn(), Bound, Out);
+      for (const Term *Arg : A->getArgs())
+        freeVarsImpl(Arg, Bound, Out);
+      return;
+    }
+    case TermKind::TyAbs:
+      freeVarsImpl(cast<TyAbsTerm>(T)->getBody(), Bound, Out);
+      return;
+    case TermKind::TyApp:
+      freeVarsImpl(cast<TyAppTerm>(T)->getFn(), Bound, Out);
+      return;
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      freeVarsImpl(L->getInit(), Bound, Out);
+      bool Added = Bound.insert(L->getName()).second;
+      freeVarsImpl(L->getBody(), Bound, Out);
+      if (Added)
+        Bound.erase(L->getName());
+      return;
+    }
+    case TermKind::Tuple:
+      for (const Term *E : cast<TupleTerm>(T)->getElements())
+        freeVarsImpl(E, Bound, Out);
+      return;
+    case TermKind::Nth:
+      freeVarsImpl(cast<NthTerm>(T)->getTuple(), Bound, Out);
+      return;
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      freeVarsImpl(I->getCond(), Bound, Out);
+      freeVarsImpl(I->getThen(), Bound, Out);
+      freeVarsImpl(I->getElse(), Bound, Out);
+      return;
+    }
+    case TermKind::Fix:
+      freeVarsImpl(cast<FixTerm>(T)->getOperand(), Bound, Out);
+      return;
+    }
+  }
+
+  static std::unordered_set<std::string> freeVars(const Term *T) {
+    std::unordered_set<std::string> Bound, Out;
+    freeVarsImpl(T, Bound, Out);
+    return Out;
+  }
+
+  static unsigned countOccurrences(const Term *T, const std::string &Name) {
+    switch (T->getKind()) {
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+      return 0;
+    case TermKind::Var:
+      return cast<VarTerm>(T)->getName() == Name ? 1 : 0;
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      for (const ParamBinding &P : A->getParams())
+        if (P.Name == Name)
+          return 0; // Shadowed.
+      return countOccurrences(A->getBody(), Name);
+    }
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      unsigned N = countOccurrences(A->getFn(), Name);
+      for (const Term *Arg : A->getArgs())
+        N += countOccurrences(Arg, Name);
+      return N;
+    }
+    case TermKind::TyAbs:
+      return countOccurrences(cast<TyAbsTerm>(T)->getBody(), Name);
+    case TermKind::TyApp:
+      return countOccurrences(cast<TyAppTerm>(T)->getFn(), Name);
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      unsigned N = countOccurrences(L->getInit(), Name);
+      if (L->getName() != Name)
+        N += countOccurrences(L->getBody(), Name);
+      return N;
+    }
+    case TermKind::Tuple: {
+      unsigned N = 0;
+      for (const Term *E : cast<TupleTerm>(T)->getElements())
+        N += countOccurrences(E, Name);
+      return N;
+    }
+    case TermKind::Nth:
+      return countOccurrences(cast<NthTerm>(T)->getTuple(), Name);
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      return countOccurrences(I->getCond(), Name) +
+             countOccurrences(I->getThen(), Name) +
+             countOccurrences(I->getElse(), Name);
+    }
+    case TermKind::Fix:
+      return countOccurrences(cast<FixTerm>(T)->getOperand(), Name);
+    }
+    return 0;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Type substitution inside terms (for TyApp inlining)
+  //===--------------------------------------------------------------===//
+
+  const Term *substTypes(const Term *T, const TypeSubst &S) {
+    switch (T->getKind()) {
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+    case TermKind::Var:
+      return T;
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      std::vector<ParamBinding> Params;
+      bool Changed = false;
+      for (const ParamBinding &P : A->getParams()) {
+        const Type *NT = Ctx.substitute(P.Ty, S);
+        Changed |= NT != P.Ty;
+        Params.push_back({P.Name, NT});
+      }
+      const Term *Body = substTypes(A->getBody(), S);
+      if (!Changed && Body == A->getBody())
+        return T;
+      return Arena.makeAbs(std::move(Params), Body);
+    }
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      const Term *Fn = substTypes(A->getFn(), S);
+      std::vector<const Term *> Args;
+      bool Changed = Fn != A->getFn();
+      for (const Term *Arg : A->getArgs()) {
+        const Term *NA = substTypes(Arg, S);
+        Changed |= NA != Arg;
+        Args.push_back(NA);
+      }
+      return Changed ? Arena.makeApp(Fn, std::move(Args)) : T;
+    }
+    case TermKind::TyAbs: {
+      const auto *A = cast<TyAbsTerm>(T);
+      for ([[maybe_unused]] const TypeParamDecl &P : A->getParams())
+        assert(!S.count(P.Id) && "type substitution would capture");
+      const Term *Body = substTypes(A->getBody(), S);
+      return Body == A->getBody() ? T : Arena.makeTyAbs(A->getParams(), Body);
+    }
+    case TermKind::TyApp: {
+      const auto *A = cast<TyAppTerm>(T);
+      const Term *Fn = substTypes(A->getFn(), S);
+      std::vector<const Type *> Args;
+      bool Changed = Fn != A->getFn();
+      for (const Type *Arg : A->getTypeArgs()) {
+        const Type *NA = Ctx.substitute(Arg, S);
+        Changed |= NA != Arg;
+        Args.push_back(NA);
+      }
+      return Changed ? Arena.makeTyApp(Fn, std::move(Args)) : T;
+    }
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      const Term *Init = substTypes(L->getInit(), S);
+      const Term *Body = substTypes(L->getBody(), S);
+      if (Init == L->getInit() && Body == L->getBody())
+        return T;
+      return Arena.makeLet(L->getName(), Init, Body);
+    }
+    case TermKind::Tuple: {
+      const auto *Tu = cast<TupleTerm>(T);
+      std::vector<const Term *> Elems;
+      bool Changed = false;
+      for (const Term *E : Tu->getElements()) {
+        const Term *NE = substTypes(E, S);
+        Changed |= NE != E;
+        Elems.push_back(NE);
+      }
+      return Changed ? Arena.makeTuple(std::move(Elems)) : T;
+    }
+    case TermKind::Nth: {
+      const auto *N = cast<NthTerm>(T);
+      const Term *Tu = substTypes(N->getTuple(), S);
+      return Tu == N->getTuple() ? T : Arena.makeNth(Tu, N->getIndex());
+    }
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      const Term *C = substTypes(I->getCond(), S);
+      const Term *Th = substTypes(I->getThen(), S);
+      const Term *El = substTypes(I->getElse(), S);
+      if (C == I->getCond() && Th == I->getThen() && El == I->getElse())
+        return T;
+      return Arena.makeIf(C, Th, El);
+    }
+    case TermKind::Fix: {
+      const auto *F = cast<FixTerm>(T);
+      const Term *Op = substTypes(F->getOperand(), S);
+      return Op == F->getOperand() ? T : Arena.makeFix(Op);
+    }
+    }
+    return T;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Capture-avoiding term substitution (for let/beta inlining)
+  //===--------------------------------------------------------------===//
+
+  std::string freshName(const std::string &Base) {
+    return Base + "$r" + std::to_string(NextRename++);
+  }
+
+  /// Substitutes \p Value for free occurrences of \p Name in \p T.
+  /// \p ValueFree are the free variables of \p Value; any binder along
+  /// the way that would capture one of them is alpha-renamed first.
+  const Term *substVar(const Term *T, const std::string &Name,
+                       const Term *Value,
+                       const std::unordered_set<std::string> &ValueFree) {
+    switch (T->getKind()) {
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+      return T;
+    case TermKind::Var:
+      return cast<VarTerm>(T)->getName() == Name ? Value : T;
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      for (const ParamBinding &P : A->getParams())
+        if (P.Name == Name)
+          return T; // Shadowed: substitution stops here.
+      // Rename parameters that would capture free variables of Value.
+      std::vector<ParamBinding> Params(A->getParams());
+      const Term *Body = A->getBody();
+      for (ParamBinding &P : Params) {
+        if (!ValueFree.count(P.Name))
+          continue;
+        std::string NewName = freshName(P.Name);
+        Body = substVar(Body, P.Name, Arena.makeVar(NewName), {});
+        P.Name = NewName;
+      }
+      const Term *NewBody = substVar(Body, Name, Value, ValueFree);
+      if (NewBody == A->getBody() && Body == A->getBody())
+        return T;
+      return Arena.makeAbs(std::move(Params), NewBody);
+    }
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      const Term *Fn = substVar(A->getFn(), Name, Value, ValueFree);
+      std::vector<const Term *> Args;
+      bool Changed = Fn != A->getFn();
+      for (const Term *Arg : A->getArgs()) {
+        const Term *NA = substVar(Arg, Name, Value, ValueFree);
+        Changed |= NA != Arg;
+        Args.push_back(NA);
+      }
+      return Changed ? Arena.makeApp(Fn, std::move(Args)) : T;
+    }
+    case TermKind::TyAbs: {
+      const auto *A = cast<TyAbsTerm>(T);
+      const Term *Body = substVar(A->getBody(), Name, Value, ValueFree);
+      return Body == A->getBody() ? T
+                                  : Arena.makeTyAbs(A->getParams(), Body);
+    }
+    case TermKind::TyApp: {
+      const auto *A = cast<TyAppTerm>(T);
+      const Term *Fn = substVar(A->getFn(), Name, Value, ValueFree);
+      return Fn == A->getFn() ? T
+                              : Arena.makeTyApp(Fn, A->getTypeArgs());
+    }
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      const Term *Init = substVar(L->getInit(), Name, Value, ValueFree);
+      if (L->getName() == Name) {
+        // Shadowed in the body.
+        return Init == L->getInit()
+                   ? T
+                   : Arena.makeLet(L->getName(), Init, L->getBody());
+      }
+      std::string BoundName = L->getName();
+      const Term *Body = L->getBody();
+      if (ValueFree.count(BoundName)) {
+        std::string NewName = freshName(BoundName);
+        Body = substVar(Body, BoundName, Arena.makeVar(NewName), {});
+        BoundName = NewName;
+      }
+      const Term *NewBody = substVar(Body, Name, Value, ValueFree);
+      if (Init == L->getInit() && NewBody == L->getBody() &&
+          BoundName == L->getName())
+        return T;
+      return Arena.makeLet(BoundName, Init, NewBody);
+    }
+    case TermKind::Tuple: {
+      const auto *Tu = cast<TupleTerm>(T);
+      std::vector<const Term *> Elems;
+      bool Changed = false;
+      for (const Term *E : Tu->getElements()) {
+        const Term *NE = substVar(E, Name, Value, ValueFree);
+        Changed |= NE != E;
+        Elems.push_back(NE);
+      }
+      return Changed ? Arena.makeTuple(std::move(Elems)) : T;
+    }
+    case TermKind::Nth: {
+      const auto *N = cast<NthTerm>(T);
+      const Term *Tu = substVar(N->getTuple(), Name, Value, ValueFree);
+      return Tu == N->getTuple() ? T : Arena.makeNth(Tu, N->getIndex());
+    }
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      const Term *C = substVar(I->getCond(), Name, Value, ValueFree);
+      const Term *Th = substVar(I->getThen(), Name, Value, ValueFree);
+      const Term *El = substVar(I->getElse(), Name, Value, ValueFree);
+      if (C == I->getCond() && Th == I->getThen() && El == I->getElse())
+        return T;
+      return Arena.makeIf(C, Th, El);
+    }
+    case TermKind::Fix: {
+      const auto *F = cast<FixTerm>(T);
+      const Term *Op = substVar(F->getOperand(), Name, Value, ValueFree);
+      return Op == F->getOperand() ? T : Arena.makeFix(Op);
+    }
+    }
+    return T;
+  }
+
+  //===--------------------------------------------------------------===//
+  // The rewrite pass (bottom-up, one simplification round)
+  //===--------------------------------------------------------------===//
+
+  const Term *rewrite(const Term *T) {
+    switch (T->getKind()) {
+    case TermKind::IntLit:
+    case TermKind::BoolLit:
+    case TermKind::Var:
+      return T;
+
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      const Term *Body = rewrite(A->getBody());
+      return Body == A->getBody() ? T
+                                  : Arena.makeAbs(A->getParams(), Body);
+    }
+
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      const Term *Fn = rewrite(A->getFn());
+      std::vector<const Term *> Args;
+      bool Changed = Fn != A->getFn();
+      for (const Term *Arg : A->getArgs()) {
+        const Term *NA = rewrite(Arg);
+        Changed |= NA != Arg;
+        Args.push_back(NA);
+      }
+      // Beta-reduce (fun(x...). body)(v...) for pure arguments — the
+      // dictionary application exposed by TyApp inlining.
+      if (const auto *Abs = dyn_cast<AbsTerm>(Fn)) {
+        bool AllPure = Abs->getParams().size() == Args.size();
+        for (const Term *Arg : Args)
+          AllPure &= isPure(Arg);
+        if (AllPure) {
+          // Rename all parameters to fresh names first so sequential
+          // substitution is equivalent to simultaneous substitution.
+          const Term *Body = Abs->getBody();
+          std::vector<std::string> Fresh;
+          for (const ParamBinding &P : Abs->getParams()) {
+            std::string NewName = freshName(P.Name);
+            Body = substVar(Body, P.Name, Arena.makeVar(NewName), {});
+            Fresh.push_back(std::move(NewName));
+          }
+          for (size_t I = 0; I != Args.size(); ++I)
+            Body = substVar(Body, Fresh[I], Args[I], freeVars(Args[I]));
+          ++Stats.LetsInlined;
+          return Body;
+        }
+      }
+      return Changed ? Arena.makeApp(Fn, std::move(Args)) : T;
+    }
+
+    case TermKind::TyAbs: {
+      const auto *A = cast<TyAbsTerm>(T);
+      const Term *Body = rewrite(A->getBody());
+      return Body == A->getBody() ? T
+                                  : Arena.makeTyAbs(A->getParams(), Body);
+    }
+
+    case TermKind::TyApp: {
+      const auto *A = cast<TyAppTerm>(T);
+      const Term *Fn = rewrite(A->getFn());
+      // Instantiate a known type abstraction (the C++ model).
+      if (const auto *TA = dyn_cast<TyAbsTerm>(Fn)) {
+        if (TA->getParams().size() == A->getTypeArgs().size()) {
+          TypeSubst S;
+          for (size_t I = 0; I != TA->getParams().size(); ++I)
+            S[TA->getParams()[I].Id] = A->getTypeArgs()[I];
+          ++Stats.TypeAppsInlined;
+          return substTypes(TA->getBody(), S);
+        }
+      }
+      return Fn == A->getFn() ? T : Arena.makeTyApp(Fn, A->getTypeArgs());
+    }
+
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      const Term *Init = rewrite(L->getInit());
+      const Term *Body = rewrite(L->getBody());
+      if (isPure(Init)) {
+        unsigned N = countOccurrences(Body, L->getName());
+        if (N == 0) {
+          ++Stats.DeadLetsRemoved;
+          return Body;
+        }
+        size_t InitSize = countTermNodes(Init);
+        bool FitsBudget =
+            N == 1 || InitSize <= 8 ||
+            countTermNodes(Body) + (N - 1) * InitSize <= Budget;
+        if (FitsBudget) {
+          ++Stats.LetsInlined;
+          return substVar(Body, L->getName(), Init, freeVars(Init));
+        }
+      }
+      if (Init == L->getInit() && Body == L->getBody())
+        return T;
+      return Arena.makeLet(L->getName(), Init, Body);
+    }
+
+    case TermKind::Tuple: {
+      const auto *Tu = cast<TupleTerm>(T);
+      std::vector<const Term *> Elems;
+      bool Changed = false;
+      for (const Term *E : Tu->getElements()) {
+        const Term *NE = rewrite(E);
+        Changed |= NE != E;
+        Elems.push_back(NE);
+      }
+      return Changed ? Arena.makeTuple(std::move(Elems)) : T;
+    }
+
+    case TermKind::Nth: {
+      const auto *N = cast<NthTerm>(T);
+      const Term *Tu = rewrite(N->getTuple());
+      // Fold `nth (e0, ..., en) i` when dropping the other elements is
+      // safe (all pure) — compiled member access collapses this way.
+      if (const auto *Lit = dyn_cast<TupleTerm>(Tu)) {
+        if (N->getIndex() < Lit->getElements().size()) {
+          bool AllPure = true;
+          for (const Term *E : Lit->getElements())
+            AllPure &= isPure(E);
+          if (AllPure) {
+            ++Stats.ProjectionsFolded;
+            return Lit->getElements()[N->getIndex()];
+          }
+        }
+      }
+      return Tu == N->getTuple() ? T : Arena.makeNth(Tu, N->getIndex());
+    }
+
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      const Term *C = rewrite(I->getCond());
+      const Term *Th = rewrite(I->getThen());
+      const Term *El = rewrite(I->getElse());
+      // Constant-fold a literal condition.
+      if (const auto *B = dyn_cast<BoolLit>(C))
+        return B->getValue() ? Th : El;
+      if (C == I->getCond() && Th == I->getThen() && El == I->getElse())
+        return T;
+      return Arena.makeIf(C, Th, El);
+    }
+
+    case TermKind::Fix: {
+      const auto *F = cast<FixTerm>(T);
+      const Term *Op = rewrite(F->getOperand());
+      return Op == F->getOperand() ? T : Arena.makeFix(Op);
+    }
+    }
+    return T;
+  }
+
+  TermArena &Arena;
+  TypeContext &Ctx;
+  const OptimizeOptions &Opts;
+  OptimizeStats &Stats;
+  size_t Budget = 0;
+  unsigned NextRename = 0;
+};
+
+} // namespace
+
+const Term *fg::sf::specialize(TermArena &Arena, TypeContext &Ctx,
+                               const Term *T, const OptimizeOptions &Opts,
+                               OptimizeStats *Stats) {
+  OptimizeStats Local;
+  Specializer S(Arena, Ctx, Opts, Stats ? *Stats : Local);
+  return S.run(T);
+}

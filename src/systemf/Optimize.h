@@ -1,0 +1,75 @@
+//===- systemf/Optimize.h - Dictionary specialization -----------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A whole-program specializer for translated F_G programs.  The paper
+/// contrasts two implementation strategies for generics: C++'s
+/// instantiation model (every use specialized, zero abstraction cost)
+/// and the dictionary-passing model of the F_G-to-F translation.  This
+/// pass recovers the former from the latter:
+///
+///   * type applications of known type abstractions are inlined
+///     (instantiation);
+///   * lets binding *values* (dictionaries are tuples of values) are
+///     inlined, capture-avoidingly;
+///   * projections from known tuples — the compiled form of model
+///     member access, `nth (nth d 0) 0` — are constant-folded;
+///   * dead pure lets are removed.
+///
+/// On Figure 5's accumulate this turns every `Monoid<int>.binary_op`
+/// into a direct reference to `iadd`, eliminating the dictionary
+/// entirely — the "abstraction penalty" ablation measured in BenchEval.
+///
+/// The result is still plain System F: tests re-check it with the
+/// independent typechecker and compare evaluation results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SYSTEMF_OPTIMIZE_H
+#define FG_SYSTEMF_OPTIMIZE_H
+
+#include "systemf/Term.h"
+#include "systemf/Type.h"
+#include <cstddef>
+
+namespace fg {
+namespace sf {
+
+/// Knobs for the specializer.
+struct OptimizeOptions {
+  /// Pass-pipeline iterations before giving up on a fixpoint.
+  unsigned MaxIterations = 10;
+  /// Abort inlining when the term grows beyond this multiple of its
+  /// original size (guards against code-size blowup from dictionary
+  /// duplication).
+  size_t MaxGrowthFactor = 64;
+};
+
+/// Counters for reporting and tests.
+struct OptimizeStats {
+  unsigned TypeAppsInlined = 0;
+  unsigned LetsInlined = 0;
+  unsigned ProjectionsFolded = 0;
+  unsigned DeadLetsRemoved = 0;
+  size_t NodesBefore = 0;
+  size_t NodesAfter = 0;
+};
+
+/// Returns the number of AST nodes in \p T.
+size_t countTermNodes(const Term *T);
+
+/// Specializes \p T.  New nodes are allocated from \p Arena; types are
+/// interned in \p Ctx.  Semantics- and type-preserving (checked by the
+/// test suite).
+const Term *specialize(TermArena &Arena, TypeContext &Ctx, const Term *T,
+                       const OptimizeOptions &Opts = OptimizeOptions(),
+                       OptimizeStats *Stats = nullptr);
+
+} // namespace sf
+} // namespace fg
+
+#endif // FG_SYSTEMF_OPTIMIZE_H

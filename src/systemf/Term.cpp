@@ -1,0 +1,153 @@
+//===- systemf/Term.cpp - System F term printer ---------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Term.h"
+#include <cassert>
+#include <sstream>
+
+using namespace fg;
+using namespace fg::sf;
+
+namespace {
+
+void printTerm(std::ostringstream &OS, const Term *T, bool Parens) {
+  switch (T->getKind()) {
+  case TermKind::IntLit:
+    OS << cast<IntLit>(T)->getValue();
+    return;
+  case TermKind::BoolLit:
+    OS << (cast<BoolLit>(T)->getValue() ? "true" : "false");
+    return;
+  case TermKind::Var:
+    OS << cast<VarTerm>(T)->getName();
+    return;
+  case TermKind::Abs: {
+    const auto *A = cast<AbsTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "fun(";
+    for (unsigned I = 0, E = A->getParams().size(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << A->getParams()[I].Name << " : "
+         << typeToString(A->getParams()[I].Ty);
+    }
+    OS << "). ";
+    printTerm(OS, A->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::App: {
+    const auto *A = cast<AppTerm>(T);
+    printTerm(OS, A->getFn(), /*Parens=*/true);
+    OS << '(';
+    for (unsigned I = 0, E = A->getArgs().size(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(OS, A->getArgs()[I], /*Parens=*/false);
+    }
+    OS << ')';
+    return;
+  }
+  case TermKind::TyAbs: {
+    const auto *A = cast<TyAbsTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "generic ";
+    for (unsigned I = 0, E = A->getParams().size(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << A->getParams()[I].Name;
+    }
+    OS << ". ";
+    printTerm(OS, A->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::TyApp: {
+    const auto *A = cast<TyAppTerm>(T);
+    printTerm(OS, A->getFn(), /*Parens=*/true);
+    OS << '[';
+    for (unsigned I = 0, E = A->getTypeArgs().size(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      OS << typeToString(A->getTypeArgs()[I]);
+    }
+    OS << ']';
+    return;
+  }
+  case TermKind::Let: {
+    const auto *L = cast<LetTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "let " << L->getName() << " = ";
+    printTerm(OS, L->getInit(), /*Parens=*/false);
+    OS << " in ";
+    printTerm(OS, L->getBody(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::Tuple: {
+    const auto *Tu = cast<TupleTerm>(T);
+    OS << '(';
+    for (unsigned I = 0, E = Tu->getElements().size(); I != E; ++I) {
+      if (I)
+        OS << ", ";
+      printTerm(OS, Tu->getElements()[I], /*Parens=*/false);
+    }
+    if (Tu->getElements().size() == 1)
+      OS << ','; // Distinguish a 1-tuple from parenthesization.
+    OS << ')';
+    return;
+  }
+  case TermKind::Nth: {
+    const auto *N = cast<NthTerm>(T);
+    OS << "nth ";
+    printTerm(OS, N->getTuple(), /*Parens=*/true);
+    OS << ' ' << N->getIndex();
+    return;
+  }
+  case TermKind::If: {
+    const auto *I = cast<IfTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "if ";
+    printTerm(OS, I->getCond(), /*Parens=*/false);
+    OS << " then ";
+    printTerm(OS, I->getThen(), /*Parens=*/false);
+    OS << " else ";
+    printTerm(OS, I->getElse(), /*Parens=*/false);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  case TermKind::Fix: {
+    const auto *F = cast<FixTerm>(T);
+    if (Parens)
+      OS << '(';
+    OS << "fix ";
+    printTerm(OS, F->getOperand(), /*Parens=*/true);
+    if (Parens)
+      OS << ')';
+    return;
+  }
+  }
+  assert(false && "unknown term kind");
+}
+
+} // namespace
+
+std::string fg::sf::termToString(const Term *T) {
+  if (!T)
+    return "<null-term>";
+  std::ostringstream OS;
+  printTerm(OS, T, /*Parens=*/false);
+  return OS.str();
+}

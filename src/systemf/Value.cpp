@@ -1,0 +1,105 @@
+//===- systemf/Value.cpp - Runtime values ---------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Value.h"
+#include <sstream>
+
+using namespace fg;
+using namespace fg::sf;
+
+std::string fg::sf::valueToString(const Value *V) {
+  if (!V)
+    return "<null-value>";
+  switch (V->getKind()) {
+  case ValueKind::Int: {
+    std::ostringstream OS;
+    OS << cast<IntValue>(V)->getValue();
+    return OS.str();
+  }
+  case ValueKind::Bool:
+    return cast<BoolValue>(V)->getValue() ? "true" : "false";
+  case ValueKind::Tuple: {
+    std::ostringstream OS;
+    OS << '(';
+    const auto &Elems = cast<TupleValue>(V)->getElements();
+    for (size_t I = 0; I != Elems.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << valueToString(Elems[I].get());
+    }
+    OS << ')';
+    return OS.str();
+  }
+  case ValueKind::List: {
+    std::ostringstream OS;
+    OS << '[';
+    bool First = true;
+    for (const ListValue *L = cast<ListValue>(V); L && !L->isNil();
+         L = L->getTail().get()) {
+      if (!First)
+        OS << ", ";
+      First = false;
+      OS << valueToString(L->getHead().get());
+    }
+    OS << ']';
+    return OS.str();
+  }
+  case ValueKind::Closure:
+  case ValueKind::CompiledClosure:
+    return "<closure>";
+  case ValueKind::TyClosure:
+  case ValueKind::CompiledTyClosure:
+    return "<tyclosure>";
+  case ValueKind::Fix:
+    return "<fix>";
+  case ValueKind::Builtin:
+    return "<builtin " + cast<BuiltinValue>(V)->getName() + ">";
+  }
+  return "<unknown-value>";
+}
+
+bool fg::sf::valueEquals(const Value *A, const Value *B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->getKind() != B->getKind())
+    return false;
+  switch (A->getKind()) {
+  case ValueKind::Int:
+    return cast<IntValue>(A)->getValue() == cast<IntValue>(B)->getValue();
+  case ValueKind::Bool:
+    return cast<BoolValue>(A)->getValue() == cast<BoolValue>(B)->getValue();
+  case ValueKind::Tuple: {
+    const auto &EA = cast<TupleValue>(A)->getElements();
+    const auto &EB = cast<TupleValue>(B)->getElements();
+    if (EA.size() != EB.size())
+      return false;
+    for (size_t I = 0; I != EA.size(); ++I)
+      if (!valueEquals(EA[I].get(), EB[I].get()))
+        return false;
+    return true;
+  }
+  case ValueKind::List: {
+    const auto *LA = cast<ListValue>(A);
+    const auto *LB = cast<ListValue>(B);
+    while (LA && LB && !LA->isNil() && !LB->isNil()) {
+      if (!valueEquals(LA->getHead().get(), LB->getHead().get()))
+        return false;
+      LA = LA->getTail().get();
+      LB = LB->getTail().get();
+    }
+    return LA && LB && LA->isNil() == LB->isNil();
+  }
+  case ValueKind::Closure:
+  case ValueKind::TyClosure:
+  case ValueKind::Fix:
+  case ValueKind::Builtin:
+  case ValueKind::CompiledClosure:
+  case ValueKind::CompiledTyClosure:
+    return false; // Distinct function values are never equal.
+  }
+  return false;
+}

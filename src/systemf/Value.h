@@ -1,0 +1,255 @@
+//===- systemf/Value.h - Runtime values for System F ------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime representation for the call-by-value System F evaluator.
+/// Dictionaries produced by the F_G translation are ordinary tuple
+/// values here — exactly the representation drawn in the paper's
+/// Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SYSTEMF_VALUE_H
+#define FG_SYSTEMF_VALUE_H
+
+#include "support/Casting.h"
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fg {
+namespace sf {
+
+class AbsTerm;
+class TyAbsTerm;
+class Value;
+
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// A persistent (immutable, shared-tail) runtime environment.
+struct EnvNode {
+  std::string Name;
+  ValuePtr Val;
+  std::shared_ptr<const EnvNode> Next;
+};
+using EnvPtr = std::shared_ptr<const EnvNode>;
+
+/// Extends \p Env with a binding of \p Name to \p Val.
+inline EnvPtr envBind(EnvPtr Env, std::string Name, ValuePtr Val) {
+  auto Node = std::make_shared<EnvNode>();
+  Node->Name = std::move(Name);
+  Node->Val = std::move(Val);
+  Node->Next = std::move(Env);
+  return Node;
+}
+
+/// Returns the value bound to \p Name, or null.
+inline ValuePtr envLookup(const EnvPtr &Env, const std::string &Name) {
+  for (const EnvNode *N = Env.get(); N; N = N->Next.get())
+    if (N->Name == Name)
+      return N->Val;
+  return nullptr;
+}
+
+/// Discriminator for the Value hierarchy.
+enum class ValueKind : uint8_t {
+  Int,
+  Bool,
+  Tuple,
+  List,
+  Closure,
+  TyClosure,
+  Fix,
+  Builtin,
+  /// Closures of the closure-compiling engine (systemf/Compile.h);
+  /// never observed by the tree-walking evaluator.
+  CompiledClosure,
+  CompiledTyClosure,
+};
+
+/// Outcome of evaluation: a value or an error message.
+struct EvalResult {
+  ValuePtr Val;
+  std::string Error;
+
+  bool ok() const { return Val != nullptr; }
+
+  static EvalResult success(ValuePtr V) { return {std::move(V), {}}; }
+  static EvalResult failure(std::string Message) {
+    return {nullptr, std::move(Message)};
+  }
+};
+
+/// Base class of runtime values.  Values are immutable and shared.
+class Value {
+public:
+  ValueKind getKind() const { return Kind; }
+
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+  virtual ~Value() = default;
+
+protected:
+  explicit Value(ValueKind K) : Kind(K) {}
+
+private:
+  ValueKind Kind;
+};
+
+class IntValue : public Value {
+public:
+  explicit IntValue(int64_t V) : Value(ValueKind::Int), Val(V) {}
+  int64_t getValue() const { return Val; }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Int; }
+
+private:
+  int64_t Val;
+};
+
+class BoolValue : public Value {
+public:
+  explicit BoolValue(bool V) : Value(ValueKind::Bool), Val(V) {}
+  bool getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Bool;
+  }
+
+private:
+  bool Val;
+};
+
+class TupleValue : public Value {
+public:
+  explicit TupleValue(std::vector<ValuePtr> Elements)
+      : Value(ValueKind::Tuple), Elements(std::move(Elements)) {}
+  const std::vector<ValuePtr> &getElements() const { return Elements; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Tuple;
+  }
+
+private:
+  std::vector<ValuePtr> Elements;
+};
+
+/// A cons cell or nil.  Lists share tails so that `cdr` is O(1), as a
+/// real runtime would provide.
+class ListValue : public Value {
+public:
+  /// Creates nil.
+  ListValue() : Value(ValueKind::List) {}
+  /// Creates a cons cell.
+  ListValue(ValuePtr Head, std::shared_ptr<const ListValue> Tail)
+      : Value(ValueKind::List), Head(std::move(Head)), Tail(std::move(Tail)) {}
+
+  bool isNil() const { return Head == nullptr; }
+  const ValuePtr &getHead() const { return Head; }
+  const std::shared_ptr<const ListValue> &getTail() const { return Tail; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::List;
+  }
+
+private:
+  ValuePtr Head;                          ///< Null for nil.
+  std::shared_ptr<const ListValue> Tail;  ///< Null for nil.
+};
+
+/// A lambda closed over its defining environment.
+class ClosureValue : public Value {
+public:
+  ClosureValue(const AbsTerm *Fn, EnvPtr Env)
+      : Value(ValueKind::Closure), Fn(Fn), Env(std::move(Env)) {}
+  const AbsTerm *getFn() const { return Fn; }
+  const EnvPtr &getEnv() const { return Env; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Closure;
+  }
+
+private:
+  const AbsTerm *Fn;
+  EnvPtr Env;
+};
+
+/// A type abstraction closed over its environment; its body is
+/// re-evaluated at each type application (types are erased at runtime).
+class TyClosureValue : public Value {
+public:
+  TyClosureValue(const TyAbsTerm *Fn, EnvPtr Env)
+      : Value(ValueKind::TyClosure), Fn(Fn), Env(std::move(Env)) {}
+  const TyAbsTerm *getFn() const { return Fn; }
+  const EnvPtr &getEnv() const { return Env; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::TyClosure;
+  }
+
+private:
+  const TyAbsTerm *Fn;
+  EnvPtr Env;
+};
+
+/// The value of `fix f`: applying it unrolls one step of recursion.
+class FixValue : public Value {
+public:
+  explicit FixValue(ValuePtr Fn) : Value(ValueKind::Fix), Fn(std::move(Fn)) {}
+  const ValuePtr &getFn() const { return Fn; }
+
+  static bool classof(const Value *V) { return V->getKind() == ValueKind::Fix; }
+
+private:
+  ValuePtr Fn;
+};
+
+/// A primitive operation implemented in C++ (iadd, cons, ...).
+class BuiltinValue : public Value {
+public:
+  using ImplFn = std::function<EvalResult(const std::vector<ValuePtr> &)>;
+
+  BuiltinValue(std::string Name, unsigned Arity, ImplFn Impl)
+      : Value(ValueKind::Builtin), Name(std::move(Name)), Arity(Arity),
+        Impl(std::move(Impl)) {}
+
+  const std::string &getName() const { return Name; }
+  unsigned getArity() const { return Arity; }
+  EvalResult invoke(const std::vector<ValuePtr> &Args) const {
+    return Impl(Args);
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::Builtin;
+  }
+
+private:
+  std::string Name;
+  unsigned Arity;
+  ImplFn Impl;
+};
+
+/// Renders a value for output: `3`, `true`, `[1, 2]`, `(1, true)`,
+/// `<closure>`.
+std::string valueToString(const Value *V);
+inline std::string valueToString(const ValuePtr &V) {
+  return valueToString(V.get());
+}
+
+/// Structural equality on first-order values (ints, bools, lists,
+/// tuples); functions compare by identity.  Used by tests.
+bool valueEquals(const Value *A, const Value *B);
+inline bool valueEquals(const ValuePtr &A, const ValuePtr &B) {
+  return valueEquals(A.get(), B.get());
+}
+
+} // namespace sf
+} // namespace fg
+
+#endif // FG_SYSTEMF_VALUE_H

@@ -1,0 +1,319 @@
+//===- tests/AssocTypesTest.cpp - Associated types and same-type ----------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Section 5 of the paper: associated types, same-type constraints, the
+// extended rules of Figure 13, and the translation of Figure 12.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace fgtest;
+
+namespace {
+
+const char *IteratorPrelude = R"(
+  concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+  concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+  concept Iterator<Iter> {
+    types elt;
+    next : fn(Iter) -> Iter;
+    curr : fn(Iter) -> elt;
+    at_end : fn(Iter) -> bool;
+  } in
+)";
+
+const char *ListIntIterator = R"(
+  model Iterator<list int> {
+    types elt = int;
+    next = fun(ls : list int). cdr[int](ls);
+    curr = fun(ls : list int). car[int](ls);
+    at_end = fun(ls : list int). null[int](ls);
+  } in
+)";
+
+std::string prog(const std::string &Rest) {
+  return std::string(IteratorPrelude) + Rest;
+}
+
+} // namespace
+
+TEST(AssocTypesTest, ModelAssignsAssociatedType) {
+  RunResult R = runFg(prog(std::string(ListIntIterator) + R"(
+    Iterator<list int>.curr(cons[int](5, nil[int])))"));
+  EXPECT_EQ(R.Type, "int") << R.Error;
+  EXPECT_EQ(R.Value, "5");
+}
+
+TEST(AssocTypesTest, AssocResolvesThroughModelScope) {
+  // The result type mentions Iterator<list int>.elt, which must resolve
+  // to int when the model's scope closes.
+  RunResult R = runFg(prog(std::string(ListIntIterator) + R"(
+    fun(ls : list int). Iterator<list int>.curr(ls))"));
+  EXPECT_EQ(R.Type, "fn(list int) -> int") << R.Error;
+}
+
+TEST(AssocTypesTest, AccumulateOverIterators) {
+  // The paper's section-5 accumulate: parameterized on the iterator,
+  // with the element type recovered as Iterator<Iter>.elt.
+  RunResult R = runFg(prog(R"(
+    let accumulate =
+      (forall Iter where Iterator<Iter>, Monoid<Iterator<Iter>.elt>.
+        fix (fun(accum : fn(Iter) -> Iterator<Iter>.elt).
+          fun(iter : Iter).
+            if Iterator<Iter>.at_end(iter)
+            then Monoid<Iterator<Iter>.elt>.identity_elt
+            else Monoid<Iterator<Iter>.elt>.binary_op(
+                   Iterator<Iter>.curr(iter),
+                   accum(Iterator<Iter>.next(iter))))) in
+  )" + std::string(ListIntIterator) + R"(
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[list int](cons[int](7, cons[int](35, nil[int])))
+  )"));
+  EXPECT_EQ(R.Type, "int") << R.Error;
+  EXPECT_EQ(R.Value, "42");
+}
+
+TEST(AssocTypesTest, LaterRequirementUsesEarlierAssoc) {
+  // The where clause is processed sequentially (section 5.2):
+  // Monoid<Iterator<Iter>.elt> refers to the elt of the first
+  // requirement.
+  RunResult R = runFg(prog(R"(
+    let f = (forall I where Iterator<I>, Monoid<Iterator<I>.elt>.
+      Monoid<Iterator<I>.elt>.identity_elt) in 0)"));
+  EXPECT_TRUE(R.CompileOk) << R.Error;
+}
+
+TEST(AssocTypesTest, EarlierRequirementCannotSeeLaterAssoc) {
+  std::string Err = compileError(prog(R"(
+    let f = (forall I where Monoid<Iterator<I>.elt>, Iterator<I>. 0) in 0)"));
+  EXPECT_NE(Err.find("no model of `Iterator<I>`"), std::string::npos)
+      << Err;
+}
+
+TEST(AssocTypesTest, SameTypeConstraintEnablesCrossUse) {
+  RunResult R = runFg(prog(R"(
+    model Iterator<list bool> {
+      types elt = bool;
+      next = fun(ls : list bool). cdr[bool](ls);
+      curr = fun(ls : list bool). car[bool](ls);
+      at_end = fun(ls : list bool). null[bool](ls);
+    } in
+  )" + std::string(ListIntIterator) + R"(
+    let firsts_equal =
+      (forall I, J
+         where Iterator<I>, Iterator<J>,
+               Iterator<I>.elt == Iterator<J>.elt.
+        fun(i : I, j : J, eq : fn(Iterator<I>.elt, Iterator<I>.elt) -> bool).
+          eq(Iterator<I>.curr(i), Iterator<J>.curr(j))) in
+    firsts_equal[list int, list int](cons[int](3, nil[int]),
+                                     cons[int](3, nil[int]), ieq)
+  )"));
+  EXPECT_EQ(R.Value, "true") << R.Error;
+}
+
+TEST(AssocTypesTest, SameTypeConstraintViolationRejected) {
+  std::string Err = compileError(prog(R"(
+    model Iterator<list bool> {
+      types elt = bool;
+      next = fun(ls : list bool). cdr[bool](ls);
+      curr = fun(ls : list bool). car[bool](ls);
+      at_end = fun(ls : list bool). null[bool](ls);
+    } in
+  )" + std::string(ListIntIterator) + R"(
+    let f = (forall I, J
+               where Iterator<I>, Iterator<J>,
+                     Iterator<I>.elt == Iterator<J>.elt. 0) in
+    f[list int, list bool]
+  )"));
+  EXPECT_NE(Err.find("same-type constraint"), std::string::npos) << Err;
+}
+
+TEST(AssocTypesTest, WithoutSameTypeConstraintCrossUseRejected) {
+  // The same body is ill-typed if the constraint is omitted: associated
+  // types of different models are opaque and distinct (section 5).
+  std::string Err = compileError(prog(R"(
+    let f = (forall I, J where Iterator<I>, Iterator<J>.
+      fun(i : I, j : J, eq : fn(Iterator<I>.elt, Iterator<I>.elt) -> bool).
+        eq(Iterator<I>.curr(i), Iterator<J>.curr(j))) in 0)"));
+  EXPECT_NE(Err.find("argument 2"), std::string::npos) << Err;
+}
+
+TEST(AssocTypesTest, ModelMustAssignAllAssocTypes) {
+  std::string Err = compileError(prog(R"(
+    model Iterator<bool> {
+      next = fun(x : bool). x;
+      curr = fun(x : bool). x;
+      at_end = fun(x : bool). x;
+    } in 0)"));
+  EXPECT_NE(Err.find("must assign associated type `elt`"),
+            std::string::npos)
+      << Err;
+}
+
+TEST(AssocTypesTest, ModelAssocAssignmentGuidesMemberChecking) {
+  // With elt = bool, curr must return bool; returning int is an error.
+  std::string Err = compileError(prog(R"(
+    model Iterator<bool> {
+      types elt = bool;
+      next = fun(x : bool). x;
+      curr = fun(x : bool). 3;
+      at_end = fun(x : bool). x;
+    } in 0)"));
+  EXPECT_NE(Err.find("member `curr`"), std::string::npos) << Err;
+}
+
+TEST(AssocTypesTest, UnknownAssocAssignmentRejected) {
+  std::string Err = compileError(prog(R"(
+    model Iterator<bool> {
+      types elt = bool, ghost = int;
+      next = fun(x : bool). x;
+      curr = fun(x : bool). x;
+      at_end = fun(x : bool). x;
+    } in 0)"));
+  EXPECT_NE(Err.find("no associated type named `ghost`"),
+            std::string::npos)
+      << Err;
+}
+
+TEST(AssocTypesTest, SameTypeRequirementInConceptChecked) {
+  // A concept can require one of its associated types to equal a fixed
+  // type; models violating it are rejected, satisfying ones accepted.
+  std::string Good = R"(
+    concept C<t> { types a; f : fn(t) -> a; a == int; } in
+    model C<bool> { types a = int; f = fun(x : bool). 1; } in 0)";
+  EXPECT_EQ(compileError(Good), "");
+  std::string Bad = R"(
+    concept C<t> { types a; f : fn(t) -> a; a == int; } in
+    model C<bool> { types a = bool; f = fun(x : bool). x; } in 0)";
+  EXPECT_NE(compileError(Bad).find("same-type requirement"),
+            std::string::npos);
+}
+
+TEST(AssocTypesTest, ConceptEquationHoldsInsideGenericBody) {
+  // Inside a generic function, the concept's own equation a == int is
+  // assumed: an `a` value can be used as an int.
+  RunResult R = runFg(R"(
+    concept C<t> { types a; get : fn(t) -> a; a == int; } in
+    let f = (forall t where C<t>. fun(x : t). iadd(C<t>.get(x), 1)) in
+    model C<bool> { types a = int; get = fun(b : bool). 41; } in
+    f[bool](true))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(AssocTypesTest, RefinementThroughAssocArgument) {
+  // Paper section 5.2's A/B example: refines A<z> where z is an
+  // associated type of B.
+  RunResult R = runFg(R"(
+    concept A<u> { foo : fn(u) -> u; } in
+    concept B<t> { types z; refines A<z>; bar : fn(t) -> z; } in
+    let f = (forall r where B<r>. fun(x : r). A<B<r>.z>.foo(B<r>.bar(x))) in
+    model A<bool> { foo = bnot; } in
+    model B<int> { types z = bool; bar = fun(n : int). igt(n, 0) ; } in
+    (f[int](5), f[int](-5)))");
+  EXPECT_EQ(R.Value, "(false, true)") << R.Error;
+}
+
+TEST(AssocTypesTest, MergeWithSameTypeConstraint) {
+  // The paper's merge (section 5), on list iterators with a consing
+  // output iterator; the result is reversed by construction.
+  RunResult R = runFg(R"(
+    concept LessThanComparable<t> { less : fn(t,t) -> bool; } in
+    concept Iterator<Iter> {
+      types elt;
+      next : fn(Iter) -> Iter;
+      curr : fn(Iter) -> elt;
+      at_end : fn(Iter) -> bool;
+    } in
+    concept OutputIterator<Out, t> { put : fn(Out, t) -> Out; } in
+    let merge =
+      (forall In1, In2, Out
+         where Iterator<In1>, Iterator<In2>,
+               OutputIterator<Out, Iterator<In1>.elt>,
+               LessThanComparable<Iterator<In1>.elt>,
+               Iterator<In1>.elt == Iterator<In2>.elt.
+        let put = OutputIterator<Out, Iterator<In1>.elt>.put in
+        let drain1 = fix (fun(d : fn(In1, Out) -> Out). fun(i : In1, out : Out).
+          if Iterator<In1>.at_end(i) then out
+          else d(Iterator<In1>.next(i), put(out, Iterator<In1>.curr(i)))) in
+        let drain2 = fix (fun(d : fn(In2, Out) -> Out). fun(i : In2, out : Out).
+          if Iterator<In2>.at_end(i) then out
+          else d(Iterator<In2>.next(i), put(out, Iterator<In2>.curr(i)))) in
+        fix (fun(m : fn(In1, In2, Out) -> Out). fun(i1 : In1, i2 : In2, out : Out).
+          if Iterator<In1>.at_end(i1) then drain2(i2, out)
+          else if Iterator<In2>.at_end(i2) then drain1(i1, out)
+          else if LessThanComparable<Iterator<In1>.elt>.less(
+                    Iterator<In1>.curr(i1), Iterator<In2>.curr(i2))
+               then m(Iterator<In1>.next(i1), i2,
+                      put(out, Iterator<In1>.curr(i1)))
+               else m(i1, Iterator<In2>.next(i2),
+                      put(out, Iterator<In2>.curr(i2))))) in
+    model Iterator<list int> {
+      types elt = int;
+      next = fun(ls : list int). cdr[int](ls);
+      curr = fun(ls : list int). car[int](ls);
+      at_end = fun(ls : list int). null[int](ls);
+    } in
+    model OutputIterator<list int, int> {
+      put = fun(out : list int, x : int). cons[int](x, out);
+    } in
+    model LessThanComparable<int> { less = ilt; } in
+    let a = cons[int](1, cons[int](3, cons[int](5, nil[int]))) in
+    let b = cons[int](2, cons[int](4, cons[int](6, nil[int]))) in
+    merge[list int, list int, list int](a, b, nil[int]))");
+  EXPECT_EQ(R.Value, "[6, 5, 4, 3, 2, 1]") << R.Error;
+  EXPECT_EQ(R.Type, "list int");
+}
+
+TEST(AssocTypesTest, TypeAliasWithAssoc) {
+  // Type aliases use the same-type infrastructure (rule ALS).
+  RunResult R = runFg(prog(std::string(ListIntIterator) + R"(
+    type E = Iterator<list int>.elt in
+    (fun(x : E). iadd(x, 1))(41))"));
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(AssocTypesTest, AssocOutsideModelScopeRejected) {
+  std::string Err = compileError(prog(R"(
+    fun(x : Iterator<list int>.elt). x)"));
+  EXPECT_NE(Err.find("no model of `Iterator<list int>`"),
+            std::string::npos)
+      << Err;
+}
+
+TEST(AssocTypesTest, AssocOfUnknownMemberRejected) {
+  std::string Err = compileError(prog(std::string(ListIntIterator) + R"(
+    fun(x : Iterator<list int>.nope). x)"));
+  EXPECT_NE(Err.find("no associated type named `nope`"),
+            std::string::npos)
+      << Err;
+}
+
+TEST(AssocTypesTest, SameTypeConstraintWithConcreteType) {
+  // Constraint pinning an associated type to a concrete type at the
+  // binder: inside the body elt is usable as int.
+  RunResult R = runFg(prog(R"(
+    let f = (forall I where Iterator<I>, Iterator<I>.elt == int.
+      fun(i : I). iadd(Iterator<I>.curr(i), 1)) in
+  )" + std::string(ListIntIterator) + R"(
+    f[list int](cons[int](41, nil[int]))
+  )"));
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(AssocTypesTest, ConstraintParamEqualsParam) {
+  RunResult R = runFg(R"(
+    let f = (forall a, b where a == b. fun(x : a, g : fn(b) -> int). g(x)) in
+    f[int, int](41, fun(n : int). iadd(n, 1)))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(AssocTypesTest, ConstraintParamEqualsParamViolation) {
+  std::string Err = compileError(R"(
+    let f = (forall a, b where a == b. 0) in f[int, bool])");
+  EXPECT_NE(Err.find("same-type constraint"), std::string::npos) << Err;
+}

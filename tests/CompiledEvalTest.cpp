@@ -1,0 +1,148 @@
+//===- tests/CompiledEvalTest.cpp - Closure-compiling engine tests --------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// The closure-compiling engine (systemf/Compile.h) must agree with the
+// tree-walking evaluator on everything; these tests target its specific
+// mechanics — frame/slot resolution, shadowing, deep frames, fix, and
+// limits — beyond the blanket agreement check in TestUtil::runFg.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+
+namespace {
+
+std::string runCompiled(const std::string &Source, bool *Ok = nullptr) {
+  Frontend FE;
+  CompileOutput Out = FE.compile("c.fg", Source);
+  EXPECT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult R = FE.runCompiled(Out);
+  if (Ok)
+    *Ok = R.ok();
+  return R.ok() ? sf::valueToString(R.Val) : R.Error;
+}
+
+} // namespace
+
+TEST(CompiledEvalTest, SlotResolution) {
+  EXPECT_EQ(runCompiled("(fun(a : int, b : int, c : int). "
+                        "isub(iadd(a, c), b))(10, 3, 5)"),
+            "12");
+}
+
+TEST(CompiledEvalTest, ParameterShadowing) {
+  // Inner x shadows outer x; both frames live at once.
+  EXPECT_EQ(runCompiled("(fun(x : int). (fun(x : int). imult(x, 2))"
+                        "(iadd(x, 1)))(20)"),
+            "42");
+}
+
+TEST(CompiledEvalTest, DuplicateParameterNamesLastWins) {
+  // The tree-walk evaluator binds left-to-right so the last duplicate
+  // shadows; the compiled engine must match.
+  Frontend FE;
+  CompileOutput Out =
+      FE.compile("t", "(fun(x : int, x : int). x)(1, 2)");
+  ASSERT_TRUE(Out.Success);
+  sf::EvalResult A = FE.run(Out);
+  sf::EvalResult B = FE.runCompiled(Out);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_EQ(sf::valueToString(A.Val), sf::valueToString(B.Val));
+}
+
+TEST(CompiledEvalTest, DeepLetFrames) {
+  std::string Src = "let x0 = 1 in\n";
+  for (int I = 1; I < 100; ++I)
+    Src += "let x" + std::to_string(I) + " = iadd(x" + std::to_string(I - 1) +
+           ", 1) in\n";
+  Src += "x99";
+  EXPECT_EQ(runCompiled(Src), "100");
+}
+
+TEST(CompiledEvalTest, ClosuresCaptureFrames) {
+  EXPECT_EQ(runCompiled("let make = fun(n : int). fun(x : int). iadd(n, x) "
+                        "in let add5 = make(5) in let add7 = make(7) in "
+                        "(add5(1), add7(1))"),
+            "(6, 8)");
+}
+
+TEST(CompiledEvalTest, FixRecursion) {
+  EXPECT_EQ(runCompiled("(fix (fun(f : fn(int) -> int). fun(n : int). "
+                        "if ile(n, 1) then 1 else imult(n, f(isub(n, 1)))))"
+                        "(6)"),
+            "720");
+}
+
+TEST(CompiledEvalTest, TypeApplicationErased) {
+  EXPECT_EQ(runCompiled("(forall t. fun(x : t). x)[list int]"
+                        "(cons[int](3, nil[int]))"),
+            "[3]");
+}
+
+TEST(CompiledEvalTest, RuntimeErrorsPropagate) {
+  bool Ok = true;
+  std::string E = runCompiled("car[int](nil[int])", &Ok);
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(E.find("empty list"), std::string::npos);
+  E = runCompiled("idiv(1, 0)", &Ok);
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(E.find("division by zero"), std::string::npos);
+}
+
+TEST(CompiledEvalTest, StepLimitRespected) {
+  Frontend FE;
+  CompileOutput Out = FE.compile(
+      "t", "(fix (fun(f : fn(int) -> int). fun(n : int). f(n)))(0)");
+  ASSERT_TRUE(Out.Success);
+  sf::EvalOptions Opts;
+  Opts.MaxSteps = 5'000;
+  Opts.MaxDepth = 1u << 30;
+  sf::EvalResult R = FE.runCompiled(Out, Opts);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST(CompiledEvalTest, DictionaryProgramsAgree) {
+  // Figure 5 through all three System F engines.
+  const char *Src = R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls))))) in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int](cons[int](20, cons[int](22, nil[int]))))";
+  Frontend FE;
+  CompileOutput Out = FE.compile("t", Src);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult Tree = FE.run(Out);
+  sf::EvalResult Comp = FE.runCompiled(Out);
+  sf::EvalResult Opt = FE.runOptimized(Out);
+  ASSERT_TRUE(Tree.ok() && Comp.ok() && Opt.ok());
+  EXPECT_EQ(sf::valueToString(Tree.Val), "42");
+  EXPECT_EQ(sf::valueToString(Comp.Val), "42");
+  EXPECT_EQ(sf::valueToString(Opt.Val), "42");
+}
+
+TEST(CompiledEvalTest, CompileOnceRunMany) {
+  Frontend FE;
+  CompileOutput Out = FE.compile("t", "iadd(40, 2)");
+  ASSERT_TRUE(Out.Success);
+  std::string Error;
+  auto C = sf::CompiledTerm::compile(Out.SfTerm, FE.getPrelude(), &Error);
+  ASSERT_NE(C, nullptr) << Error;
+  for (int I = 0; I < 3; ++I) {
+    sf::EvalResult R = C->run();
+    ASSERT_TRUE(R.ok());
+    EXPECT_EQ(sf::valueToString(R.Val), "42");
+  }
+}

@@ -1,0 +1,322 @@
+//===- tests/CongruenceTest.cpp - Congruence closure tests ----------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Tests for the decision procedure behind  Gamma |- sigma = tau
+// (paper section 5.1: congruence closure over types with associated
+// types as uninterpreted function symbols).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Congruence.h"
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <map>
+#include <random>
+
+using namespace fg;
+
+namespace {
+
+class CongruenceTest : public ::testing::Test {
+protected:
+  CongruenceTest() : CC(Ctx) {}
+
+  const Type *param(const std::string &Name) {
+    return Ctx.freshParam(Name);
+  }
+
+  TypeContext Ctx;
+  Congruence CC;
+};
+
+} // namespace
+
+TEST_F(CongruenceTest, ReflexiveByHashConsing) {
+  const Type *I = Ctx.getIntType();
+  EXPECT_TRUE(CC.isEqual(I, I));
+  const Type *L1 = Ctx.getListType(I);
+  const Type *L2 = Ctx.getListType(Ctx.getIntType());
+  EXPECT_TRUE(CC.isEqual(L1, L2)) << "structurally identical types";
+}
+
+TEST_F(CongruenceTest, DistinctTypesUnequalByDefault) {
+  EXPECT_FALSE(CC.isEqual(Ctx.getIntType(), Ctx.getBoolType()));
+  const Type *A = param("a"), *B = param("b");
+  EXPECT_FALSE(CC.isEqual(A, B));
+}
+
+TEST_F(CongruenceTest, AssertMakesEqual) {
+  const Type *A = param("a");
+  CC.assertEqual(A, Ctx.getIntType());
+  EXPECT_TRUE(CC.isEqual(A, Ctx.getIntType()));
+  EXPECT_TRUE(CC.isEqual(Ctx.getIntType(), A)) << "symmetric";
+}
+
+TEST_F(CongruenceTest, Transitive) {
+  const Type *A = param("a"), *B = param("b"), *C = param("c");
+  CC.assertEqual(A, B);
+  CC.assertEqual(B, C);
+  EXPECT_TRUE(CC.isEqual(A, C));
+}
+
+TEST_F(CongruenceTest, CongruenceUpward) {
+  // a == b  implies  list a == list b  (congruence on constructors).
+  const Type *A = param("a"), *B = param("b");
+  const Type *LA = Ctx.getListType(A);
+  const Type *LB = Ctx.getListType(B);
+  EXPECT_FALSE(CC.isEqual(LA, LB));
+  CC.assertEqual(A, B);
+  EXPECT_TRUE(CC.isEqual(LA, LB));
+}
+
+TEST_F(CongruenceTest, CongruenceOnArrows) {
+  const Type *A = param("a"), *B = param("b");
+  const Type *F1 = Ctx.getArrowType({A, A}, A);
+  const Type *F2 = Ctx.getArrowType({B, B}, B);
+  CC.assertEqual(A, B);
+  EXPECT_TRUE(CC.isEqual(F1, F2));
+  // Different arity never becomes equal.
+  EXPECT_FALSE(CC.isEqual(F1, Ctx.getArrowType({A}, A)));
+}
+
+TEST_F(CongruenceTest, CongruenceOnAssocFamilies) {
+  // Iterator<a>.elt == Iterator<b>.elt  after  a == b,
+  // but Iterator<a>.elt != Other<a>.elt.
+  const Type *A = param("a"), *B = param("b");
+  const Type *EltA = Ctx.getAssocType(1, "Iterator", {A}, "elt");
+  const Type *EltB = Ctx.getAssocType(1, "Iterator", {B}, "elt");
+  const Type *Other = Ctx.getAssocType(2, "Other", {A}, "elt");
+  EXPECT_FALSE(CC.isEqual(EltA, EltB));
+  CC.assertEqual(A, B);
+  EXPECT_TRUE(CC.isEqual(EltA, EltB));
+  EXPECT_FALSE(CC.isEqual(EltA, Other));
+}
+
+TEST_F(CongruenceTest, CongruencePropagatesTransitivelyUpward) {
+  // a == b  implies  list (list a) == list (list b).
+  const Type *A = param("a"), *B = param("b");
+  const Type *LLA = Ctx.getListType(Ctx.getListType(A));
+  const Type *LLB = Ctx.getListType(Ctx.getListType(B));
+  CC.assertEqual(A, B);
+  EXPECT_TRUE(CC.isEqual(LLA, LLB));
+}
+
+TEST_F(CongruenceTest, LazyInternAfterMergeStillCongruent) {
+  // Intern f(b) only *after* a == b is asserted; the closure must still
+  // identify it with the pre-existing f(a).
+  const Type *A = param("a"), *B = param("b");
+  const Type *LA = Ctx.getListType(A);
+  CC.assertEqual(A, B);
+  const Type *LB = Ctx.getListType(B);
+  EXPECT_TRUE(CC.isEqual(LA, LB));
+}
+
+TEST_F(CongruenceTest, MergingFunctionsDoesNotMergeArguments) {
+  // list a == list b does NOT imply a == b in the uninterpreted theory
+  // (the closure is upward only).
+  const Type *A = param("a"), *B = param("b");
+  CC.assertEqual(Ctx.getListType(A), Ctx.getListType(B));
+  EXPECT_FALSE(CC.isEqual(A, B));
+}
+
+TEST_F(CongruenceTest, RepresentativePrefersConcrete) {
+  const Type *A = param("a");
+  const Type *Assoc = Ctx.getAssocType(1, "It", {A}, "elt");
+  CC.assertEqual(Assoc, A);
+  EXPECT_EQ(CC.getRepresentative(Assoc), A) << "param beats assoc";
+  CC.assertEqual(A, Ctx.getIntType());
+  EXPECT_EQ(CC.getRepresentative(Assoc), Ctx.getIntType())
+      << "concrete beats param";
+  EXPECT_EQ(CC.getRepresentative(A), Ctx.getIntType());
+}
+
+TEST_F(CongruenceTest, RepresentativePrefersEarliestParamOnTie) {
+  // The paper's merge example: elt1 is chosen over elt2.
+  const Type *Elt1 = param("elt1");
+  const Type *Elt2 = param("elt2");
+  CC.assertEqual(Elt1, Elt2);
+  EXPECT_EQ(CC.getRepresentative(Elt2), Elt1);
+}
+
+TEST_F(CongruenceTest, RollbackRemovesEquations) {
+  const Type *A = param("a"), *B = param("b");
+  Congruence::Mark M = CC.mark();
+  CC.assertEqual(A, B);
+  EXPECT_TRUE(CC.isEqual(A, B));
+  CC.rollback(M);
+  EXPECT_FALSE(CC.isEqual(A, B));
+}
+
+TEST_F(CongruenceTest, RollbackRestoresCongruences) {
+  const Type *A = param("a"), *B = param("b"), *C = param("c");
+  const Type *LA = Ctx.getListType(A);
+  const Type *LB = Ctx.getListType(B);
+  CC.assertEqual(A, B); // outer scope
+  Congruence::Mark M = CC.mark();
+  CC.assertEqual(B, C); // inner scope
+  EXPECT_TRUE(CC.isEqual(LA, Ctx.getListType(C)));
+  CC.rollback(M);
+  EXPECT_TRUE(CC.isEqual(LA, LB)) << "outer congruence survives";
+  EXPECT_FALSE(CC.isEqual(LA, Ctx.getListType(C)));
+  EXPECT_FALSE(CC.isEqual(B, C));
+}
+
+TEST_F(CongruenceTest, NestedScopesUnwindInOrder) {
+  const Type *A = param("a"), *B = param("b"), *C = param("c"),
+             *D = param("d");
+  Congruence::Mark M1 = CC.mark();
+  CC.assertEqual(A, B);
+  Congruence::Mark M2 = CC.mark();
+  CC.assertEqual(C, D);
+  CC.assertEqual(A, C);
+  EXPECT_TRUE(CC.isEqual(B, D));
+  CC.rollback(M2);
+  EXPECT_TRUE(CC.isEqual(A, B));
+  EXPECT_FALSE(CC.isEqual(C, D));
+  CC.rollback(M1);
+  EXPECT_FALSE(CC.isEqual(A, B));
+}
+
+TEST_F(CongruenceTest, ForAllTypesCompareByAlphaClass) {
+  // Alpha-equivalent quantified types are one hash-consed node and thus
+  // trivially equal; structurally different ones stay distinct.
+  unsigned X = Ctx.freshParamId(), Y = Ctx.freshParamId();
+  const Type *PX = Ctx.getParamType(X, "x");
+  const Type *PY = Ctx.getParamType(Y, "y");
+  const Type *F1 = Ctx.getForAllType({{X, "x"}}, {}, {},
+                                     Ctx.getArrowType({PX}, PX));
+  const Type *F2 = Ctx.getForAllType({{Y, "y"}}, {}, {},
+                                     Ctx.getArrowType({PY}, PY));
+  EXPECT_TRUE(CC.isEqual(F1, F2));
+  const Type *F3 = Ctx.getForAllType({{Y, "y"}}, {}, {},
+                                     Ctx.getArrowType({PY, PY}, PY));
+  EXPECT_FALSE(CC.isEqual(F1, F3));
+}
+
+TEST_F(CongruenceTest, DiamondOfEquations) {
+  // elt params from two iterators plus their qualified forms all
+  // collapse into one class, as in the paper's merge translation.
+  const Type *I1 = param("Iter1"), *I2 = param("Iter2");
+  const Type *Q1 = Ctx.getAssocType(1, "Iterator", {I1}, "elt");
+  const Type *Q2 = Ctx.getAssocType(1, "Iterator", {I2}, "elt");
+  const Type *E1 = param("elt1"), *E2 = param("elt2");
+  CC.assertEqual(E1, Q1);
+  CC.assertEqual(E2, Q2);
+  CC.assertEqual(Q1, Q2); // the same-type constraint
+  EXPECT_TRUE(CC.isEqual(E1, E2));
+  EXPECT_EQ(CC.getRepresentative(Q2), E1) << "elt1 is the representative";
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests against a naive oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Brute-force closure: repeatedly apply symmetry/transitivity/
+/// congruence over an explicit universe of types until fixpoint.
+class NaiveCongruence {
+public:
+  explicit NaiveCongruence(TypeContext &) {}
+
+  void addToUniverse(const Type *T) {
+    if (std::find(Universe.begin(), Universe.end(), T) != Universe.end())
+      return;
+    Universe.push_back(T);
+    if (const auto *L = dyn_cast<ListType>(T))
+      addToUniverse(L->getElement());
+    if (const auto *A = dyn_cast<ArrowType>(T)) {
+      for (const Type *P : A->getParams())
+        addToUniverse(P);
+      addToUniverse(A->getResult());
+    }
+  }
+
+  void assertEqual(const Type *A, const Type *B) {
+    addToUniverse(A);
+    addToUniverse(B);
+    Eqs.emplace_back(A, B);
+  }
+
+  bool isEqual(const Type *A, const Type *B) {
+    addToUniverse(A);
+    addToUniverse(B);
+    // Union-find by repeated scanning (quadratic; fine for tests).
+    std::map<const Type *, const Type *> Rep;
+    for (const Type *T : Universe)
+      Rep[T] = T;
+    auto Find = [&](const Type *T) {
+      while (Rep[T] != T)
+        T = Rep[T];
+      return T;
+    };
+    auto Union = [&](const Type *X, const Type *Y) {
+      const Type *RX = Find(X), *RY = Find(Y);
+      if (RX != RY)
+        Rep[RY] = RX;
+    };
+    for (auto &[X, Y] : Eqs)
+      Union(X, Y);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const Type *X : Universe)
+        for (const Type *Y : Universe) {
+          if (Find(X) == Find(Y))
+            continue;
+          const auto *LX = dyn_cast<ListType>(X);
+          const auto *LY = dyn_cast<ListType>(Y);
+          if (LX && LY && Find(LX->getElement()) == Find(LY->getElement())) {
+            Union(X, Y);
+            Changed = true;
+          }
+        }
+    }
+    return Find(A) == Find(B);
+  }
+
+private:
+  std::vector<const Type *> Universe;
+  std::vector<std::pair<const Type *, const Type *>> Eqs;
+};
+
+} // namespace
+
+class CongruenceProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CongruenceProperty, AgreesWithNaiveOracle) {
+  std::mt19937 Rng(GetParam());
+  TypeContext Ctx;
+  Congruence CC(Ctx);
+  NaiveCongruence Ref(Ctx);
+
+  // A universe of params and list-towers over them.
+  std::vector<const Type *> Base;
+  for (int I = 0; I < 6; ++I)
+    Base.push_back(Ctx.freshParam("p" + std::to_string(I)));
+  std::vector<const Type *> Universe = Base;
+  for (const Type *B : Base) {
+    Universe.push_back(Ctx.getListType(B));
+    Universe.push_back(Ctx.getListType(Ctx.getListType(B)));
+  }
+
+  std::uniform_int_distribution<size_t> Pick(0, Universe.size() - 1);
+  for (int Step = 0; Step < 40; ++Step) {
+    const Type *A = Universe[Pick(Rng)];
+    const Type *B = Universe[Pick(Rng)];
+    CC.assertEqual(A, B);
+    Ref.assertEqual(A, B);
+    for (int K = 0; K < 10; ++K) {
+      const Type *X = Universe[Pick(Rng)];
+      const Type *Y = Universe[Pick(Rng)];
+      ASSERT_EQ(CC.isEqual(X, Y), Ref.isEqual(X, Y))
+          << "seed " << GetParam() << " step " << Step << ": "
+          << typeToString(X) << " vs " << typeToString(Y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CongruenceProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));

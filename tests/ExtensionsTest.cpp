@@ -1,0 +1,257 @@
+//===- tests/ExtensionsTest.cpp - Section-6 extension features ------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// The paper's section 6 lists features omitted for space; this
+// reproduction implements several: type aliases (also Figure 11), named
+// models, concept-member defaults, and nested requirements (requirements
+// on associated types, expressed as refinement with associated-type
+// arguments).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace fgtest;
+
+//===----------------------------------------------------------------------===//
+// Concept member defaults (cf. Haskell default methods)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionsTest, DefaultMemberFillsOmission) {
+  RunResult R = runFg(R"(
+    concept Eq<t> {
+      eq : fn(t,t) -> bool;
+      neq : fn(t,t) -> bool = fun(a : t, b : t). bnot(Eq<t>.eq(a, b));
+    } in
+    model Eq<int> { eq = ieq; } in
+    (Eq<int>.eq(1, 1), Eq<int>.neq(1, 1), Eq<int>.neq(1, 2)))");
+  EXPECT_EQ(R.Value, "(true, false, true)") << R.Error;
+}
+
+TEST(ExtensionsTest, ExplicitDefinitionOverridesDefault) {
+  RunResult R = runFg(R"(
+    concept Eq<t> {
+      eq : fn(t,t) -> bool;
+      neq : fn(t,t) -> bool = fun(a : t, b : t). bnot(Eq<t>.eq(a, b));
+    } in
+    model Eq<int> { eq = ieq; neq = fun(a : int, b : int). true; } in
+    Eq<int>.neq(1, 1))");
+  EXPECT_EQ(R.Value, "true") << "the model's own neq wins";
+}
+
+TEST(ExtensionsTest, DefaultsWorkInsideGenericFunctions) {
+  RunResult R = runFg(R"(
+    concept Eq<t> {
+      eq : fn(t,t) -> bool;
+      neq : fn(t,t) -> bool = fun(a : t, b : t). bnot(Eq<t>.eq(a, b));
+    } in
+    let distinct = (forall t where Eq<t>.
+      fun(x : t, y : t). Eq<t>.neq(x, y)) in
+    model Eq<bool> { eq = fun(a : bool, b : bool).
+                            bor(band(a, b), band(bnot(a), bnot(b))); } in
+    distinct[bool](true, false))");
+  EXPECT_EQ(R.Value, "true") << R.Error;
+}
+
+TEST(ExtensionsTest, DefaultMayUseEarlierMembersOnly) {
+  std::string Err = compileError(R"(
+    concept C<t> {
+      early : t = C<t>.late;
+      late : t;
+    } in
+    model C<int> { late = 1; } in C<int>.early)");
+  EXPECT_NE(Err.find("members defined before"), std::string::npos) << Err;
+}
+
+TEST(ExtensionsTest, DefaultChainsThroughEarlierDefault) {
+  RunResult R = runFg(R"(
+    concept C<t> {
+      base : t;
+      twice : fn(t) -> t;
+      four : t = C<t>.twice(C<t>.twice(C<t>.base));
+    } in
+    model C<int> { base = 1; twice = fun(x : int). imult(x, 2); } in
+    C<int>.four)");
+  EXPECT_EQ(R.Value, "4") << R.Error;
+}
+
+TEST(ExtensionsTest, DefaultMayUseInheritedMembers) {
+  RunResult R = runFg(R"(
+    concept A<t> { succ : fn(t) -> t; } in
+    concept B<t> {
+      refines A<t>;
+      plus2 : fn(t) -> t = fun(x : t). A<t>.succ(A<t>.succ(x));
+    } in
+    model A<int> { succ = fun(n : int). iadd(n, 1); } in
+    model B<int> { } in
+    B<int>.plus2(40))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(ExtensionsTest, DefaultWithWrongTypeRejected) {
+  std::string Err = compileError(R"(
+    concept C<t> {
+      f : fn(t) -> t = fun(x : t). true;
+    } in
+    model C<int> { } in 0)");
+  EXPECT_NE(Err.find("default for member `f`"), std::string::npos) << Err;
+}
+
+TEST(ExtensionsTest, DefaultCannotInstantiateItsOwnConcept) {
+  // The model under construction cannot satisfy a where clause in its
+  // own default (its dictionary does not exist yet).
+  std::string Err = compileError(R"(
+    concept C<t> {
+      f : t;
+      g : t = (forall u where C<u>. C<u>.f)[t];
+    } in
+    model C<int> { f = 1; } in C<int>.g)");
+  EXPECT_NE(Err.find("still being declared"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// Named models (section 6, citing Kahl & Scheffczyk)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionsTest, NamedModelActivation) {
+  RunResult R = runFg(R"(
+    concept Ord<t> { less : fn(t,t) -> bool; } in
+    model [ascending] Ord<int> { less = ilt; } in
+    model [descending] Ord<int> { less = igt; } in
+    let min3 = (use ascending in
+      if Ord<int>.less(2, 3) then 2 else 3) in
+    let max3 = (use descending in
+      if Ord<int>.less(2, 3) then 2 else 3) in
+    (min3, max3))");
+  EXPECT_EQ(R.Value, "(2, 3)") << R.Error;
+}
+
+TEST(ExtensionsTest, NamedModelWithAssociatedTypes) {
+  RunResult R = runFg(R"(
+    concept P<t> { types out; inject : fn(t) -> out; } in
+    model [toBool] P<int> { types out = bool;
+                            inject = fun(x : int). igt(x, 0); } in
+    use toBool in P<int>.inject(5))");
+  EXPECT_EQ(R.Value, "true") << R.Error;
+  EXPECT_EQ(R.Type, "bool") << "assoc resolved through the named model";
+}
+
+TEST(ExtensionsTest, NamedModelSatisfiesWhereClauseWhenUsed) {
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    let f = (forall t where C<t>. C<t>.v) in
+    model [m] C<int> { v = 9; } in
+    use m in f[int])");
+  EXPECT_EQ(R.Value, "9") << R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Nested requirements: `requires C<assoc>` inside a concept body
+// (sugar for refinement with associated-type arguments)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionsTest, NestedRequirementOnAssociatedType) {
+  // A Container's iterator is required to model Iterator — the paper's
+  // very example of a nested requirement.
+  RunResult R = runFg(R"(
+    concept Iterator<Iter> {
+      types elt;
+      curr : fn(Iter) -> elt;
+      next : fn(Iter) -> Iter;
+      at_end : fn(Iter) -> bool;
+    } in
+    concept Container<C> {
+      types iter;
+      requires Iterator<iter>;
+      begin : fn(C) -> iter;
+    } in
+    model Iterator<list int> {
+      types elt = int;
+      curr = fun(l : list int). car[int](l);
+      next = fun(l : list int). cdr[int](l);
+      at_end = fun(l : list int). null[int](l);
+    } in
+    model Container<list int> {
+      types iter = list int;
+      begin = fun(c : list int). c;
+    } in
+    let front = (forall C where Container<C>.
+      fun(c : C). Iterator<Container<C>.iter>.curr(Container<C>.begin(c))) in
+    front[list int](cons[int](11, nil[int])))");
+  EXPECT_EQ(R.Value, "11") << R.Error;
+}
+
+TEST(ExtensionsTest, NestedRequirementUnsatisfiedRejected) {
+  std::string Err = compileError(R"(
+    concept Iterator<Iter> { types elt; curr : fn(Iter) -> elt; } in
+    concept Container<C> {
+      types iter;
+      requires Iterator<iter>;
+      begin : fn(C) -> iter;
+    } in
+    model Container<int> {
+      types iter = bool;
+      begin = fun(c : int). true;
+    } in 0)");
+  EXPECT_NE(Err.find("model of refined concept `Iterator<bool>`"),
+            std::string::npos)
+      << Err;
+}
+
+TEST(ExtensionsTest, NestedRequirementElementAccess) {
+  // Through two levels of associated types:
+  // Container<C>.iter's elt.
+  RunResult R = runFg(R"(
+    concept Iterator<Iter> { types elt; curr : fn(Iter) -> elt; } in
+    concept Container<C> {
+      types iter;
+      requires Iterator<iter>;
+      begin : fn(C) -> iter;
+    } in
+    model Iterator<list int> {
+      types elt = int;
+      curr = fun(l : list int). car[int](l);
+    } in
+    model Container<list int> {
+      types iter = list int;
+      begin = fun(c : list int). c;
+    } in
+    let first = (forall C where Container<C>.
+      fun(c : C). Iterator<Container<C>.iter>.curr(Container<C>.begin(c))) in
+    iadd(first[list int](cons[int](20, nil[int])), 22))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Type aliases (Figure 11 / rule ALS)
+//===----------------------------------------------------------------------===//
+
+TEST(ExtensionsTest, AliasesAreTransparent) {
+  RunResult R = runFg(R"(
+    type point = (int * int) in
+    let shift = fun(p : point, d : int). (iadd(nth p 0, d),
+                                          iadd(nth p 1, d)) in
+    shift((1, 2), 10))");
+  EXPECT_EQ(R.Value, "(11, 12)") << R.Error;
+  EXPECT_EQ(R.Type, "(int * int)");
+}
+
+TEST(ExtensionsTest, AliasUsableInModelArgs) {
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    type myint = int in
+    model C<myint> { v = 5; } in
+    C<int>.v)");
+  EXPECT_EQ(R.Value, "5")
+      << "model at the alias satisfies access at the underlying type: "
+      << R.Error;
+}
+
+TEST(ExtensionsTest, AliasScopeEnds) {
+  std::string Err = compileError(
+      "let x = (type a = int in (fun(y : a). y)(1)) in fun(z : a). z");
+  EXPECT_NE(Err.find("unknown type name"), std::string::npos) << Err;
+}

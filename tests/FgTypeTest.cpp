@@ -1,0 +1,129 @@
+//===- tests/FgTypeTest.cpp - F_G type representation tests ---------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Type.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+
+namespace {
+
+class FgTypeTest : public ::testing::Test {
+protected:
+  TypeContext Ctx;
+};
+
+} // namespace
+
+TEST_F(FgTypeTest, AssocTypesHashCons) {
+  const Type *I = Ctx.getIntType();
+  const Type *A1 = Ctx.getAssocType(3, "Iterator", {I}, "elt");
+  const Type *A2 = Ctx.getAssocType(3, "Iterator", {I}, "elt");
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, Ctx.getAssocType(3, "Iterator", {I}, "other"));
+  EXPECT_NE(A1, Ctx.getAssocType(4, "Iterator", {I}, "elt"))
+      << "distinct concept ids are distinct even with equal names";
+}
+
+TEST_F(FgTypeTest, ForAllWithRequirementsHashConsesAlphaAware) {
+  unsigned A = Ctx.freshParamId(), B = Ctx.freshParamId();
+  const Type *PA = Ctx.getParamType(A, "a");
+  const Type *PB = Ctx.getParamType(B, "b");
+  ConceptRef RA{1, "Monoid", {PA}};
+  ConceptRef RB{1, "Monoid", {PB}};
+  const Type *F1 = Ctx.getForAllType({{A, "a"}}, {RA}, {}, PA);
+  const Type *F2 = Ctx.getForAllType({{B, "b"}}, {RB}, {}, PB);
+  EXPECT_EQ(F1, F2);
+  // A different concept id in the requirement breaks the equality.
+  ConceptRef RC{2, "Monoid", {PB}};
+  const Type *F3 = Ctx.getForAllType({{B, "b"}}, {RC}, {}, PB);
+  EXPECT_NE(F1, F3);
+}
+
+TEST_F(FgTypeTest, ForAllEquationsDistinguish) {
+  unsigned A = Ctx.freshParamId();
+  const Type *PA = Ctx.getParamType(A, "a");
+  const Type *I = Ctx.getIntType();
+  const Type *F1 = Ctx.getForAllType({{A, "a"}}, {}, {{PA, I}}, PA);
+  const Type *F2 = Ctx.getForAllType({{A, "a"}}, {}, {}, PA);
+  EXPECT_NE(F1, F2);
+}
+
+TEST_F(FgTypeTest, SubstitutionReachesWhereClauses) {
+  unsigned A = Ctx.freshParamId(), B = Ctx.freshParamId();
+  const Type *PA = Ctx.getParamType(A, "a");
+  const Type *PB = Ctx.getParamType(B, "b");
+  const Type *I = Ctx.getIntType();
+  // forall b where C<a, b>. fn(a) -> b,  then substitute a := int.
+  ConceptRef R{1, "C", {PA, PB}};
+  const Type *F =
+      Ctx.getForAllType({{B, "b"}}, {R}, {}, Ctx.getArrowType({PA}, PB));
+  TypeSubst S{{A, I}};
+  const auto *Out = cast<ForAllType>(Ctx.substitute(F, S));
+  EXPECT_EQ(Out->getRequirements()[0].Args[0], I);
+  EXPECT_EQ(Out->getRequirements()[0].Args[1], PB);
+  EXPECT_EQ(Out->getBody(), Ctx.getArrowType({I}, PB));
+}
+
+TEST_F(FgTypeTest, SubstitutionReachesAssocArgs) {
+  unsigned A = Ctx.freshParamId();
+  const Type *PA = Ctx.getParamType(A, "a");
+  const Type *T = Ctx.getAssocType(7, "Iterator", {Ctx.getListType(PA)},
+                                   "elt");
+  TypeSubst S{{A, Ctx.getIntType()}};
+  const Type *Out = Ctx.substitute(T, S);
+  EXPECT_EQ(Out,
+            Ctx.getAssocType(7, "Iterator",
+                             {Ctx.getListType(Ctx.getIntType())}, "elt"));
+}
+
+TEST_F(FgTypeTest, CollectConceptIdsFindsAllOccurrences) {
+  unsigned A = Ctx.freshParamId();
+  const Type *PA = Ctx.getParamType(A, "a");
+  const Type *Assoc = Ctx.getAssocType(5, "It", {PA}, "elt");
+  ConceptRef R{9, "M", {Assoc}};
+  const Type *F = Ctx.getForAllType({{A, "a"}}, {R}, {}, PA);
+  std::unordered_set<unsigned> Ids;
+  Ctx.collectConceptIds(F, Ids);
+  EXPECT_TRUE(Ids.count(5));
+  EXPECT_TRUE(Ids.count(9));
+  EXPECT_EQ(Ids.size(), 2u);
+}
+
+TEST_F(FgTypeTest, CollectFreeParamsThroughWhere) {
+  unsigned A = Ctx.freshParamId(), B = Ctx.freshParamId();
+  const Type *PA = Ctx.getParamType(A, "a");
+  const Type *PB = Ctx.getParamType(B, "b");
+  ConceptRef R{1, "C", {PA, PB}};
+  const Type *F = Ctx.getForAllType({{B, "b"}}, {R}, {}, PB);
+  std::unordered_set<unsigned> Free;
+  Ctx.collectFreeParams(F, Free);
+  EXPECT_TRUE(Free.count(A));
+  EXPECT_FALSE(Free.count(B));
+}
+
+TEST_F(FgTypeTest, Printing) {
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  const Type *Assoc = Ctx.getAssocType(1, "Iterator", {PT}, "elt");
+  EXPECT_EQ(typeToString(Assoc), "Iterator<t>.elt");
+  ConceptRef R{2, "Monoid", {Assoc}};
+  const Type *F = Ctx.getForAllType({{T, "t"}}, {R},
+                                    {{Assoc, Ctx.getIntType()}},
+                                    Ctx.getArrowType({PT}, Assoc));
+  EXPECT_EQ(typeToString(F),
+            "forall t where Monoid<Iterator<t>.elt>, Iterator<t>.elt == "
+            "int. fn(t) -> Iterator<t>.elt");
+}
+
+TEST_F(FgTypeTest, TupleAndListPrinting) {
+  const Type *I = Ctx.getIntType();
+  EXPECT_EQ(typeToString(Ctx.getTupleType({I, Ctx.getBoolType()})),
+            "(int * bool)");
+  EXPECT_EQ(typeToString(Ctx.getListType(Ctx.getListType(I))),
+            "list (list int)");
+}

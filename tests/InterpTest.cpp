@@ -1,0 +1,316 @@
+//===- tests/InterpTest.cpp - Direct interpreter vs translation -----------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// The direct F_G interpreter (core/Interp.h) gives the language an
+// operational semantics independent of the dictionary-passing
+// translation.  Every test here runs a program both ways and demands
+// identical results — a dynamic *adequacy* check of the translation,
+// complementing the type-preservation check of Theorems 1/2.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+namespace {
+
+/// Runs a program via the translation and via the direct interpreter;
+/// EXPECTs agreement and returns the common printed value.
+std::string runBothWays(const std::string &Source) {
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile("test.fg", Source);
+  EXPECT_TRUE(Out.Success) << Out.ErrorMessage;
+  if (!Out.Success)
+    return "<compile error: " + Out.ErrorMessage + ">";
+  fg::sf::EvalResult Translated = FE.run(Out);
+  fg::interp::EvalResult Direct = FE.runDirect(Out);
+  EXPECT_EQ(Translated.ok(), Direct.ok())
+      << "translated: " << Translated.Error
+      << " direct: " << Direct.Error;
+  if (!Translated.ok() || !Direct.ok())
+    return "<runtime error>";
+  std::string A = fg::sf::valueToString(Translated.Val);
+  std::string B = fg::interp::valueToString(Direct.Val);
+  EXPECT_EQ(A, B) << "translation and direct interpretation disagree";
+  return A;
+}
+
+} // namespace
+
+TEST(InterpTest, Literals) {
+  EXPECT_EQ(runBothWays("42"), "42");
+  EXPECT_EQ(runBothWays("true"), "true");
+}
+
+TEST(InterpTest, ArithmeticAndControl) {
+  EXPECT_EQ(runBothWays("iadd(imult(6, 7), ineg(0))"), "42");
+  EXPECT_EQ(runBothWays("if ilt(1, 2) then 1 else 2"), "1");
+  EXPECT_EQ(runBothWays("let x = 5 in let x = iadd(x, 1) in x"), "6");
+}
+
+TEST(InterpTest, FunctionsAndFix) {
+  EXPECT_EQ(runBothWays("(fun(x : int, y : int). isub(x, y))(10, 3)"), "7");
+  EXPECT_EQ(runBothWays(
+                "(fix (fun(f : fn(int) -> int). fun(n : int). "
+                "if ile(n, 1) then 1 else imult(n, f(isub(n, 1)))))(5)"),
+            "120");
+}
+
+TEST(InterpTest, GenericsWithoutConcepts) {
+  EXPECT_EQ(runBothWays("(forall t. fun(x : t). x)[int](9)"), "9");
+  EXPECT_EQ(runBothWays("(forall a, b. fun(x : a, y : b). (y, x))"
+                        "[int, bool](1, true)"),
+            "(true, 1)");
+}
+
+TEST(InterpTest, ListsAndTuples) {
+  EXPECT_EQ(runBothWays("cons[int](1, cons[int](2, nil[int]))"), "[1, 2]");
+  EXPECT_EQ(runBothWays("nth (car[int](cons[int](5, nil[int])), false) 0"),
+            "5");
+}
+
+TEST(InterpTest, RuntimeErrorsAgree) {
+  // Both evaluators must fail (car of nil), not just one.
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile("t", "car[int](nil[int])");
+  ASSERT_TRUE(Out.Success);
+  EXPECT_FALSE(FE.run(Out).ok());
+  EXPECT_FALSE(FE.runDirect(Out).ok());
+}
+
+TEST(InterpTest, ConceptsAndModels) {
+  EXPECT_EQ(runBothWays(R"(
+    concept C<t> { v : t; f : fn(t) -> t; } in
+    model C<int> { v = 20; f = fun(x : int). iadd(x, 22); } in
+    C<int>.f(C<int>.v))"),
+            "42");
+}
+
+TEST(InterpTest, RefinementAndInheritedAccess) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    model Semigroup<int> { binary_op = imult; } in
+    model Monoid<int> { identity_elt = 1; } in
+    Monoid<int>.binary_op(Monoid<int>.identity_elt, 42))"),
+            "42");
+}
+
+TEST(InterpTest, Figure5Accumulate) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls))))) in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int](cons[int](1, cons[int](2, nil[int]))))"),
+            "3");
+}
+
+TEST(InterpTest, Figure6OverlappingModels) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls))))) in
+    let sum =
+      model Semigroup<int> { binary_op = iadd; } in
+      model Monoid<int> { identity_elt = 0; } in
+      accumulate[int] in
+    let product =
+      model Semigroup<int> { binary_op = imult; } in
+      model Monoid<int> { identity_elt = 1; } in
+      accumulate[int] in
+    let ls = cons[int](1, cons[int](2, nil[int])) in
+    (sum(ls), product(ls)))"),
+            "(3, 2)");
+}
+
+TEST(InterpTest, InstantiationSiteSemantics) {
+  // The subtle scoping case: models captured at instantiation, not at
+  // call.  Both semantics must agree on (5, not 6).
+  EXPECT_EQ(runBothWays(R"(
+    concept M<t> { op : fn(t,t) -> t; z : t; } in
+    let fold2 = (forall t where M<t>.
+      fun(a : t, b : t). M<t>.op(M<t>.op(M<t>.z, a), b)) in
+    let viaAdd =
+      model M<int> { op = iadd; z = 0; } in
+      fold2[int] in
+    model M<int> { op = imult; z = 1; } in
+    viaAdd(2, 3))"),
+            "5");
+}
+
+TEST(InterpTest, AssociatedTypes) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Iterator<Iter> {
+      types elt;
+      next : fn(Iter) -> Iter;
+      curr : fn(Iter) -> elt;
+      at_end : fn(Iter) -> bool;
+    } in
+    model Iterator<list int> {
+      types elt = int;
+      next = fun(ls : list int). cdr[int](ls);
+      curr = fun(ls : list int). car[int](ls);
+      at_end = fun(ls : list int). null[int](ls);
+    } in
+    let second = (forall I where Iterator<I>.
+      fun(i : I). Iterator<I>.curr(Iterator<I>.next(i))) in
+    second[list int](cons[int](1, cons[int](2, nil[int]))))"),
+            "2");
+}
+
+TEST(InterpTest, SameTypeConstraints) {
+  EXPECT_EQ(runBothWays(R"(
+    concept It<I> { types elt; curr : fn(I) -> elt; } in
+    model It<list int> { types elt = int;
+                         curr = fun(l : list int). car[int](l); } in
+    let f = (forall I, J where It<I>, It<J>, It<I>.elt == It<J>.elt,
+                               It<I>.elt == int.
+      fun(i : I, j : J). ieq(It<I>.curr(i), It<J>.curr(j))) in
+    f[list int, list int](cons[int](4, nil[int]),
+                          cons[int](4, nil[int])))"),
+            "true");
+}
+
+TEST(InterpTest, RefinementThroughAssoc) {
+  EXPECT_EQ(runBothWays(R"(
+    concept A<u> { foo : fn(u) -> u; } in
+    concept B<t> { types z; refines A<z>; bar : fn(t) -> z; } in
+    let f = (forall r where B<r>. fun(x : r). A<B<r>.z>.foo(B<r>.bar(x))) in
+    model A<bool> { foo = bnot; } in
+    model B<int> { types z = bool; bar = fun(n : int). igt(n, 0); } in
+    (f[int](5), f[int](-5)))"),
+            "(false, true)");
+}
+
+TEST(InterpTest, TypeAliases) {
+  EXPECT_EQ(runBothWays(R"(
+    type pair = (int * int) in
+    (fun(p : pair). iadd(nth p 0, nth p 1))((40, 2)))"),
+            "42");
+}
+
+TEST(InterpTest, NamedModelsAndUse) {
+  EXPECT_EQ(runBothWays(R"(
+    concept C<t> { v : t; } in
+    model [a] C<int> { v = 1; } in
+    model [b] C<int> { v = 2; } in
+    ((use a in C<int>.v), (use b in C<int>.v)))"),
+            "(1, 2)");
+}
+
+TEST(InterpTest, DefaultMembers) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Eq<t> {
+      eq : fn(t,t) -> bool;
+      neq : fn(t,t) -> bool = fun(a : t, b : t). bnot(Eq<t>.eq(a, b));
+    } in
+    model Eq<int> { eq = ieq; } in
+    (Eq<int>.neq(1, 1), Eq<int>.neq(1, 2)))"),
+            "(false, true)");
+}
+
+TEST(InterpTest, ParameterizedModels) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Eq<t> { eq : fn(t,t) -> bool; } in
+    model Eq<int> { eq = ieq; } in
+    model forall t where Eq<t>. Eq<list t> {
+      eq = fix (fun(leq : fn(list t, list t) -> bool).
+        fun(a : list t, b : list t).
+          if null[t](a) then null[t](b)
+          else if null[t](b) then false
+          else band(Eq<t>.eq(car[t](a), car[t](b)),
+                    leq(cdr[t](a), cdr[t](b))));
+    } in
+    let a = cons[list int](cons[int](1, nil[int]), nil[list int]) in
+    let b = cons[list int](cons[int](1, nil[int]), nil[list int]) in
+    (Eq<list (list int)>.eq(a, b),
+     Eq<list int>.eq(nil[int], cons[int](1, nil[int]))))"),
+            "(true, false)");
+}
+
+TEST(InterpTest, ParameterizedModelWithAssoc) {
+  EXPECT_EQ(runBothWays(R"(
+    concept Iterator<Iter> { types elt; curr : fn(Iter) -> elt; } in
+    model forall t. Iterator<list t> {
+      types elt = t;
+      curr = fun(ls : list t). car[t](ls);
+    } in
+    let first = (forall I where Iterator<I>. Iterator<I>.curr) in
+    (first[list int](cons[int](7, nil[int])),
+     Iterator<list bool>.curr(cons[bool](true, nil[bool]))))"),
+            "(7, true)");
+}
+
+TEST(InterpTest, Merge) {
+  EXPECT_EQ(runBothWays(R"(
+    concept LessThanComparable<t> { less : fn(t,t) -> bool; } in
+    concept Iterator<Iter> {
+      types elt;
+      next : fn(Iter) -> Iter;
+      curr : fn(Iter) -> elt;
+      at_end : fn(Iter) -> bool;
+    } in
+    concept OutputIterator<Out, t> { put : fn(Out, t) -> Out; } in
+    let merge =
+      (forall In1, In2, Out
+         where Iterator<In1>, Iterator<In2>,
+               OutputIterator<Out, Iterator<In1>.elt>,
+               LessThanComparable<Iterator<In1>.elt>,
+               Iterator<In1>.elt == Iterator<In2>.elt.
+        let put = OutputIterator<Out, Iterator<In1>.elt>.put in
+        let drain1 = fix (fun(d : fn(In1, Out) -> Out).
+          fun(i : In1, out : Out).
+            if Iterator<In1>.at_end(i) then out
+            else d(Iterator<In1>.next(i), put(out, Iterator<In1>.curr(i)))) in
+        let drain2 = fix (fun(d : fn(In2, Out) -> Out).
+          fun(i : In2, out : Out).
+            if Iterator<In2>.at_end(i) then out
+            else d(Iterator<In2>.next(i), put(out, Iterator<In2>.curr(i)))) in
+        fix (fun(m : fn(In1, In2, Out) -> Out).
+          fun(i1 : In1, i2 : In2, out : Out).
+            if Iterator<In1>.at_end(i1) then drain2(i2, out)
+            else if Iterator<In2>.at_end(i2) then drain1(i1, out)
+            else if LessThanComparable<Iterator<In1>.elt>.less(
+                      Iterator<In1>.curr(i1), Iterator<In2>.curr(i2))
+                 then m(Iterator<In1>.next(i1), i2,
+                        put(out, Iterator<In1>.curr(i1)))
+                 else m(i1, Iterator<In2>.next(i2),
+                        put(out, Iterator<In2>.curr(i2))))) in
+    model Iterator<list int> {
+      types elt = int;
+      next = fun(ls : list int). cdr[int](ls);
+      curr = fun(ls : list int). car[int](ls);
+      at_end = fun(ls : list int). null[int](ls);
+    } in
+    model OutputIterator<list int, int> {
+      put = fun(out : list int, x : int). cons[int](x, out);
+    } in
+    model LessThanComparable<int> { less = ilt; } in
+    merge[list int, list int, list int](
+      cons[int](1, cons[int](3, nil[int])),
+      cons[int](2, cons[int](4, nil[int])), nil[int]))"),
+            "[4, 3, 2, 1]");
+}
+
+TEST(InterpTest, ModelInsideGenericBody) {
+  EXPECT_EQ(runBothWays(R"(
+    concept C<t> { pick : fn(t, t) -> t; } in
+    let f = (forall t.
+      fun(a : t, b : t).
+        model C<t> { pick = fun(x : t, y : t). y; } in
+        C<t>.pick(a, b)) in
+    f[int](1, 2))"),
+            "2");
+}

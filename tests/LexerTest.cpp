@@ -1,0 +1,131 @@
+//===- tests/LexerTest.cpp - Lexer tests ----------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Lexer.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Text, bool ExpectErrors = false) {
+  SourceManager SM;
+  DiagnosticEngine Diags(&SM);
+  uint32_t Id = SM.addBuffer("test", Text);
+  std::vector<Token> Toks = lexBuffer(SM, Id, Diags);
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.render();
+  return Toks;
+}
+
+std::vector<TokenKind> kinds(const std::string &Text) {
+  std::vector<TokenKind> Out;
+  for (const Token &T : lex(Text))
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto K = kinds("");
+  ASSERT_EQ(K.size(), 1u);
+  EXPECT_EQ(K[0], TokenKind::Eof);
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  auto K = kinds("let foo in concept Monoid");
+  std::vector<TokenKind> Expected = {TokenKind::KwLet, TokenKind::Ident,
+                                     TokenKind::KwIn, TokenKind::KwConcept,
+                                     TokenKind::Ident, TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, GenericIsAnAliasForForall) {
+  auto K = kinds("generic forall");
+  EXPECT_EQ(K[0], TokenKind::KwForall);
+  EXPECT_EQ(K[1], TokenKind::KwForall);
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  auto Toks = lex("0 42 -17");
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].IntValue, 0);
+  EXPECT_EQ(Toks[1].IntValue, 42);
+  EXPECT_EQ(Toks[2].IntValue, -17);
+}
+
+TEST(LexerTest, PunctuationIncludingCompound) {
+  auto K = kinds("( ) { } [ ] < > , ; : . * = == ->");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,  TokenKind::RParen,  TokenKind::LBrace,
+      TokenKind::RBrace,  TokenKind::LBracket, TokenKind::RBracket,
+      TokenKind::Less,    TokenKind::Greater, TokenKind::Comma,
+      TokenKind::Semi,    TokenKind::Colon,   TokenKind::Dot,
+      TokenKind::Star,    TokenKind::Equal,   TokenKind::EqualEqual,
+      TokenKind::Arrow,   TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, ArrowVsMinusDigit) {
+  // `->` is an arrow; `-3` is a literal.
+  auto Toks = lex("-> -3");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Arrow);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(Toks[1].IntValue, -3);
+}
+
+TEST(LexerTest, EqualEqualNotSplit) {
+  auto Toks = lex("a==b");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::EqualEqual);
+}
+
+TEST(LexerTest, LineComments) {
+  auto K = kinds("a // comment with let in fix\nb");
+  std::vector<TokenKind> Expected = {TokenKind::Ident, TokenKind::Ident,
+                                     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, NestedBlockComments) {
+  auto K = kinds("a /* outer /* inner */ still out */ b");
+  std::vector<TokenKind> Expected = {TokenKind::Ident, TokenKind::Ident,
+                                     TokenKind::Eof};
+  EXPECT_EQ(K, Expected);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentReports) {
+  lex("a /* never closed", /*ExpectErrors=*/true);
+}
+
+TEST(LexerTest, UnexpectedCharacterReports) {
+  auto Toks = lex("a # b", /*ExpectErrors=*/true);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Error);
+}
+
+TEST(LexerTest, LocationsAreAccurate) {
+  auto Toks = lex("let x\n  = 1");
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[0].Loc.Column, 1u);
+  EXPECT_EQ(Toks[1].Loc.Column, 5u);
+  EXPECT_EQ(Toks[2].Loc.Line, 2u); // '='
+  EXPECT_EQ(Toks[2].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnderscoreIdentifiers) {
+  auto Toks = lex("binary_op _private x1");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Ident);
+  EXPECT_EQ(Toks[0].Text, "binary_op");
+  EXPECT_EQ(Toks[1].Text, "_private");
+  EXPECT_EQ(Toks[2].Text, "x1");
+}
+
+TEST(LexerTest, KeywordPrefixIsIdentifier) {
+  auto Toks = lex("lettuce inn types_of");
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Ident);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Ident);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::Ident);
+}

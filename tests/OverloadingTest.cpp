@@ -1,0 +1,137 @@
+//===- tests/OverloadingTest.cpp - Unqualified member resolution ----------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Section 6 lists "statically resolved function overloading, as in C++
+// and Java ... needed to remove the clutter of model member access such
+// as Monoid<t>.binary_op".  Section 3.1 explains the ambiguity that
+// blocked it: with two constrained parameters s and t, a bare
+// `binary_op` could mean either Monoid<s>'s or Monoid<t>'s.  This
+// reproduction implements the essential form: a bare name resolves iff
+// exactly one member (by owning concept instance) is in scope;
+// otherwise the paper's ambiguity is reported.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace fgtest;
+
+TEST(OverloadingTest, UnqualifiedMemberResolves) {
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 41; } in
+    iadd(v, 1))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(OverloadingTest, Figure5WithoutQualification) {
+  // The exact convenience the paper wants: Figure 5's accumulate with
+  // bare binary_op / identity_elt.
+  RunResult R = runFg(R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then identity_elt
+          else binary_op(car[t](ls), accum(cdr[t](ls)))))
+    in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int](cons[int](1, cons[int](2, nil[int]))))");
+  EXPECT_EQ(R.Value, "3") << R.Error;
+}
+
+TEST(OverloadingTest, PaperAmbiguityExample) {
+  // Section 3.1: "suppose that a generic function has two type
+  // parameters, s and t, and requires each to be a Monoid.  Then a call
+  // to binary_op might refer to either Monoid<s>.binary_op or
+  // Monoid<t>.binary_op."
+  std::string Err = compileError(R"(
+    concept Monoid<t> { binary_op : fn(t,t) -> t; } in
+    let f = (forall s, t where Monoid<s>, Monoid<t>.
+      fun(x : s). binary_op(x, x)) in 0)");
+  EXPECT_NE(Err.find("ambiguous"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("Monoid<s>"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("Monoid<t>"), std::string::npos) << Err;
+}
+
+TEST(OverloadingTest, AmbiguityAcrossConcepts) {
+  std::string Err = compileError(R"(
+    concept A<t> { get : t; } in
+    concept B<t> { get : t; } in
+    model A<int> { get = 1; } in
+    model B<int> { get = 2; } in
+    get)");
+  EXPECT_NE(Err.find("ambiguous"), std::string::npos) << Err;
+}
+
+TEST(OverloadingTest, QualificationDisambiguates) {
+  RunResult R = runFg(R"(
+    concept A<t> { get : t; } in
+    concept B<t> { get : t; } in
+    model A<int> { get = 1; } in
+    model B<int> { get = 2; } in
+    (A<int>.get, B<int>.get))");
+  EXPECT_EQ(R.Value, "(1, 2)") << R.Error;
+}
+
+TEST(OverloadingTest, VariablesShadowMembers) {
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 1; } in
+    let v = 99 in v)");
+  EXPECT_EQ(R.Value, "99") << "the let-bound variable wins";
+}
+
+TEST(OverloadingTest, ShadowedModelsOfSameInstanceAreNotAmbiguous) {
+  // Two models of C<int> in nested scopes: the inner one simply wins,
+  // as for qualified access (Figure 6 scoping).
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 1; } in
+    model C<int> { v = 2; } in
+    v)");
+  EXPECT_EQ(R.Value, "2") << R.Error;
+}
+
+TEST(OverloadingTest, RefinementRouteIsNotDoubleCounted) {
+  // binary_op reachable both via Semigroup<t> directly and through
+  // Monoid<t>'s refinement — one member, no ambiguity.
+  RunResult R = runFg(R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let f = (forall t where Semigroup<t>, Monoid<t>.
+      fun(x : t). binary_op(x, x)) in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    f[int](21))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(OverloadingTest, TrulyUnboundStillReported) {
+  EXPECT_NE(compileError("concept C<t> { v : t; } in model C<int> { v = 1; } "
+                         "in nothere")
+                .find("unbound variable"),
+            std::string::npos);
+}
+
+TEST(OverloadingTest, DirectInterpreterAgrees) {
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile("t", R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    model Semigroup<int> { binary_op = imult; } in
+    model Monoid<int> { identity_elt = 1; } in
+    binary_op(identity_elt, 42))");
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  fg::sf::EvalResult A = FE.run(Out);
+  fg::interp::EvalResult B = FE.runDirect(Out);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_EQ(fg::sf::valueToString(A.Val), fg::interp::valueToString(B.Val));
+  EXPECT_EQ(fg::sf::valueToString(A.Val), "42");
+}

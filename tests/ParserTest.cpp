@@ -1,0 +1,314 @@
+//===- tests/ParserTest.cpp - Parser tests --------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "syntax/Parser.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+
+namespace {
+
+/// Parses source text; returns null on error (diagnostics captured).
+struct ParseHarness {
+  SourceManager SM;
+  DiagnosticEngine Diags{&SM};
+  TypeContext Ctx;
+  TermArena Arena;
+
+  const Term *parse(const std::string &Source) {
+    uint32_t Id = SM.addBuffer("test", Source);
+    Parser P(SM, Diags, Ctx, Arena);
+    return P.parseProgram(Id);
+  }
+};
+
+const Term *parseOk(ParseHarness &H, const std::string &Source) {
+  const Term *T = H.parse(Source);
+  EXPECT_NE(T, nullptr) << H.Diags.render();
+  return T;
+}
+
+void parseFail(const std::string &Source, const std::string &Needle) {
+  ParseHarness H;
+  EXPECT_EQ(H.parse(Source), nullptr) << "should not parse: " << Source;
+  EXPECT_NE(H.Diags.firstError().find(Needle), std::string::npos)
+      << "got: " << H.Diags.firstError();
+}
+
+} // namespace
+
+TEST(ParserTest, Literals) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "42");
+  ASSERT_TRUE(isa<IntLit>(T));
+  EXPECT_EQ(cast<IntLit>(T)->getValue(), 42);
+  EXPECT_TRUE(isa<BoolLit>(parseOk(H, "true")));
+}
+
+TEST(ParserTest, LetAndVariables) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "let x = 1 in x");
+  const auto *L = dyn_cast<LetTerm>(T);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->getName(), "x");
+  EXPECT_TRUE(isa<IntLit>(L->getInit()));
+  EXPECT_TRUE(isa<VarTerm>(L->getBody()));
+}
+
+TEST(ParserTest, LambdaWithAnnotations) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "fun(x : int, y : bool). x");
+  const auto *A = dyn_cast<AbsTerm>(T);
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->getParams().size(), 2u);
+  EXPECT_EQ(A->getParams()[0].Name, "x");
+  EXPECT_TRUE(isa<IntType>(A->getParams()[0].Ty));
+  EXPECT_TRUE(isa<BoolType>(A->getParams()[1].Ty));
+}
+
+TEST(ParserTest, ApplicationIsLeftNested) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "f(1)(2)");
+  const auto *Outer = dyn_cast<AppTerm>(T);
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_TRUE(isa<AppTerm>(Outer->getFn()));
+}
+
+TEST(ParserTest, TypeApplication) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "nil[int]");
+  const auto *TA = dyn_cast<TyAppTerm>(T);
+  ASSERT_NE(TA, nullptr);
+  ASSERT_EQ(TA->getTypeArgs().size(), 1u);
+  EXPECT_TRUE(isa<IntType>(TA->getTypeArgs()[0]));
+}
+
+TEST(ParserTest, GenericWithWhereClause) {
+  ParseHarness H;
+  const Term *T = parseOk(
+      H, "concept M<t> { op : fn(t,t) -> t; } in forall t where M<t>. 0");
+  const auto *C = dyn_cast<ConceptDeclTerm>(T);
+  ASSERT_NE(C, nullptr);
+  const auto *G = dyn_cast<TyAbsTerm>(C->getBody());
+  ASSERT_NE(G, nullptr);
+  ASSERT_EQ(G->getRequirements().size(), 1u);
+  EXPECT_EQ(G->getRequirements()[0].ConceptName, "M");
+  EXPECT_EQ(G->getRequirements()[0].ConceptId, C->getConceptId());
+  EXPECT_TRUE(G->getEquations().empty());
+}
+
+TEST(ParserTest, WhereClauseDotDisambiguation) {
+  // `where C<t>. 0` ends the clause; `where C<t>.e == int. 0` is an
+  // equation.  Both must parse.
+  ParseHarness H;
+  const Term *T1 = parseOk(
+      H, "concept C<t> { types e; } in forall t where C<t>. 0");
+  const auto *G1 = dyn_cast<TyAbsTerm>(cast<ConceptDeclTerm>(T1)->getBody());
+  ASSERT_NE(G1, nullptr);
+  EXPECT_EQ(G1->getRequirements().size(), 1u);
+  EXPECT_EQ(G1->getEquations().size(), 0u);
+
+  const Term *T2 = parseOk(
+      H, "concept C<t> { types e; } in "
+         "forall t where C<t>, C<t>.e == int. 0");
+  const auto *G2 = dyn_cast<TyAbsTerm>(cast<ConceptDeclTerm>(T2)->getBody());
+  ASSERT_NE(G2, nullptr);
+  EXPECT_EQ(G2->getRequirements().size(), 1u);
+  ASSERT_EQ(G2->getEquations().size(), 1u);
+  EXPECT_TRUE(isa<AssocType>(G2->getEquations()[0].Lhs));
+}
+
+TEST(ParserTest, MemberAccessVsVariable) {
+  ParseHarness H;
+  const Term *T = parseOk(
+      H, "concept M<t> { op : t; } in let M = 1 in (M, M<int>.op)");
+  const auto *C = dyn_cast<ConceptDeclTerm>(T);
+  const auto *L = dyn_cast<LetTerm>(C->getBody());
+  ASSERT_NE(L, nullptr);
+  const auto *Tu = dyn_cast<TupleTerm>(L->getBody());
+  ASSERT_NE(Tu, nullptr);
+  EXPECT_TRUE(isa<VarTerm>(Tu->getElements()[0]))
+      << "M alone is the variable";
+  EXPECT_TRUE(isa<MemberAccessTerm>(Tu->getElements()[1]))
+      << "M<int>.op is member access";
+}
+
+TEST(ParserTest, TupleExpressionAndNth) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "nth (1, true, 3) 2");
+  const auto *N = dyn_cast<NthTerm>(T);
+  ASSERT_NE(N, nullptr);
+  EXPECT_EQ(N->getIndex(), 2u);
+  EXPECT_TRUE(isa<TupleTerm>(N->getTuple()));
+}
+
+TEST(ParserTest, ParenGroupingIsNotATuple) {
+  ParseHarness H;
+  EXPECT_TRUE(isa<IntLit>(parseOk(H, "(7)")));
+}
+
+TEST(ParserTest, IfFixAndNesting) {
+  ParseHarness H;
+  const Term *T =
+      parseOk(H, "fix (fun(f : fn(int) -> int). fun(n : int). "
+                 "if ieq(n, 0) then 1 else f(isub(n, 1)))");
+  EXPECT_TRUE(isa<FixTerm>(T));
+}
+
+TEST(ParserTest, ConceptDeclarationFull) {
+  ParseHarness H;
+  const Term *T = parseOk(H, R"(
+    concept Iterator<Iter> {
+      types elt;
+      next : fn(Iter) -> Iter;
+      curr : fn(Iter) -> elt;
+    } in 0)");
+  const auto *C = dyn_cast<ConceptDeclTerm>(T);
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->getName(), "Iterator");
+  ASSERT_EQ(C->getAssocTypes().size(), 1u);
+  EXPECT_EQ(C->getAssocTypes()[0].Name, "elt");
+  ASSERT_EQ(C->getMembers().size(), 2u);
+  // `curr`'s result type refers to the assoc type's parameter id.
+  const auto *CurrTy = dyn_cast<ArrowType>(C->getMembers()[1].Ty);
+  ASSERT_NE(CurrTy, nullptr);
+  const auto *Res = dyn_cast<ParamType>(CurrTy->getResult());
+  ASSERT_NE(Res, nullptr);
+  EXPECT_EQ(Res->getId(), C->getAssocTypes()[0].ParamId);
+}
+
+TEST(ParserTest, RefinementAndEquationsInConcept) {
+  ParseHarness H;
+  const Term *T = parseOk(H, R"(
+    concept A<u> { f : u; } in
+    concept B<t> { types z; refines A<z>; z == int; } in 0)");
+  const auto *CA = dyn_cast<ConceptDeclTerm>(T);
+  const auto *CB = dyn_cast<ConceptDeclTerm>(CA->getBody());
+  ASSERT_NE(CB, nullptr);
+  ASSERT_EQ(CB->getRefines().size(), 1u);
+  EXPECT_EQ(CB->getRefines()[0].ConceptId, CA->getConceptId());
+  ASSERT_EQ(CB->getEquations().size(), 1u);
+}
+
+TEST(ParserTest, RequiresIsSugarForRefines) {
+  ParseHarness H;
+  const Term *T = parseOk(H, R"(
+    concept A<u> { f : u; } in
+    concept B<t> { types z; requires A<z>; } in 0)");
+  const auto *CB =
+      dyn_cast<ConceptDeclTerm>(cast<ConceptDeclTerm>(T)->getBody());
+  ASSERT_EQ(CB->getRefines().size(), 1u);
+}
+
+TEST(ParserTest, ModelDeclarationWithAssocAssignment) {
+  ParseHarness H;
+  const Term *T = parseOk(H, R"(
+    concept It<I> { types elt; curr : fn(I) -> elt; } in
+    model It<list int> {
+      types elt = int;
+      curr = fun(l : list int). car[int](l);
+    } in 0)");
+  const auto *M =
+      dyn_cast<ModelDeclTerm>(cast<ConceptDeclTerm>(T)->getBody());
+  ASSERT_NE(M, nullptr);
+  ASSERT_EQ(M->getAssocBindings().size(), 1u);
+  EXPECT_EQ(M->getAssocBindings()[0].Name, "elt");
+  EXPECT_EQ(M->getMembers().size(), 1u);
+  EXPECT_FALSE(M->getModelName().has_value());
+}
+
+TEST(ParserTest, NamedModelAndUse) {
+  ParseHarness H;
+  const Term *T = parseOk(H, R"(
+    concept M<t> { op : t; } in
+    model [sumM] M<int> { op = 0; } in
+    use sumM in 1)");
+  const auto *M =
+      dyn_cast<ModelDeclTerm>(cast<ConceptDeclTerm>(T)->getBody());
+  ASSERT_NE(M, nullptr);
+  ASSERT_TRUE(M->getModelName().has_value());
+  EXPECT_EQ(*M->getModelName(), "sumM");
+  EXPECT_TRUE(isa<UseModelTerm>(M->getBody()));
+}
+
+TEST(ParserTest, TypeAlias) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "type pair = (int * int) in fun(p : pair). p");
+  const auto *A = dyn_cast<TypeAliasTerm>(T);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->getName(), "pair");
+  EXPECT_TRUE(isa<TupleType>(A->getAliased()));
+  const auto *F = dyn_cast<AbsTerm>(A->getBody());
+  ASSERT_NE(F, nullptr);
+  const auto *P = dyn_cast<ParamType>(F->getParams()[0].Ty);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->getId(), A->getParamId());
+}
+
+TEST(ParserTest, DefaultMemberInConcept) {
+  ParseHarness H;
+  const Term *T = parseOk(H, R"(
+    concept Eq<t> {
+      eq : fn(t,t) -> bool;
+      neq : fn(t,t) -> bool = fun(a : t, b : t). bnot(Eq<t>.eq(a, b));
+    } in 0)");
+  const auto *C = dyn_cast<ConceptDeclTerm>(T);
+  ASSERT_EQ(C->getMembers().size(), 2u);
+  EXPECT_EQ(C->getMembers()[0].Default, nullptr);
+  EXPECT_NE(C->getMembers()[1].Default, nullptr);
+}
+
+TEST(ParserTest, ForallTypeInAnnotation) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "fun(id : forall t. fn(t) -> t). id");
+  const auto *A = dyn_cast<AbsTerm>(T);
+  ASSERT_NE(A, nullptr);
+  EXPECT_TRUE(isa<ForAllType>(A->getParams()[0].Ty));
+}
+
+TEST(ParserTest, ListAndNestedTypes) {
+  ParseHarness H;
+  const Term *T = parseOk(H, "fun(x : list (list int)). x");
+  const auto *A = dyn_cast<AbsTerm>(T);
+  const auto *L = dyn_cast<ListType>(A->getParams()[0].Ty);
+  ASSERT_NE(L, nullptr);
+  EXPECT_TRUE(isa<ListType>(L->getElement()));
+}
+
+// Negative cases.
+
+TEST(ParserTest, UnknownConceptInWhereFails) {
+  parseFail("forall t where NoSuch<t>. 0", "unknown concept");
+}
+
+TEST(ParserTest, UnknownTypeNameFails) {
+  parseFail("fun(x : mystery). x", "unknown type name");
+}
+
+TEST(ParserTest, TypeVarOutOfScopeFails) {
+  parseFail("let f = (forall t. fun(x : t). x) in fun(y : t). y",
+            "unknown type name");
+}
+
+TEST(ParserTest, TrailingInputFails) {
+  parseFail("1 2", "trailing input");
+}
+
+TEST(ParserTest, MissingInAfterLetFails) {
+  parseFail("let x = 1 x", "expected 'in'");
+}
+
+TEST(ParserTest, NegativeTupleIndexFails) {
+  parseFail("nth (1, 2) -1", "non-negative");
+}
+
+TEST(ParserTest, ConceptNameOutOfScopeAfterDecl) {
+  // The concept's scope ends with its `in` body; an outer reference is
+  // unknown.  (Scoped concepts, paper section 3.2.)
+  parseFail("(concept M<t> { op : t; } in 0, forall t where M<t>. 0)",
+            "unknown concept");
+}

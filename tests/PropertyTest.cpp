@@ -1,0 +1,389 @@
+//===- tests/PropertyTest.cpp - Randomized end-to-end properties ----------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// A generator produces random well-typed F_G programs *together with
+// their expected value*.  For every generated program we check:
+//
+//   1. the F_G checker accepts it;
+//   2. the translation typechecks in plain System F — the dynamic form
+//      of the paper's Theorems 1 and 2;
+//   3. evaluation terminates with exactly the predicted value (the
+//      translation is semantics-preserving on this corpus);
+//   4. evaluation is deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+#include <random>
+#include <set>
+#include <sstream>
+
+using namespace fgtest;
+
+namespace {
+
+/// The fixed concept/model prelude every generated program starts with.
+const char *GenPrelude = R"(
+  concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+  concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+  let accumulate = (forall t where Monoid<t>.
+    fix (fun(accum : fn(list t) -> t).
+      fun(ls : list t).
+        if null[t](ls) then Monoid<t>.identity_elt
+        else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))))
+  in
+  let mdouble = (forall t where Monoid<t>.
+    fun(x : t). Monoid<t>.binary_op(x, x)) in
+  model Semigroup<int> { binary_op = iadd; } in
+  model Monoid<int> { identity_elt = 0; } in
+)";
+
+/// A generated expression plus the value it must evaluate to.
+struct GenExpr {
+  std::string Code;
+  int64_t Value;
+};
+
+class ProgramGen {
+public:
+  explicit ProgramGen(unsigned Seed) : Rng(Seed) {}
+
+  GenExpr genInt(int Depth) {
+    std::uniform_int_distribution<int> Choice(0, Depth <= 0 ? 1 : 9);
+    switch (Choice(Rng)) {
+    default:
+    case 0:
+    case 1: { // literal
+      std::uniform_int_distribution<int64_t> Lit(-20, 20);
+      int64_t V = Lit(Rng);
+      return {std::to_string(V), V};
+    }
+    case 2: { // iadd
+      GenExpr A = genInt(Depth - 1), B = genInt(Depth - 1);
+      return {"iadd(" + A.Code + ", " + B.Code + ")", A.Value + B.Value};
+    }
+    case 3: { // imult (kept small by literals range)
+      GenExpr A = genInt(Depth - 1), B = genInt(Depth - 1);
+      return {"imult(" + A.Code + ", " + B.Code + ")", A.Value * B.Value};
+    }
+    case 4: { // conditional
+      GenExpr C = genBool(Depth - 1);
+      GenExpr T = genInt(Depth - 1), E = genInt(Depth - 1);
+      return {"(if " + C.Code + " then " + T.Code + " else " + E.Code + ")",
+              C.Value ? T.Value : E.Value};
+    }
+    case 5: { // let binding
+      GenExpr A = genInt(Depth - 1);
+      std::string X = freshVar();
+      GenExpr B = genInt(Depth - 1);
+      return {"(let " + X + " = " + A.Code + " in iadd(" + X + ", " +
+                  B.Code + "))",
+              A.Value + B.Value};
+    }
+    case 6: { // generic instantiation with a dictionary
+      GenExpr A = genInt(Depth - 1);
+      return {"mdouble[int](" + A.Code + ")", 2 * A.Value};
+    }
+    case 7: { // member access through refinement
+      GenExpr A = genInt(Depth - 1);
+      return {"Monoid<int>.binary_op(Monoid<int>.identity_elt, " + A.Code +
+                  ")",
+              A.Value};
+    }
+    case 8: { // accumulate over a generated list
+      std::uniform_int_distribution<int> Len(0, 4);
+      int N = Len(Rng);
+      int64_t Sum = 0;
+      std::string Code = "nil[int]";
+      for (int I = 0; I < N; ++I) {
+        GenExpr E = genInt(0);
+        Sum += E.Value;
+        Code = "cons[int](" + E.Code + ", " + Code + ")";
+      }
+      return {"accumulate[int](" + Code + ")", Sum};
+    }
+    case 9: { // tuple projection
+      GenExpr A = genInt(Depth - 1), B = genInt(Depth - 1);
+      std::uniform_int_distribution<int> Pick(0, 1);
+      int I = Pick(Rng);
+      return {"nth (" + A.Code + ", " + B.Code + ") " + std::to_string(I),
+              I == 0 ? A.Value : B.Value};
+    }
+    }
+  }
+
+  GenExpr genBool(int Depth) {
+    std::uniform_int_distribution<int> Choice(0, Depth <= 0 ? 0 : 3);
+    switch (Choice(Rng)) {
+    default:
+    case 0: {
+      std::uniform_int_distribution<int> B(0, 1);
+      int V = B(Rng);
+      return {V ? "true" : "false", V};
+    }
+    case 1: {
+      GenExpr A = genInt(Depth - 1), B = genInt(Depth - 1);
+      return {"ilt(" + A.Code + ", " + B.Code + ")",
+              A.Value < B.Value ? 1 : 0};
+    }
+    case 2: {
+      GenExpr A = genBool(Depth - 1);
+      return {"bnot(" + A.Code + ")", A.Value ? 0 : 1};
+    }
+    case 3: {
+      GenExpr A = genBool(Depth - 1), B = genBool(Depth - 1);
+      return {"band(" + A.Code + ", " + B.Code + ")",
+              (A.Value && B.Value) ? 1 : 0};
+    }
+    }
+  }
+
+private:
+  std::string freshVar() { return "v" + std::to_string(NextVar++); }
+
+  std::mt19937 Rng;
+  unsigned NextVar = 0;
+};
+
+} // namespace
+
+class GeneratedPrograms : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GeneratedPrograms, TranslationPreservesTypingAndSemantics) {
+  ProgramGen Gen(GetParam());
+  for (int I = 0; I < 12; ++I) {
+    GenExpr E = Gen.genInt(5);
+    std::string Source = std::string(GenPrelude) + E.Code;
+    RunResult R = runFg(Source);
+    ASSERT_TRUE(R.CompileOk)
+        << "seed " << GetParam() << " program " << I << ":\n"
+        << E.Code << "\nerror: " << R.Error;
+    ASSERT_TRUE(R.RunOk) << E.Code << "\n" << R.Error;
+    EXPECT_EQ(R.Value, std::to_string(E.Value)) << E.Code;
+    EXPECT_EQ(R.Type, "int");
+    // Determinism: run again.
+    RunResult R2 = runFg(Source);
+    EXPECT_EQ(R2.Value, R.Value);
+    // Adequacy: the direct interpreter must agree with the translation.
+    fg::Frontend FE;
+    fg::CompileOutput Out = FE.compile("gen.fg", Source);
+    ASSERT_TRUE(Out.Success);
+    fg::interp::EvalResult D = FE.runDirect(Out);
+    ASSERT_TRUE(D.ok()) << E.Code << "\n" << D.Error;
+    EXPECT_EQ(fg::interp::valueToString(D.Val), R.Value) << E.Code;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedPrograms,
+                         ::testing::Range(100u, 120u));
+
+//===----------------------------------------------------------------------===//
+// Parameterized sweeps over structured families
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds a refinement chain C0 <- C1 <- ... <- C(n-1), models for int,
+/// and reads the deepest inherited member through the top concept.
+std::string refinementChainProgram(unsigned Depth) {
+  std::ostringstream OS;
+  OS << "concept C0<t> { m0 : t; } in\n";
+  for (unsigned I = 1; I < Depth; ++I)
+    OS << "concept C" << I << "<t> { refines C" << I - 1 << "<t>; m" << I
+       << " : t; } in\n";
+  OS << "model C0<int> { m0 = 7; } in\n";
+  for (unsigned I = 1; I < Depth; ++I)
+    OS << "model C" << I << "<int> { m" << I << " = " << I << "; } in\n";
+  OS << "C" << Depth - 1 << "<int>.m0";
+  return OS.str();
+}
+
+/// Monoid fold: accumulate a list of N threes under the additive monoid.
+std::string monoidFoldProgram(unsigned N) {
+  std::string List = "nil[int]";
+  for (unsigned I = 0; I < N; ++I)
+    List = "cons[int](3, " + List + ")";
+  std::ostringstream Full;
+  Full << R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))))
+    in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int]()" << List << ")";
+  return Full.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Random concept hierarchies: refinement DAGs with diamonds, inherited
+// member access, and agreement of both evaluators.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct HierarchyProgram {
+  std::string Source;
+  int64_t Expected;
+};
+
+/// Builds K concepts whose refinement lists are random subsets of the
+/// earlier concepts (so arbitrary DAGs with diamonds), one int member
+/// each, models for int with known values, and an expression summing
+/// random member accesses — possibly inherited through long paths.
+HierarchyProgram randomHierarchy(unsigned Seed) {
+  std::mt19937 Rng(Seed);
+  const unsigned K = 6;
+  std::ostringstream OS;
+  std::vector<std::vector<unsigned>> Refines(K);
+  std::vector<int64_t> MemberValue(K);
+
+  for (unsigned I = 0; I < K; ++I) {
+    OS << "concept C" << I << "<t> { ";
+    if (I > 0) {
+      std::uniform_int_distribution<unsigned> NumRef(0, 2);
+      std::uniform_int_distribution<unsigned> Pick(0, I - 1);
+      unsigned N = NumRef(Rng);
+      std::set<unsigned> Chosen;
+      for (unsigned R = 0; R < N; ++R)
+        Chosen.insert(Pick(Rng));
+      for (unsigned C : Chosen) {
+        OS << "refines C" << C << "<t>; ";
+        Refines[I].push_back(C);
+      }
+    }
+    OS << "m" << I << " : t; } in\n";
+  }
+  std::uniform_int_distribution<int64_t> Val(-50, 50);
+  // Model declaration order must respect refinement (earlier concepts
+  // first), which index order guarantees.
+  for (unsigned I = 0; I < K; ++I) {
+    MemberValue[I] = Val(Rng);
+    OS << "model C" << I << "<int> { m" << I << " = " << MemberValue[I]
+       << "; } in\n";
+  }
+
+  // Reachability for inherited access.
+  std::vector<std::set<unsigned>> Reach(K);
+  for (unsigned I = 0; I < K; ++I) {
+    Reach[I].insert(I);
+    for (unsigned R : Refines[I])
+      Reach[I].insert(Reach[R].begin(), Reach[R].end());
+  }
+
+  int64_t Expected = 0;
+  std::string Expr = "0";
+  std::uniform_int_distribution<unsigned> PickConcept(0, K - 1);
+  for (int A = 0; A < 6; ++A) {
+    unsigned Via = PickConcept(Rng);
+    std::vector<unsigned> Choices(Reach[Via].begin(), Reach[Via].end());
+    std::uniform_int_distribution<size_t> PickM(0, Choices.size() - 1);
+    unsigned Member = Choices[PickM(Rng)];
+    Expr = "iadd(C" + std::to_string(Via) + "<int>.m" +
+           std::to_string(Member) + ", " + Expr + ")";
+    Expected += MemberValue[Member];
+  }
+  OS << Expr;
+  return {OS.str(), Expected};
+}
+
+} // namespace
+
+class RandomHierarchies : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomHierarchies, InheritedAccessAndBothEvaluatorsAgree) {
+  HierarchyProgram P = randomHierarchy(GetParam());
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile("hier.fg", P.Source);
+  ASSERT_TRUE(Out.Success) << P.Source << "\n" << Out.ErrorMessage;
+  fg::sf::EvalResult R = FE.run(Out);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(fg::sf::valueToString(R.Val), std::to_string(P.Expected))
+      << P.Source;
+  fg::interp::EvalResult D = FE.runDirect(Out);
+  ASSERT_TRUE(D.ok()) << D.Error;
+  EXPECT_EQ(fg::interp::valueToString(D.Val), std::to_string(P.Expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomHierarchies,
+                         ::testing::Range(500u, 530u));
+
+//===----------------------------------------------------------------------===//
+// Random same-type constraint chains: N iterator parameters chained by
+// equations, instantiated consistently (accepted) and inconsistently
+// (rejected).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string chainProgramTyped(unsigned N, bool Consistent) {
+  std::ostringstream OS;
+  OS << "concept It<I> { types elt; curr : fn(I) -> elt; } in\n"
+     << "model It<list int> { types elt = int;\n"
+     << "  curr = fun(l : list int). car[int](l); } in\n"
+     << "model It<list bool> { types elt = bool;\n"
+     << "  curr = fun(l : list bool). car[bool](l); } in\n"
+     << "let f = (forall ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "I" << I;
+  OS << " where ";
+  for (unsigned I = 0; I < N; ++I)
+    OS << (I ? ", " : "") << "It<I" << I << ">";
+  for (unsigned I = 0; I + 1 < N; ++I)
+    OS << ", It<I" << I << ">.elt == It<I" << I + 1 << ">.elt";
+  OS << ". 0) in f[";
+  for (unsigned I = 0; I < N; ++I) {
+    if (I)
+      OS << ", ";
+    // In the inconsistent case the last argument breaks the chain.
+    OS << ((Consistent || I + 1 != N) ? "list int" : "list bool");
+  }
+  OS << "]";
+  return OS.str();
+}
+
+} // namespace
+
+class ConstraintChains : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ConstraintChains, ConsistentAcceptedInconsistentRejected) {
+  unsigned N = GetParam();
+  RunResult Ok = runFg(chainProgramTyped(N, /*Consistent=*/true));
+  EXPECT_TRUE(Ok.CompileOk) << Ok.Error;
+  std::string Err = compileError(chainProgramTyped(N, /*Consistent=*/false));
+  EXPECT_NE(Err.find("same-type constraint"), std::string::npos) << Err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ConstraintChains,
+                         ::testing::Values(2u, 3u, 5u, 9u, 17u));
+
+class RefinementDepth : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RefinementDepth, InheritedMemberReachesThroughAnyDepth) {
+  RunResult R = runFg(refinementChainProgram(GetParam()));
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "7");
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RefinementDepth,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u, 16u));
+
+class MonoidFold : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MonoidFold, AccumulateSumsNCopiesOfThree) {
+  RunResult R = runFg(monoidFoldProgram(GetParam()));
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, std::to_string(3 * GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MonoidFold,
+                         ::testing::Values(0u, 1u, 2u, 5u, 10u, 50u, 200u));

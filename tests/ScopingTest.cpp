@@ -1,0 +1,196 @@
+//===- tests/ScopingTest.cpp - Lexically scoped models (section 3.2) ------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// The distinguishing feature of F_G versus Haskell type classes:
+// model declarations are expressions with ordinary lexical scope, so
+// overlapping models may coexist in separate scopes (Figure 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+
+using namespace fgtest;
+
+namespace {
+
+const char *MonoidPrelude = R"(
+  concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+  concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+  let accumulate = (forall t where Monoid<t>.
+    fix (fun(accum : fn(list t) -> t).
+      fun(ls : list t).
+        if null[t](ls) then Monoid<t>.identity_elt
+        else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))))
+  in
+)";
+
+} // namespace
+
+TEST(ScopingTest, Figure6OverlappingModels) {
+  // The paper's Figure 6 verbatim (modulo concrete syntax): the same
+  // pair of concepts modelled twice for int in sibling scopes.
+  RunResult R = runFg(std::string(MonoidPrelude) + R"(
+    let sum =
+      model Semigroup<int> { binary_op = iadd; } in
+      model Monoid<int> { identity_elt = 0; } in
+      accumulate[int] in
+    let product =
+      model Semigroup<int> { binary_op = imult; } in
+      model Monoid<int> { identity_elt = 1; } in
+      accumulate[int] in
+    let ls = cons[int](1, cons[int](2, nil[int])) in
+    (sum(ls), product(ls)))");
+  EXPECT_EQ(R.Type, "(int * int)") << R.Error;
+  EXPECT_EQ(R.Value, "(3, 2)") << "the paper's expected result";
+}
+
+TEST(ScopingTest, InnerModelShadowsOuter) {
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 1; } in
+    let outer = C<int>.v in
+    let inner = (model C<int> { v = 2; } in C<int>.v) in
+    let after = C<int>.v in
+    (outer, inner, after))");
+  EXPECT_EQ(R.Value, "(1, 2, 1)") << R.Error;
+}
+
+TEST(ScopingTest, ModelGoesOutOfScope) {
+  std::string Err = compileError(R"(
+    concept C<t> { v : t; } in
+    let x = (model C<int> { v = 1; } in C<int>.v) in
+    C<int>.v)");
+  EXPECT_NE(Err.find("no model of `C<int>`"), std::string::npos) << Err;
+}
+
+TEST(ScopingTest, InstantiationUsesModelsAtInstantiationSite) {
+  // `accumulate[int]` captures the dictionaries in scope where it is
+  // *instantiated*, not where it is later called.
+  RunResult R = runFg(std::string(MonoidPrelude) + R"(
+    let sum =
+      model Semigroup<int> { binary_op = iadd; } in
+      model Monoid<int> { identity_elt = 0; } in
+      accumulate[int] in
+    model Semigroup<int> { binary_op = imult; } in
+    model Monoid<int> { identity_elt = 1; } in
+    sum(cons[int](2, cons[int](3, nil[int]))))");
+  EXPECT_EQ(R.Value, "5") << "sum must still add, not multiply";
+}
+
+TEST(ScopingTest, GenericFunctionsSeeCallSiteAgnosticModels) {
+  // Inside a generic function only the where-clause proxies are
+  // considered for the constrained type parameter; a model of C<int> in
+  // an enclosing scope does not leak in for type variable t.
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 10; } in
+    let f = (forall t where C<t>. C<t>.v) in
+    model C<bool> { v = true; } in
+    (f[int], f[bool]))");
+  EXPECT_EQ(R.Value, "(10, true)") << R.Error;
+}
+
+TEST(ScopingTest, ModelsInsideGenericBodies) {
+  // A model declared inside a generic function body, at the type
+  // parameter itself: every instantiation then uses the local model.
+  RunResult R = runFg(R"(
+    concept C<t> { pick : fn(t, t) -> t; } in
+    let f = (forall t.
+      fun(a : t, b : t).
+        model C<t> { pick = fun(x : t, y : t). y; } in
+        C<t>.pick(a, b)) in
+    f[int](1, 2))");
+  EXPECT_EQ(R.Value, "2") << R.Error;
+}
+
+TEST(ScopingTest, NamedModelsResolveOverlapWithoutNesting) {
+  // Section-6 extension: named models are inert until `use`d, giving
+  // side-by-side overlapping models.
+  RunResult R = runFg(std::string(MonoidPrelude) + R"(
+    model Semigroup<int> { binary_op = iadd; } in
+    model [addM] Monoid<int> { identity_elt = 0; } in
+    model [mulSemi] Semigroup<int> { binary_op = imult; } in
+    let ls = cons[int](2, cons[int](3, nil[int])) in
+    let viaAdd = (use addM in accumulate[int](ls)) in
+    let viaMul =
+      (use mulSemi in
+        model Monoid<int> { identity_elt = 1; } in
+        accumulate[int](ls)) in
+    (viaAdd, viaMul))");
+  EXPECT_EQ(R.Value, "(5, 6)") << R.Error;
+}
+
+TEST(ScopingTest, NamedModelIsNotAmbient) {
+  std::string Err = compileError(R"(
+    concept C<t> { v : t; } in
+    model [m] C<int> { v = 1; } in
+    C<int>.v)");
+  EXPECT_NE(Err.find("no model of `C<int>`"), std::string::npos) << Err;
+}
+
+TEST(ScopingTest, UseUnknownNamedModelFails) {
+  std::string Err = compileError(R"(
+    concept C<t> { v : t; } in use ghost in 0)");
+  EXPECT_NE(Err.find("no named model `ghost`"), std::string::npos) << Err;
+}
+
+TEST(ScopingTest, UseEndsWithScope) {
+  std::string Err = compileError(R"(
+    concept C<t> { v : t; } in
+    model [m] C<int> { v = 1; } in
+    let x = (use m in C<int>.v) in
+    C<int>.v)");
+  EXPECT_NE(Err.find("no model of `C<int>`"), std::string::npos) << Err;
+}
+
+TEST(ScopingTest, ConceptShadowingIsSound) {
+  // Two different concepts named C; the inner one shadows lexically, and
+  // member access resolves against the right declaration.
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 1; } in
+    let outer = C<int>.v in
+    concept C<t> { w : t; } in
+    model C<int> { w = 2; } in
+    (outer, C<int>.w))");
+  EXPECT_EQ(R.Value, "(1, 2)") << R.Error;
+}
+
+TEST(ScopingTest, ShadowedConceptModelsDoNotSatisfyInner) {
+  // A model of the *outer* C cannot satisfy a requirement on the inner
+  // C even though the names collide.
+  std::string Err = compileError(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 1; } in
+    concept C<t> { v : t; } in
+    (forall t where C<t>. C<t>.v)[int])");
+  EXPECT_NE(Err.find("no model of `C<int>`"), std::string::npos) << Err;
+}
+
+TEST(ScopingTest, ModelScopePersistsThroughLetBodies) {
+  RunResult R = runFg(R"(
+    concept C<t> { v : t; } in
+    model C<int> { v = 21; } in
+    let double = fun(x : int). imult(x, 2) in
+    double(C<int>.v))");
+  EXPECT_EQ(R.Value, "42") << R.Error;
+}
+
+TEST(ScopingTest, SiblingScopesWithDifferentAssocAssignments) {
+  // Overlap with *associated types*: the same concept modelled for the
+  // same type with different associated-type assignments in sibling
+  // scopes.
+  RunResult R = runFg(R"(
+    concept P<t> { types out; inject : fn(t) -> out; } in
+    let asInt = (model P<int> { types out = int;
+                                inject = fun(x : int). x; } in
+                 P<int>.inject(7)) in
+    let asBool = (model P<int> { types out = bool;
+                                 inject = fun(x : int). igt(x, 0); } in
+                  P<int>.inject(7)) in
+    (asInt, asBool))");
+  EXPECT_EQ(R.Value, "(7, true)") << R.Error;
+}

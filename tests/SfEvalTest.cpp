@@ -1,0 +1,236 @@
+//===- tests/SfEvalTest.cpp - System F evaluator tests --------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Builtins.h"
+#include "systemf/Eval.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+using namespace fg::sf;
+
+namespace {
+
+class SfEvalTest : public ::testing::Test {
+protected:
+  SfEvalTest() : ThePrelude(makePrelude(Ctx)) {}
+
+  EvalResult eval(const Term *T) {
+    Evaluator E(Opts);
+    return E.eval(T, ThePrelude.Values);
+  }
+
+  int64_t evalInt(const Term *T) {
+    EvalResult R = eval(T);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    const auto *I = dyn_cast_or_null<IntValue>(R.Val.get());
+    EXPECT_NE(I, nullptr);
+    return I ? I->getValue() : INT64_MIN;
+  }
+
+  TypeContext Ctx;
+  TermArena A;
+  Prelude ThePrelude;
+  EvalOptions Opts;
+};
+
+} // namespace
+
+TEST_F(SfEvalTest, Literals) {
+  EXPECT_EQ(evalInt(A.makeIntLit(42)), 42);
+  EvalResult R = eval(A.makeBoolLit(true));
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(cast<BoolValue>(R.Val.get())->getValue());
+}
+
+TEST_F(SfEvalTest, Arithmetic) {
+  auto Bin = [&](const char *Op, int64_t X, int64_t Y) {
+    return evalInt(A.makeApp(A.makeVar(Op),
+                             {A.makeIntLit(X), A.makeIntLit(Y)}));
+  };
+  EXPECT_EQ(Bin("iadd", 2, 3), 5);
+  EXPECT_EQ(Bin("isub", 2, 3), -1);
+  EXPECT_EQ(Bin("imult", 6, 7), 42);
+  EXPECT_EQ(Bin("idiv", 7, 2), 3);
+  EXPECT_EQ(Bin("imod", 7, 2), 1);
+  EXPECT_EQ(Bin("imax", 2, 3), 3);
+  EXPECT_EQ(Bin("imin", 2, 3), 2);
+}
+
+TEST_F(SfEvalTest, DivisionByZeroIsAnError) {
+  EvalResult R = eval(A.makeApp(A.makeVar("idiv"),
+                                {A.makeIntLit(1), A.makeIntLit(0)}));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
+}
+
+TEST_F(SfEvalTest, ClosuresCaptureEnvironment) {
+  const Type *I = Ctx.getIntType();
+  // let y = 10 in (fun(x:int). iadd(x, y))(32)
+  const Term *T = A.makeLet(
+      "y", A.makeIntLit(10),
+      A.makeApp(A.makeAbs({{"x", I}},
+                          A.makeApp(A.makeVar("iadd"),
+                                    {A.makeVar("x"), A.makeVar("y")})),
+                {A.makeIntLit(32)}));
+  EXPECT_EQ(evalInt(T), 42);
+}
+
+TEST_F(SfEvalTest, ClosuresAreLexicallyScoped) {
+  const Type *I = Ctx.getIntType();
+  // let y = 1 in let f = fun(x:int). iadd(x, y) in let y = 100 in f(0)
+  const Term *T = A.makeLet(
+      "y", A.makeIntLit(1),
+      A.makeLet("f",
+                A.makeAbs({{"x", I}},
+                          A.makeApp(A.makeVar("iadd"),
+                                    {A.makeVar("x"), A.makeVar("y")})),
+                A.makeLet("y", A.makeIntLit(100),
+                          A.makeApp(A.makeVar("f"), {A.makeIntLit(0)}))));
+  EXPECT_EQ(evalInt(T), 1) << "the closure sees the defining y, not 100";
+}
+
+TEST_F(SfEvalTest, TypeApplicationIsErased) {
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  const Term *Id =
+      A.makeTyAbs({{T, "t"}}, A.makeAbs({{"x", PT}}, A.makeVar("x")));
+  const Term *Use = A.makeApp(A.makeTyApp(Id, {Ctx.getIntType()}),
+                              {A.makeIntLit(5)});
+  EXPECT_EQ(evalInt(Use), 5);
+}
+
+TEST_F(SfEvalTest, TuplesAndProjection) {
+  const Term *T = A.makeTuple(
+      {A.makeIntLit(10), A.makeTuple({A.makeIntLit(20), A.makeIntLit(30)})});
+  EXPECT_EQ(evalInt(A.makeNth(A.makeNth(T, 1), 0)), 20);
+  EvalResult R = eval(A.makeNth(A.makeIntLit(0), 0));
+  EXPECT_FALSE(R.ok());
+}
+
+TEST_F(SfEvalTest, ListPrimitives) {
+  const Type *I = Ctx.getIntType();
+  const Term *L = A.makeApp(
+      A.makeTyApp(A.makeVar("cons"), {I}),
+      {A.makeIntLit(1),
+       A.makeApp(A.makeTyApp(A.makeVar("cons"), {I}),
+                 {A.makeIntLit(2), A.makeTyApp(A.makeVar("nil"), {I})})});
+  EvalResult R = eval(L);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(valueToString(R.Val), "[1, 2]");
+  EXPECT_EQ(evalInt(A.makeApp(A.makeTyApp(A.makeVar("car"), {I}), {L})), 1);
+  EvalResult Cdr = eval(A.makeApp(A.makeTyApp(A.makeVar("cdr"), {I}), {L}));
+  ASSERT_TRUE(Cdr.ok());
+  EXPECT_EQ(valueToString(Cdr.Val), "[2]");
+}
+
+TEST_F(SfEvalTest, CarOfNilIsAnError) {
+  const Term *Bad = A.makeApp(A.makeTyApp(A.makeVar("car"), {Ctx.getIntType()}),
+                              {A.makeTyApp(A.makeVar("nil"),
+                                           {Ctx.getIntType()})});
+  EvalResult R = eval(Bad);
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("empty list"), std::string::npos);
+}
+
+TEST_F(SfEvalTest, FixComputesFactorial) {
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Fact = A.makeFix(A.makeAbs(
+      {{"f", FnTy}},
+      A.makeAbs(
+          {{"n", I}},
+          A.makeIf(
+              A.makeApp(A.makeVar("ile"), {A.makeVar("n"), A.makeIntLit(0)}),
+              A.makeIntLit(1),
+              A.makeApp(A.makeVar("imult"),
+                        {A.makeVar("n"),
+                         A.makeApp(A.makeVar("f"),
+                                   {A.makeApp(A.makeVar("isub"),
+                                              {A.makeVar("n"),
+                                               A.makeIntLit(1)})})})))));
+  EXPECT_EQ(evalInt(A.makeApp(Fact, {A.makeIntLit(10)})), 3628800);
+}
+
+TEST_F(SfEvalTest, StepLimitStopsDivergence) {
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  // fix (fun(f). fun(n). f(n)) diverges; the step limit must fire.
+  const Term *Loop = A.makeFix(A.makeAbs(
+      {{"f", FnTy}},
+      A.makeAbs({{"n", I}},
+                A.makeApp(A.makeVar("f"), {A.makeVar("n")}))));
+  Opts.MaxSteps = 10'000;
+  Opts.MaxDepth = 1u << 30; // Only the step limit should trigger.
+  EvalResult R = eval(A.makeApp(Loop, {A.makeIntLit(0)}));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("step limit"), std::string::npos);
+}
+
+TEST_F(SfEvalTest, DepthLimitStopsDeepRecursion) {
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Loop = A.makeFix(A.makeAbs(
+      {{"f", FnTy}},
+      A.makeAbs({{"n", I}},
+                A.makeApp(A.makeVar("f"), {A.makeVar("n")}))));
+  Opts.MaxDepth = 100;
+  EvalResult R = eval(A.makeApp(Loop, {A.makeIntLit(0)}));
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("depth"), std::string::npos);
+}
+
+TEST_F(SfEvalTest, ValueEqualityIsStructural) {
+  auto IntV = [](int64_t V) { return std::make_shared<IntValue>(V); };
+  EXPECT_TRUE(valueEquals(IntV(3).get(), IntV(3).get()));
+  EXPECT_FALSE(valueEquals(IntV(3).get(), IntV(4).get()));
+  ValuePtr L1 = makeIntListValue({1, 2, 3});
+  ValuePtr L2 = makeIntListValue({1, 2, 3});
+  ValuePtr L3 = makeIntListValue({1, 2});
+  EXPECT_TRUE(valueEquals(L1, L2));
+  EXPECT_FALSE(valueEquals(L1, L3));
+  auto T1 = std::make_shared<TupleValue>(std::vector<ValuePtr>{IntV(1), L1});
+  auto T2 = std::make_shared<TupleValue>(std::vector<ValuePtr>{IntV(1), L2});
+  EXPECT_TRUE(valueEquals(T1.get(), T2.get()));
+}
+
+TEST_F(SfEvalTest, PaperFigure3SumEvaluatesTo3) {
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  const Type *ListT = Ctx.getListType(PT);
+  const Type *AddTy = Ctx.getArrowType({PT, PT}, PT);
+  const Type *SumFnTy = Ctx.getArrowType({ListT, AddTy, PT}, PT);
+  const Term *SumBody = A.makeAbs(
+      {{"sum", SumFnTy}},
+      A.makeAbs(
+          {{"ls", ListT}, {"add", AddTy}, {"zero", PT}},
+          A.makeIf(
+              A.makeApp(A.makeTyApp(A.makeVar("null"), {PT}),
+                        {A.makeVar("ls")}),
+              A.makeVar("zero"),
+              A.makeApp(
+                  A.makeVar("add"),
+                  {A.makeApp(A.makeTyApp(A.makeVar("car"), {PT}),
+                             {A.makeVar("ls")}),
+                   A.makeApp(A.makeVar("sum"),
+                             {A.makeApp(A.makeTyApp(A.makeVar("cdr"), {PT}),
+                                        {A.makeVar("ls")}),
+                              A.makeVar("add"), A.makeVar("zero")})}))));
+  const Term *Sum = A.makeTyAbs({{T, "t"}}, A.makeFix(SumBody));
+  const Type *I = Ctx.getIntType();
+  const Term *Ls = A.makeApp(
+      A.makeTyApp(A.makeVar("cons"), {I}),
+      {A.makeIntLit(1),
+       A.makeApp(A.makeTyApp(A.makeVar("cons"), {I}),
+                 {A.makeIntLit(2), A.makeTyApp(A.makeVar("nil"), {I})})});
+  const Term *Prog =
+      A.makeLet("sum", Sum,
+                A.makeLet("ls", Ls,
+                          A.makeApp(A.makeTyApp(A.makeVar("sum"), {I}),
+                                    {A.makeVar("ls"), A.makeVar("iadd"),
+                                     A.makeIntLit(0)})));
+  EXPECT_EQ(evalInt(Prog), 3);
+}

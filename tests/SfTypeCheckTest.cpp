@@ -1,0 +1,248 @@
+//===- tests/SfTypeCheckTest.cpp - System F typechecker tests -------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// One positive and the characteristic negative cases per rule of the
+// standard System F type system (paper Figure 2 plus let/tuples).
+//
+//===----------------------------------------------------------------------===//
+
+#include "systemf/Builtins.h"
+#include "systemf/TypeCheck.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+using namespace fg::sf;
+
+namespace {
+
+class SfTypeCheckTest : public ::testing::Test {
+protected:
+  SfTypeCheckTest() : ThePrelude(makePrelude(Ctx)), Checker(Ctx) {}
+
+  const Type *check(const Term *T) { return Checker.check(T, ThePrelude.Types); }
+
+  TypeContext Ctx;
+  TermArena A;
+  Prelude ThePrelude;
+  TypeChecker Checker;
+};
+
+} // namespace
+
+TEST_F(SfTypeCheckTest, Literals) {
+  EXPECT_EQ(check(A.makeIntLit(42)), Ctx.getIntType());
+  EXPECT_EQ(check(A.makeBoolLit(true)), Ctx.getBoolType());
+}
+
+TEST_F(SfTypeCheckTest, VarLooksUpPrelude) {
+  const Type *T = check(A.makeVar("iadd"));
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T, Ctx.getArrowType({Ctx.getIntType(), Ctx.getIntType()},
+                                Ctx.getIntType()));
+}
+
+TEST_F(SfTypeCheckTest, UnboundVarFails) {
+  EXPECT_EQ(check(A.makeVar("no_such_thing")), nullptr);
+  EXPECT_NE(Checker.firstError().find("unbound variable"),
+            std::string::npos);
+}
+
+TEST_F(SfTypeCheckTest, AbsAndApp) {
+  const Type *I = Ctx.getIntType();
+  // (fun(x:int). iadd(x, 1))(41)
+  const Term *Fn = A.makeAbs(
+      {{"x", I}},
+      A.makeApp(A.makeVar("iadd"), {A.makeVar("x"), A.makeIntLit(1)}));
+  EXPECT_EQ(check(Fn), Ctx.getArrowType({I}, I));
+  EXPECT_EQ(check(A.makeApp(Fn, {A.makeIntLit(41)})), I);
+}
+
+TEST_F(SfTypeCheckTest, AppArgumentTypeMismatchFails) {
+  const Term *Bad =
+      A.makeApp(A.makeVar("iadd"), {A.makeIntLit(1), A.makeBoolLit(true)});
+  EXPECT_EQ(check(Bad), nullptr);
+  EXPECT_NE(Checker.firstError().find("argument 2"), std::string::npos);
+}
+
+TEST_F(SfTypeCheckTest, AppArityMismatchFails) {
+  EXPECT_EQ(check(A.makeApp(A.makeVar("iadd"), {A.makeIntLit(1)})), nullptr);
+}
+
+TEST_F(SfTypeCheckTest, ApplyNonFunctionFails) {
+  EXPECT_EQ(check(A.makeApp(A.makeIntLit(3), {A.makeIntLit(1)})), nullptr);
+  EXPECT_NE(Checker.firstError().find("non-function"), std::string::npos);
+}
+
+TEST_F(SfTypeCheckTest, TyAbsAndTyApp) {
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  // generic t. fun(x:t). x
+  const Term *Id = A.makeTyAbs(
+      {{T, "t"}}, A.makeAbs({{"x", PT}}, A.makeVar("x")));
+  const Type *IdTy = check(Id);
+  ASSERT_NE(IdTy, nullptr);
+  EXPECT_EQ(IdTy,
+            Ctx.getForAllType({{T, "t"}}, Ctx.getArrowType({PT}, PT)));
+  // id[int](7)
+  const Term *Use = A.makeApp(A.makeTyApp(Id, {Ctx.getIntType()}),
+                              {A.makeIntLit(7)});
+  EXPECT_EQ(check(Use), Ctx.getIntType());
+}
+
+TEST_F(SfTypeCheckTest, TyAppOnMonomorphicFails) {
+  EXPECT_EQ(check(A.makeTyApp(A.makeIntLit(1), {Ctx.getIntType()})),
+            nullptr);
+  EXPECT_NE(Checker.firstError().find("non-polymorphic"), std::string::npos);
+}
+
+TEST_F(SfTypeCheckTest, TyAppArityMismatchFails) {
+  unsigned T = Ctx.freshParamId();
+  const Term *Id = A.makeTyAbs(
+      {{T, "t"}},
+      A.makeAbs({{"x", Ctx.getParamType(T, "t")}}, A.makeVar("x")));
+  EXPECT_EQ(
+      check(A.makeTyApp(Id, {Ctx.getIntType(), Ctx.getBoolType()})),
+      nullptr);
+}
+
+TEST_F(SfTypeCheckTest, OutOfScopeTypeParamInAnnotationFails) {
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  // fun(x:t). x   with t never bound
+  EXPECT_EQ(check(A.makeAbs({{"x", PT}}, A.makeVar("x"))), nullptr);
+  EXPECT_NE(Checker.firstError().find("not in scope"), std::string::npos);
+}
+
+TEST_F(SfTypeCheckTest, LetBindsBody) {
+  const Term *L = A.makeLet("x", A.makeIntLit(1),
+                            A.makeApp(A.makeVar("iadd"),
+                                      {A.makeVar("x"), A.makeVar("x")}));
+  EXPECT_EQ(check(L), Ctx.getIntType());
+}
+
+TEST_F(SfTypeCheckTest, LetShadowing) {
+  // let x = 1 in let x = true in x  : bool
+  const Term *L = A.makeLet(
+      "x", A.makeIntLit(1),
+      A.makeLet("x", A.makeBoolLit(true), A.makeVar("x")));
+  EXPECT_EQ(check(L), Ctx.getBoolType());
+}
+
+TEST_F(SfTypeCheckTest, TupleAndNth) {
+  const Term *T =
+      A.makeTuple({A.makeIntLit(1), A.makeBoolLit(false), A.makeIntLit(2)});
+  EXPECT_EQ(check(T), Ctx.getTupleType({Ctx.getIntType(), Ctx.getBoolType(),
+                                        Ctx.getIntType()}));
+  EXPECT_EQ(check(A.makeNth(T, 1)), Ctx.getBoolType());
+  EXPECT_EQ(check(A.makeNth(T, 3)), nullptr) << "index out of range";
+  EXPECT_EQ(check(A.makeNth(A.makeIntLit(1), 0)), nullptr)
+      << "nth of non-tuple";
+}
+
+TEST_F(SfTypeCheckTest, NestedTupleProjection) {
+  // Dictionaries nest like this under refinement (paper Figure 7).
+  const Term *Inner = A.makeTuple({A.makeVar("iadd")});
+  const Term *Outer = A.makeTuple({Inner, A.makeIntLit(0)});
+  const Term *BinOp = A.makeNth(A.makeNth(Outer, 0), 0);
+  EXPECT_EQ(check(BinOp), Ctx.getArrowType({Ctx.getIntType(),
+                                            Ctx.getIntType()},
+                                           Ctx.getIntType()));
+}
+
+TEST_F(SfTypeCheckTest, IfRules) {
+  EXPECT_EQ(check(A.makeIf(A.makeBoolLit(true), A.makeIntLit(1),
+                           A.makeIntLit(2))),
+            Ctx.getIntType());
+  EXPECT_EQ(check(A.makeIf(A.makeIntLit(1), A.makeIntLit(1),
+                           A.makeIntLit(2))),
+            nullptr)
+      << "non-bool condition";
+  EXPECT_EQ(check(A.makeIf(A.makeBoolLit(true), A.makeIntLit(1),
+                           A.makeBoolLit(false))),
+            nullptr)
+      << "branch type mismatch";
+}
+
+TEST_F(SfTypeCheckTest, FixRule) {
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  // fix (fun(f : fn(int)->int). fun(n:int). if ieq(n,0) then 0 else f(isub(n,1)))
+  const Term *Body = A.makeAbs(
+      {{"f", FnTy}},
+      A.makeAbs(
+          {{"n", I}},
+          A.makeIf(A.makeApp(A.makeVar("ieq"),
+                             {A.makeVar("n"), A.makeIntLit(0)}),
+                   A.makeIntLit(0),
+                   A.makeApp(A.makeVar("f"),
+                             {A.makeApp(A.makeVar("isub"),
+                                        {A.makeVar("n"), A.makeIntLit(1)})}))));
+  EXPECT_EQ(check(A.makeFix(Body)), FnTy);
+  // fix over a non-function type is rejected (CBV restriction).
+  const Term *BadBody = A.makeAbs({{"x", I}}, A.makeVar("x"));
+  EXPECT_EQ(check(A.makeFix(BadBody)), nullptr);
+}
+
+TEST_F(SfTypeCheckTest, PolymorphicListPrimitives) {
+  // cons[int](1, nil[int]) : list int
+  const Term *Nil = A.makeTyApp(A.makeVar("nil"), {Ctx.getIntType()});
+  const Term *L = A.makeApp(A.makeTyApp(A.makeVar("cons"), {Ctx.getIntType()}),
+                            {A.makeIntLit(1), Nil});
+  EXPECT_EQ(check(L), Ctx.getListType(Ctx.getIntType()));
+  // car[int](l) : int, null[int](l) : bool
+  EXPECT_EQ(check(A.makeApp(A.makeTyApp(A.makeVar("car"), {Ctx.getIntType()}),
+                            {L})),
+            Ctx.getIntType());
+  EXPECT_EQ(check(A.makeApp(A.makeTyApp(A.makeVar("null"),
+                                        {Ctx.getIntType()}),
+                            {L})),
+            Ctx.getBoolType());
+}
+
+TEST_F(SfTypeCheckTest, PaperFigure3SumChecks) {
+  // Figure 3: the higher-order sum in System F.
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  const Type *ListT = Ctx.getListType(PT);
+  const Type *AddTy = Ctx.getArrowType({PT, PT}, PT);
+  const Type *SumFnTy = Ctx.getArrowType({ListT, AddTy, PT}, PT);
+
+  const Term *SumBody = A.makeAbs(
+      {{"sum", SumFnTy}},
+      A.makeAbs(
+          {{"ls", ListT}, {"add", AddTy}, {"zero", PT}},
+          A.makeIf(
+              A.makeApp(A.makeTyApp(A.makeVar("null"), {PT}),
+                        {A.makeVar("ls")}),
+              A.makeVar("zero"),
+              A.makeApp(
+                  A.makeVar("add"),
+                  {A.makeApp(A.makeTyApp(A.makeVar("car"), {PT}),
+                             {A.makeVar("ls")}),
+                   A.makeApp(A.makeVar("sum"),
+                             {A.makeApp(A.makeTyApp(A.makeVar("cdr"), {PT}),
+                                        {A.makeVar("ls")}),
+                              A.makeVar("add"), A.makeVar("zero")})}))));
+  const Term *Sum = A.makeTyAbs({{T, "t"}}, A.makeFix(SumBody));
+  const Type *SumTy = check(Sum);
+  ASSERT_NE(SumTy, nullptr) << Checker.firstError();
+  EXPECT_EQ(typeToString(SumTy),
+            "forall t. fn(list t, fn(t, t) -> t, t) -> t");
+
+  // let ls = cons[int](1, cons[int](2, nil[int])) in sum[int](ls, iadd, 0)
+  const Type *I = Ctx.getIntType();
+  const Term *Ls = A.makeApp(
+      A.makeTyApp(A.makeVar("cons"), {I}),
+      {A.makeIntLit(1),
+       A.makeApp(A.makeTyApp(A.makeVar("cons"), {I}),
+                 {A.makeIntLit(2), A.makeTyApp(A.makeVar("nil"), {I})})});
+  const Term *Prog = A.makeLet(
+      "sum", Sum,
+      A.makeLet("ls", Ls,
+                A.makeApp(A.makeTyApp(A.makeVar("sum"), {I}),
+                          {A.makeVar("ls"), A.makeVar("iadd"),
+                           A.makeIntLit(0)})));
+  EXPECT_EQ(check(Prog), I);
+}

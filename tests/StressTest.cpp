@@ -1,0 +1,185 @@
+//===- tests/StressTest.cpp - Scale and robustness ------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Larger-than-typical programs: deep refinement, wide where clauses,
+// long scope chains, deep types.  Guards against stack cliffs and
+// accidental super-linear blowups.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include <gtest/gtest.h>
+#include <sstream>
+
+using namespace fgtest;
+
+TEST(StressTest, HundredConceptRefinementChain) {
+  std::ostringstream OS;
+  OS << "concept C0<t> { m0 : t; } in\n";
+  for (int I = 1; I < 100; ++I)
+    OS << "concept C" << I << "<t> { refines C" << I - 1 << "<t>; m" << I
+       << " : t; } in\n";
+  OS << "model C0<int> { m0 = 42; } in\n";
+  for (int I = 1; I < 100; ++I)
+    OS << "model C" << I << "<int> { m" << I << " = 0; } in\n";
+  OS << "C99<int>.m0";
+  RunResult R = runFg(OS.str());
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "42");
+}
+
+TEST(StressTest, SixteenTypeParameters) {
+  std::ostringstream OS;
+  OS << "let f = (forall ";
+  for (int I = 0; I < 16; ++I)
+    OS << (I ? ", " : "") << "t" << I;
+  OS << ". fun(";
+  for (int I = 0; I < 16; ++I)
+    OS << (I ? ", " : "") << "x" << I << " : t" << I;
+  OS << "). x15) in f[";
+  for (int I = 0; I < 16; ++I)
+    OS << (I ? ", " : "") << "int";
+  OS << "](";
+  for (int I = 0; I < 16; ++I)
+    OS << (I ? ", " : "") << I;
+  OS << ")";
+  RunResult R = runFg(OS.str());
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "15");
+}
+
+TEST(StressTest, WideWhereClause) {
+  // 32 requirements, each with an associated type.
+  std::ostringstream OS;
+  OS << "concept It<I> { types elt; curr : fn(I) -> elt; } in\n"
+     << "model It<list int> { types elt = int;\n"
+     << "  curr = fun(l : list int). car[int](l); } in\n"
+     << "let f = (forall ";
+  for (int I = 0; I < 32; ++I)
+    OS << (I ? ", " : "") << "I" << I;
+  OS << " where ";
+  for (int I = 0; I < 32; ++I)
+    OS << (I ? ", " : "") << "It<I" << I << ">";
+  OS << ". fun(i : I0). It<I0>.curr(i)) in f[";
+  for (int I = 0; I < 32; ++I)
+    OS << (I ? ", " : "") << "list int";
+  OS << "](cons[int](6, nil[int]))";
+  RunResult R = runFg(OS.str());
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "6");
+}
+
+TEST(StressTest, DeepModelScopeNesting) {
+  std::ostringstream OS;
+  OS << "concept V<t> { v : t; } in\n";
+  for (int I = 0; I < 200; ++I)
+    OS << "model V<int> { v = " << I << "; } in\n";
+  OS << "V<int>.v";
+  RunResult R = runFg(OS.str());
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "199") << "innermost model wins";
+}
+
+TEST(StressTest, LongLetChain) {
+  std::ostringstream OS;
+  OS << "let x0 = 1 in\n";
+  for (int I = 1; I < 400; ++I)
+    OS << "let x" << I << " = iadd(x" << I - 1 << ", 1) in\n";
+  OS << "x399";
+  RunResult R = runFg(OS.str());
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "400");
+}
+
+TEST(StressTest, DeeplyNestedListType) {
+  std::string Ty = "int";
+  std::string Val = "5";
+  for (int I = 0; I < 30; ++I) {
+    Val = "cons[" + Ty + "](" + Val + ", nil[" + Ty + "])";
+    Ty = "list (" + Ty + ")";
+  }
+  RunResult R = runFg("(forall t. fun(x : t). 1)[" + Ty + "](" + Val + ")");
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "1");
+}
+
+TEST(StressTest, WideTuple) {
+  std::ostringstream OS;
+  OS << "nth (";
+  for (int I = 0; I < 64; ++I)
+    OS << (I ? ", " : "") << I;
+  OS << ") 63";
+  RunResult R = runFg(OS.str());
+  EXPECT_EQ(R.Value, "63") << R.Error;
+}
+
+TEST(StressTest, ManyInstantiationsOfOneGeneric) {
+  std::ostringstream OS;
+  OS << "concept M<t> { op : fn(t,t) -> t; z : t; } in\n"
+     << "model M<int> { op = iadd; z = 1; } in\n"
+     << "let f = (forall t where M<t>. fun(x : t). M<t>.op(x, M<t>.z)) in\n";
+  std::string E = "0";
+  for (int I = 0; I < 200; ++I)
+    E = "f[int](" + E + ")";
+  OS << E;
+  RunResult R = runFg(OS.str());
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "200");
+}
+
+TEST(StressTest, ParameterizedModelDeepRecursion) {
+  // Eq at list^8 int requires 8 recursive instantiations.
+  std::string Ty = "int";
+  std::string Val = "1";
+  for (int I = 0; I < 8; ++I) {
+    Val = "cons[" + Ty + "](" + Val + ", nil[" + Ty + "])";
+    Ty = "list (" + Ty + ")";
+  }
+  std::string Src = R"(
+    concept Eq<t> { eq : fn(t,t) -> bool; } in
+    model Eq<int> { eq = ieq; } in
+    model forall t where Eq<t>. Eq<list t> {
+      eq = fix (fun(go : fn(list t, list t) -> bool).
+        fun(a : list t, b : list t).
+          if null[t](a) then null[t](b)
+          else if null[t](b) then false
+          else band(Eq<t>.eq(car[t](a), car[t](b)),
+                    go(cdr[t](a), cdr[t](b))));
+    } in
+    Eq<)" + Ty + ">.eq(" + Val + ", " + Val + ")";
+  RunResult R = runFg(Src);
+  ASSERT_TRUE(R.CompileOk) << R.Error;
+  EXPECT_EQ(R.Value, "true");
+}
+
+TEST(StressTest, BothEvaluatorsOnLargeFold) {
+  std::string List = "nil[int]";
+  int64_t Sum = 0;
+  for (int I = 0; I < 300; ++I) {
+    List = "cons[int](" + std::to_string(I) + ", " + List + ")";
+    Sum += I;
+  }
+  std::string Src = R"(
+    concept Semigroup<t> { binary_op : fn(t,t) -> t; } in
+    concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+    let accumulate = (forall t where Monoid<t>.
+      fix (fun(accum : fn(list t) -> t).
+        fun(ls : list t).
+          if null[t](ls) then Monoid<t>.identity_elt
+          else Monoid<t>.binary_op(car[t](ls), accum(cdr[t](ls)))))
+    in
+    model Semigroup<int> { binary_op = iadd; } in
+    model Monoid<int> { identity_elt = 0; } in
+    accumulate[int]()" + List + ")";
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile("stress.fg", Src);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  fg::sf::EvalResult A = FE.run(Out);
+  ASSERT_TRUE(A.ok()) << A.Error;
+  EXPECT_EQ(fg::sf::valueToString(A.Val), std::to_string(Sum));
+  fg::interp::EvalResult B = FE.runDirect(Out);
+  ASSERT_TRUE(B.ok()) << B.Error;
+  EXPECT_EQ(fg::interp::valueToString(B.Val), std::to_string(Sum));
+}

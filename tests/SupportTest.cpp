@@ -1,0 +1,92 @@
+//===- tests/SupportTest.cpp - SourceManager and Diagnostics tests --------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+#include <gtest/gtest.h>
+
+using namespace fg;
+
+TEST(SourceManagerTest, AddBufferAssignsSequentialIds) {
+  SourceManager SM;
+  EXPECT_EQ(SM.addBuffer("a", "text"), 1u);
+  EXPECT_EQ(SM.addBuffer("b", "more"), 2u);
+  EXPECT_EQ(SM.getNumBuffers(), 2u);
+  EXPECT_EQ(SM.getBufferName(1), "a");
+  EXPECT_EQ(SM.getBufferText(2), "more");
+}
+
+TEST(SourceManagerTest, LocationMapping) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("f", "ab\ncde\n\nx");
+  SourceLocation L0 = SM.getLocation(Id, 0);
+  EXPECT_EQ(L0.Line, 1u);
+  EXPECT_EQ(L0.Column, 1u);
+  SourceLocation L1 = SM.getLocation(Id, 1);
+  EXPECT_EQ(L1.Line, 1u);
+  EXPECT_EQ(L1.Column, 2u);
+  SourceLocation L3 = SM.getLocation(Id, 3); // 'c'
+  EXPECT_EQ(L3.Line, 2u);
+  EXPECT_EQ(L3.Column, 1u);
+  SourceLocation L7 = SM.getLocation(Id, 7); // the empty line
+  EXPECT_EQ(L7.Line, 3u);
+  SourceLocation L8 = SM.getLocation(Id, 8); // 'x'
+  EXPECT_EQ(L8.Line, 4u);
+  EXPECT_EQ(L8.Column, 1u);
+}
+
+TEST(SourceManagerTest, LineText) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("f", "first\nsecond\r\nthird");
+  EXPECT_EQ(SM.getLineText(Id, 1), "first");
+  EXPECT_EQ(SM.getLineText(Id, 2), "second");
+  EXPECT_EQ(SM.getLineText(Id, 3), "third");
+  EXPECT_EQ(SM.getLineText(Id, 9), "");
+}
+
+TEST(SourceManagerTest, EndOfBufferLocation) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("f", "ab");
+  SourceLocation L = SM.getLocation(Id, 2);
+  EXPECT_EQ(L.Line, 1u);
+  EXPECT_EQ(L.Column, 3u);
+}
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning({}, "w");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({}, "e1");
+  D.note({}, "n");
+  D.error({}, "e2");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.getNumErrors(), 2u);
+  EXPECT_EQ(D.firstError(), "e1");
+}
+
+TEST(DiagnosticsTest, RenderIncludesLocationAndSnippet) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("demo.fg", "let x = y in x");
+  DiagnosticEngine D(&SM);
+  SourceLocation Loc = SM.getLocation(Id, 8); // 'y'
+  D.error(Loc, "unbound variable `y`");
+  std::string Out = D.render();
+  EXPECT_NE(Out.find("demo.fg:1:9"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("error: unbound variable `y`"), std::string::npos);
+  EXPECT_NE(Out.find("let x = y in x"), std::string::npos);
+  EXPECT_NE(Out.find("^"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, ClearResets) {
+  DiagnosticEngine D;
+  D.error({}, "e");
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(D.firstError(), "");
+  EXPECT_TRUE(D.getDiagnostics().empty());
+}

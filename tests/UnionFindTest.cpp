@@ -1,0 +1,197 @@
+//===- tests/UnionFindTest.cpp - Union/find unit and property tests -------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/UnionFind.h"
+#include <gtest/gtest.h>
+#include <map>
+#include <random>
+#include <set>
+
+using namespace fg;
+
+TEST(UnionFindTest, SingletonsAreDistinct) {
+  UnionFind UF;
+  unsigned A = UF.makeNode();
+  unsigned B = UF.makeNode();
+  unsigned C = UF.makeNode();
+  EXPECT_NE(A, B);
+  EXPECT_FALSE(UF.same(A, B));
+  EXPECT_FALSE(UF.same(B, C));
+  EXPECT_TRUE(UF.same(A, A));
+}
+
+TEST(UnionFindTest, UniteMergesClasses) {
+  UnionFind UF;
+  unsigned A = UF.makeNode(), B = UF.makeNode(), C = UF.makeNode();
+  EXPECT_TRUE(UF.unite(A, B));
+  EXPECT_TRUE(UF.same(A, B));
+  EXPECT_FALSE(UF.same(A, C));
+  EXPECT_TRUE(UF.unite(B, C));
+  EXPECT_TRUE(UF.same(A, C));
+}
+
+TEST(UnionFindTest, UniteIsIdempotent) {
+  UnionFind UF;
+  unsigned A = UF.makeNode(), B = UF.makeNode();
+  EXPECT_TRUE(UF.unite(A, B));
+  EXPECT_FALSE(UF.unite(A, B)) << "second unite reports no change";
+  EXPECT_FALSE(UF.unite(B, A));
+}
+
+TEST(UnionFindTest, FindReturnsClassMember) {
+  UnionFind UF;
+  std::vector<unsigned> Ids;
+  for (int I = 0; I < 10; ++I)
+    Ids.push_back(UF.makeNode());
+  for (int I = 1; I < 10; ++I)
+    UF.unite(Ids[0], Ids[I]);
+  unsigned Root = UF.find(Ids[0]);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(UF.find(Ids[I]), Root);
+}
+
+TEST(UnionFindTest, RollbackUndoesUnions) {
+  UnionFind UF;
+  unsigned A = UF.makeNode(), B = UF.makeNode(), C = UF.makeNode();
+  UF.unite(A, B);
+  UnionFind::Mark M = UF.mark();
+  UF.unite(B, C);
+  EXPECT_TRUE(UF.same(A, C));
+  UF.rollback(M);
+  EXPECT_TRUE(UF.same(A, B)) << "pre-mark union survives";
+  EXPECT_FALSE(UF.same(A, C)) << "post-mark union is undone";
+}
+
+TEST(UnionFindTest, RollbackUndoesNodeCreation) {
+  UnionFind UF;
+  UF.makeNode();
+  UnionFind::Mark M = UF.mark();
+  UF.makeNode();
+  UF.makeNode();
+  EXPECT_EQ(UF.size(), 3u);
+  UF.rollback(M);
+  EXPECT_EQ(UF.size(), 1u);
+  // Fresh nodes after rollback reuse the freed id space consistently.
+  unsigned B = UF.makeNode();
+  EXPECT_EQ(B, 1u);
+}
+
+TEST(UnionFindTest, NestedRollbacks) {
+  UnionFind UF;
+  unsigned A = UF.makeNode(), B = UF.makeNode(), C = UF.makeNode(),
+           D = UF.makeNode();
+  UnionFind::Mark M1 = UF.mark();
+  UF.unite(A, B);
+  UnionFind::Mark M2 = UF.mark();
+  UF.unite(C, D);
+  UF.unite(A, C);
+  EXPECT_TRUE(UF.same(B, D));
+  UF.rollback(M2);
+  EXPECT_TRUE(UF.same(A, B));
+  EXPECT_FALSE(UF.same(C, D));
+  UF.rollback(M1);
+  EXPECT_FALSE(UF.same(A, B));
+}
+
+TEST(UnionFindTest, DirectedUniteKeepsWinnerAsRoot) {
+  UnionFind UF;
+  unsigned A = UF.makeNode(), B = UF.makeNode();
+  // Raise B's rank so the heuristic would pick B; uniteDirected must
+  // override it.
+  unsigned C = UF.makeNode(), D = UF.makeNode();
+  UF.unite(B, C);
+  UF.unite(B, D);
+  unsigned RB = UF.find(B);
+  UF.uniteDirected(UF.find(A), RB);
+  EXPECT_EQ(UF.find(B), UF.find(A));
+  EXPECT_EQ(UF.find(RB), A);
+}
+
+TEST(UnionFindTest, DirectedUniteRollsBack) {
+  UnionFind UF;
+  unsigned A = UF.makeNode(), B = UF.makeNode();
+  UnionFind::Mark M = UF.mark();
+  UF.uniteDirected(A, B);
+  EXPECT_TRUE(UF.same(A, B));
+  UF.rollback(M);
+  EXPECT_FALSE(UF.same(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests: the forest always agrees with a naive reference
+// implementation, including across rollbacks.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Naive reference: class labels with full relabelling on union.
+class NaiveUF {
+public:
+  unsigned makeNode() {
+    Label.push_back(Label.size());
+    return Label.size() - 1;
+  }
+  void unite(unsigned A, unsigned B) {
+    unsigned LA = Label[A], LB = Label[B];
+    if (LA == LB)
+      return;
+    for (unsigned &L : Label)
+      if (L == LB)
+        L = LA;
+  }
+  bool same(unsigned A, unsigned B) const { return Label[A] == Label[B]; }
+  std::vector<unsigned> snapshot() const { return Label; }
+  void restore(std::vector<unsigned> S) { Label = std::move(S); }
+
+private:
+  std::vector<unsigned> Label;
+};
+
+} // namespace
+
+class UnionFindProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UnionFindProperty, AgreesWithNaiveReferenceUnderRollback) {
+  std::mt19937 Rng(GetParam());
+  UnionFind UF;
+  NaiveUF Ref;
+  const unsigned N = 64;
+  for (unsigned I = 0; I < N; ++I) {
+    UF.makeNode();
+    Ref.makeNode();
+  }
+  struct Saved {
+    UnionFind::Mark M;
+    std::vector<unsigned> RefSnapshot;
+  };
+  std::vector<Saved> Stack;
+  std::uniform_int_distribution<unsigned> Node(0, N - 1);
+  std::uniform_int_distribution<int> Op(0, 9);
+  for (int Step = 0; Step < 600; ++Step) {
+    int O = Op(Rng);
+    if (O < 6) {
+      unsigned A = Node(Rng), B = Node(Rng);
+      UF.unite(A, B);
+      Ref.unite(A, B);
+    } else if (O < 8) {
+      Stack.push_back({UF.mark(), Ref.snapshot()});
+    } else if (!Stack.empty()) {
+      UF.rollback(Stack.back().M);
+      Ref.restore(Stack.back().RefSnapshot);
+      Stack.pop_back();
+    }
+    // Spot-check agreement on a handful of pairs.
+    for (int K = 0; K < 8; ++K) {
+      unsigned A = Node(Rng), B = Node(Rng);
+      ASSERT_EQ(UF.same(A, B), Ref.same(A, B))
+          << "divergence at step " << Step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
