@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchAssoc"
+  "BenchAssoc.pdb"
+  "CMakeFiles/BenchAssoc.dir/BenchAssoc.cpp.o"
+  "CMakeFiles/BenchAssoc.dir/BenchAssoc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchAssoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

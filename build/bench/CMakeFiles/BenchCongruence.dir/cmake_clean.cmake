@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchCongruence"
+  "BenchCongruence.pdb"
+  "CMakeFiles/BenchCongruence.dir/BenchCongruence.cpp.o"
+  "CMakeFiles/BenchCongruence.dir/BenchCongruence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchCongruence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchEval"
+  "BenchEval.pdb"
+  "CMakeFiles/BenchEval.dir/BenchEval.cpp.o"
+  "CMakeFiles/BenchEval.dir/BenchEval.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchEval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

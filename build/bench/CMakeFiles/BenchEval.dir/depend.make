@@ -1,0 +1,2 @@
+# Empty dependencies file for BenchEval.
+# This may be replaced when dependencies are built.

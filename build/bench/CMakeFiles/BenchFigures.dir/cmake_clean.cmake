@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchFigures"
+  "BenchFigures.pdb"
+  "CMakeFiles/BenchFigures.dir/BenchFigures.cpp.o"
+  "CMakeFiles/BenchFigures.dir/BenchFigures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchFigures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

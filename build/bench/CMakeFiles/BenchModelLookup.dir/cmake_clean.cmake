@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchModelLookup"
+  "BenchModelLookup.pdb"
+  "CMakeFiles/BenchModelLookup.dir/BenchModelLookup.cpp.o"
+  "CMakeFiles/BenchModelLookup.dir/BenchModelLookup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchModelLookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchPipeline"
+  "BenchPipeline.pdb"
+  "CMakeFiles/BenchPipeline.dir/BenchPipeline.cpp.o"
+  "CMakeFiles/BenchPipeline.dir/BenchPipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchPipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

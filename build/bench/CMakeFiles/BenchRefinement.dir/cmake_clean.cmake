@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "BenchRefinement"
+  "BenchRefinement.pdb"
+  "CMakeFiles/BenchRefinement.dir/BenchRefinement.cpp.o"
+  "CMakeFiles/BenchRefinement.dir/BenchRefinement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BenchRefinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

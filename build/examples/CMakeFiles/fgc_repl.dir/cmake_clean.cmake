@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgc_repl.dir/fgc_repl.cpp.o"
+  "CMakeFiles/fgc_repl.dir/fgc_repl.cpp.o.d"
+  "fgc_repl"
+  "fgc_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgc_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_sort.dir/generic_sort.cpp.o"
+  "CMakeFiles/generic_sort.dir/generic_sort.cpp.o.d"
+  "generic_sort"
+  "generic_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

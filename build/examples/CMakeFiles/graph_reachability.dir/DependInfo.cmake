@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_reachability.cpp" "examples/CMakeFiles/graph_reachability.dir/graph_reachability.cpp.o" "gcc" "examples/CMakeFiles/graph_reachability.dir/graph_reachability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syntax/CMakeFiles/fg_syntax.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/systemf/CMakeFiles/fg_systemf.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterator_merge.dir/iterator_merge.cpp.o"
+  "CMakeFiles/iterator_merge.dir/iterator_merge.cpp.o.d"
+  "iterator_merge"
+  "iterator_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterator_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

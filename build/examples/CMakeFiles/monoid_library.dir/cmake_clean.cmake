@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monoid_library.dir/monoid_library.cpp.o"
+  "CMakeFiles/monoid_library.dir/monoid_library.cpp.o.d"
+  "monoid_library"
+  "monoid_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monoid_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlapping_models.dir/overlapping_models.cpp.o"
+  "CMakeFiles/overlapping_models.dir/overlapping_models.cpp.o.d"
+  "overlapping_models"
+  "overlapping_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlapping_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for overlapping_models.
+# This may be replaced when dependencies are built.

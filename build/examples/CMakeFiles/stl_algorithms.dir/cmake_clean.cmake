@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stl_algorithms.dir/stl_algorithms.cpp.o"
+  "CMakeFiles/stl_algorithms.dir/stl_algorithms.cpp.o.d"
+  "stl_algorithms"
+  "stl_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stl_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AST.cpp" "src/core/CMakeFiles/fg_core.dir/AST.cpp.o" "gcc" "src/core/CMakeFiles/fg_core.dir/AST.cpp.o.d"
+  "/root/repo/src/core/Builtins.cpp" "src/core/CMakeFiles/fg_core.dir/Builtins.cpp.o" "gcc" "src/core/CMakeFiles/fg_core.dir/Builtins.cpp.o.d"
+  "/root/repo/src/core/Check.cpp" "src/core/CMakeFiles/fg_core.dir/Check.cpp.o" "gcc" "src/core/CMakeFiles/fg_core.dir/Check.cpp.o.d"
+  "/root/repo/src/core/Congruence.cpp" "src/core/CMakeFiles/fg_core.dir/Congruence.cpp.o" "gcc" "src/core/CMakeFiles/fg_core.dir/Congruence.cpp.o.d"
+  "/root/repo/src/core/Interp.cpp" "src/core/CMakeFiles/fg_core.dir/Interp.cpp.o" "gcc" "src/core/CMakeFiles/fg_core.dir/Interp.cpp.o.d"
+  "/root/repo/src/core/Type.cpp" "src/core/CMakeFiles/fg_core.dir/Type.cpp.o" "gcc" "src/core/CMakeFiles/fg_core.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/systemf/CMakeFiles/fg_systemf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

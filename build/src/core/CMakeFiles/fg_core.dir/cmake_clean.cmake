@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_core.dir/AST.cpp.o"
+  "CMakeFiles/fg_core.dir/AST.cpp.o.d"
+  "CMakeFiles/fg_core.dir/Builtins.cpp.o"
+  "CMakeFiles/fg_core.dir/Builtins.cpp.o.d"
+  "CMakeFiles/fg_core.dir/Check.cpp.o"
+  "CMakeFiles/fg_core.dir/Check.cpp.o.d"
+  "CMakeFiles/fg_core.dir/Congruence.cpp.o"
+  "CMakeFiles/fg_core.dir/Congruence.cpp.o.d"
+  "CMakeFiles/fg_core.dir/Interp.cpp.o"
+  "CMakeFiles/fg_core.dir/Interp.cpp.o.d"
+  "CMakeFiles/fg_core.dir/Type.cpp.o"
+  "CMakeFiles/fg_core.dir/Type.cpp.o.d"
+  "libfg_core.a"
+  "libfg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgc.dir/Main.cpp.o"
+  "CMakeFiles/fgc.dir/Main.cpp.o.d"
+  "fgc"
+  "fgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

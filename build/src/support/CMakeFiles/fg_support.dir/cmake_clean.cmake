@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/fg_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/fg_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/fg_support.dir/SourceManager.cpp.o.d"
+  "libfg_support.a"
+  "libfg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_syntax.dir/Frontend.cpp.o"
+  "CMakeFiles/fg_syntax.dir/Frontend.cpp.o.d"
+  "CMakeFiles/fg_syntax.dir/Lexer.cpp.o"
+  "CMakeFiles/fg_syntax.dir/Lexer.cpp.o.d"
+  "CMakeFiles/fg_syntax.dir/Parser.cpp.o"
+  "CMakeFiles/fg_syntax.dir/Parser.cpp.o.d"
+  "libfg_syntax.a"
+  "libfg_syntax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_syntax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

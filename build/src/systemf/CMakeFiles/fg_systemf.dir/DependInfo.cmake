@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/systemf/Builtins.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Builtins.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Builtins.cpp.o.d"
+  "/root/repo/src/systemf/Compile.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Compile.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Compile.cpp.o.d"
+  "/root/repo/src/systemf/Eval.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Eval.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Eval.cpp.o.d"
+  "/root/repo/src/systemf/Optimize.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Optimize.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Optimize.cpp.o.d"
+  "/root/repo/src/systemf/Term.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Term.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Term.cpp.o.d"
+  "/root/repo/src/systemf/Type.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Type.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Type.cpp.o.d"
+  "/root/repo/src/systemf/TypeCheck.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/TypeCheck.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/TypeCheck.cpp.o.d"
+  "/root/repo/src/systemf/Value.cpp" "src/systemf/CMakeFiles/fg_systemf.dir/Value.cpp.o" "gcc" "src/systemf/CMakeFiles/fg_systemf.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/fg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fg_systemf.dir/Builtins.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Builtins.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/Compile.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Compile.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/Eval.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Eval.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/Optimize.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Optimize.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/Term.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Term.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/Type.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Type.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/TypeCheck.cpp.o"
+  "CMakeFiles/fg_systemf.dir/TypeCheck.cpp.o.d"
+  "CMakeFiles/fg_systemf.dir/Value.cpp.o"
+  "CMakeFiles/fg_systemf.dir/Value.cpp.o.d"
+  "libfg_systemf.a"
+  "libfg_systemf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fg_systemf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "AssocTypesTest"
+  "AssocTypesTest.pdb"
+  "CMakeFiles/AssocTypesTest.dir/AssocTypesTest.cpp.o"
+  "CMakeFiles/AssocTypesTest.dir/AssocTypesTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AssocTypesTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

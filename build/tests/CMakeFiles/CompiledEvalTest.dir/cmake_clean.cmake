@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CompiledEvalTest.dir/CompiledEvalTest.cpp.o"
+  "CMakeFiles/CompiledEvalTest.dir/CompiledEvalTest.cpp.o.d"
+  "CompiledEvalTest"
+  "CompiledEvalTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CompiledEvalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

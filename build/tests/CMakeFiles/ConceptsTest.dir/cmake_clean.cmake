@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ConceptsTest.dir/ConceptsTest.cpp.o"
+  "CMakeFiles/ConceptsTest.dir/ConceptsTest.cpp.o.d"
+  "ConceptsTest"
+  "ConceptsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ConceptsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

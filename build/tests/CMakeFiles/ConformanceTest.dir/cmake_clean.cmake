@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ConformanceTest.dir/ConformanceTest.cpp.o"
+  "CMakeFiles/ConformanceTest.dir/ConformanceTest.cpp.o.d"
+  "ConformanceTest"
+  "ConformanceTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ConformanceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CongruenceTest.dir/CongruenceTest.cpp.o"
+  "CMakeFiles/CongruenceTest.dir/CongruenceTest.cpp.o.d"
+  "CongruenceTest"
+  "CongruenceTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CongruenceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

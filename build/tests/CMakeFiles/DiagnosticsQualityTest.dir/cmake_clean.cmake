@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DiagnosticsQualityTest.dir/DiagnosticsQualityTest.cpp.o"
+  "CMakeFiles/DiagnosticsQualityTest.dir/DiagnosticsQualityTest.cpp.o.d"
+  "DiagnosticsQualityTest"
+  "DiagnosticsQualityTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DiagnosticsQualityTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

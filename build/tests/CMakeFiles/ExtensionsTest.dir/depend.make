@@ -1,0 +1,2 @@
+# Empty dependencies file for ExtensionsTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FgTypeTest.dir/FgTypeTest.cpp.o"
+  "CMakeFiles/FgTypeTest.dir/FgTypeTest.cpp.o.d"
+  "FgTypeTest"
+  "FgTypeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FgTypeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LexerTest.dir/LexerTest.cpp.o"
+  "CMakeFiles/LexerTest.dir/LexerTest.cpp.o.d"
+  "LexerTest"
+  "LexerTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LexerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OptimizeTest.dir/OptimizeTest.cpp.o"
+  "CMakeFiles/OptimizeTest.dir/OptimizeTest.cpp.o.d"
+  "OptimizeTest"
+  "OptimizeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OptimizeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

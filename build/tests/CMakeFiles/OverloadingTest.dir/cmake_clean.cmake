@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OverloadingTest.dir/OverloadingTest.cpp.o"
+  "CMakeFiles/OverloadingTest.dir/OverloadingTest.cpp.o.d"
+  "OverloadingTest"
+  "OverloadingTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OverloadingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

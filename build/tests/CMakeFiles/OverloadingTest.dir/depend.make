@@ -1,0 +1,2 @@
+# Empty dependencies file for OverloadingTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ParamModelsTest.dir/ParamModelsTest.cpp.o"
+  "CMakeFiles/ParamModelsTest.dir/ParamModelsTest.cpp.o.d"
+  "ParamModelsTest"
+  "ParamModelsTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ParamModelsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

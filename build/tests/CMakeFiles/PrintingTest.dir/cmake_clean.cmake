@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PrintingTest.dir/PrintingTest.cpp.o"
+  "CMakeFiles/PrintingTest.dir/PrintingTest.cpp.o.d"
+  "PrintingTest"
+  "PrintingTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PrintingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

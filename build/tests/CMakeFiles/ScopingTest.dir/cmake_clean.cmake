@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScopingTest.dir/ScopingTest.cpp.o"
+  "CMakeFiles/ScopingTest.dir/ScopingTest.cpp.o.d"
+  "ScopingTest"
+  "ScopingTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScopingTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ScopingTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SfEvalTest.dir/SfEvalTest.cpp.o"
+  "CMakeFiles/SfEvalTest.dir/SfEvalTest.cpp.o.d"
+  "SfEvalTest"
+  "SfEvalTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SfEvalTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SfTypeCheckTest.dir/SfTypeCheckTest.cpp.o"
+  "CMakeFiles/SfTypeCheckTest.dir/SfTypeCheckTest.cpp.o.d"
+  "SfTypeCheckTest"
+  "SfTypeCheckTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SfTypeCheckTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

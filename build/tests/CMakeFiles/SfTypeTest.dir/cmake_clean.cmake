@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SfTypeTest.dir/SfTypeTest.cpp.o"
+  "CMakeFiles/SfTypeTest.dir/SfTypeTest.cpp.o.d"
+  "SfTypeTest"
+  "SfTypeTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SfTypeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

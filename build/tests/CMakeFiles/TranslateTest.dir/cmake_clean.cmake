@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TranslateTest.dir/TranslateTest.cpp.o"
+  "CMakeFiles/TranslateTest.dir/TranslateTest.cpp.o.d"
+  "TranslateTest"
+  "TranslateTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TranslateTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

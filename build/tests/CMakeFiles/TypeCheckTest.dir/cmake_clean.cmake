@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TypeCheckTest.dir/TypeCheckTest.cpp.o"
+  "CMakeFiles/TypeCheckTest.dir/TypeCheckTest.cpp.o.d"
+  "TypeCheckTest"
+  "TypeCheckTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TypeCheckTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/UnionFindTest.dir/UnionFindTest.cpp.o"
+  "CMakeFiles/UnionFindTest.dir/UnionFindTest.cpp.o.d"
+  "UnionFindTest"
+  "UnionFindTest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/UnionFindTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
