@@ -17,6 +17,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <sstream>
 
@@ -105,4 +106,4 @@ static void BM_AssocWideConcept(benchmark::State &State) {
 }
 BENCHMARK(BM_AssocWideConcept)->Arg(2)->Arg(8)->Arg(32)->Arg(64);
 
-BENCHMARK_MAIN();
+FG_BENCH_MAIN()

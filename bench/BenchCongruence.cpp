@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Congruence.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <random>
 
@@ -112,4 +113,4 @@ static void BM_CongruenceRollback(benchmark::State &State) {
 }
 BENCHMARK(BM_CongruenceRollback)->Arg(16)->Arg(128)->Arg(1024);
 
-BENCHMARK_MAIN();
+FG_BENCH_MAIN()

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <sstream>
 
@@ -227,4 +228,4 @@ static void BM_EvalInstantiationOnly(benchmark::State &State) {
 }
 BENCHMARK(BM_EvalInstantiationOnly);
 
-BENCHMARK_MAIN();
+FG_BENCH_MAIN()

@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <cstdio>
 #include <string>
@@ -256,8 +257,5 @@ BENCHMARK(BM_Section52_ABExample);
 
 int main(int argc, char **argv) {
   printReproductionTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return fg::bench::runAndEmitStats(argc, argv);
 }

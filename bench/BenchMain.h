@@ -1,0 +1,67 @@
+//===- bench/BenchMain.h - Shared stats-emitting bench main -----*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every fgc benchmark uses FG_BENCH_MAIN() (or calls
+/// fg::bench::runAndEmitStats directly from a custom main) instead of
+/// BENCHMARK_MAIN().  Besides running google-benchmark, it enables the
+/// compiler-statistics registry and, after the run, emits the
+/// accumulated counters/timers as JSON:
+///
+///   * to the file named by $FG_STATS_JSON when set (this is how the
+///     `bench-stats` CMake target produces BENCH_*.json trajectories
+///     that stay comparable across PRs), or
+///   * to stderr otherwise (stdout belongs to google-benchmark's own
+///     reporter).
+///
+/// The counters aggregate over every iteration of every registered
+/// benchmark, so the interesting signals are ratios (cache hit rates)
+/// and per-iteration averages, not absolute values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_BENCH_BENCHMAIN_H
+#define FG_BENCH_BENCHMAIN_H
+
+#include "support/Stats.h"
+#include <benchmark/benchmark.h>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+namespace fg {
+namespace bench {
+
+inline int runAndEmitStats(int argc, char **argv) {
+  fg::stats::Statistics::global().enable(true);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (const char *Path = std::getenv("FG_STATS_JSON")) {
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::cerr << "bench: cannot write stats to `" << Path << "`\n";
+      return 1;
+    }
+    fg::stats::Statistics::global().printJson(Out);
+  } else {
+    fg::stats::Statistics::global().printJson(std::cerr);
+  }
+  return 0;
+}
+
+} // namespace bench
+} // namespace fg
+
+#define FG_BENCH_MAIN()                                                        \
+  int main(int argc, char **argv) {                                            \
+    return fg::bench::runAndEmitStats(argc, argv);                             \
+  }
+
+#endif // FG_BENCH_BENCHMAIN_H

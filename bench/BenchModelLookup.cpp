@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <sstream>
 
@@ -37,14 +38,47 @@ std::string worstCaseLookup(unsigned D) {
   return OS.str();
 }
 
-void runLookup(benchmark::State &State, const std::string &Source) {
+void runLookup(benchmark::State &State, const std::string &Source,
+               bool ModelCache = true) {
+  CompileOptions Opts;
+  Opts.EnableModelCache = ModelCache;
   for (auto _ : State) {
     Frontend FE;
-    CompileOutput Out = FE.compile("bench.fg", Source);
+    CompileOutput Out = FE.compile("bench.fg", Source, Opts);
     if (!Out.Success)
       State.SkipWithError(Out.ErrorMessage.c_str());
     benchmark::DoNotOptimize(Out.SfTerm);
   }
+}
+
+/// Distinct ground function type per index (the low bits of \p I pick
+/// int or bool per parameter), so D overlapping models of one concept
+/// can be declared with O(1)-sized arguments each.
+std::string groundType(unsigned I) {
+  std::string T = "fn(";
+  for (unsigned B = 0; B < 8; ++B)
+    T += std::string((I >> B) & 1 ? "int" : "bool") + (B < 7 ? ", " : "");
+  return T + ") -> int";
+}
+
+/// Repeated instantiation past overlapping models: D models of the SAME
+/// concept are in scope, none matching `int` except the outermost, and
+/// the generic is instantiated at `int` 256 times.  Every uncached
+/// lookup re-scans all D models, paying a congruence equality query per
+/// non-match; the model-resolution cache pays that once.  This is the
+/// workload the cache exists for.
+std::string repeatedInstantiation(unsigned D) {
+  std::ostringstream OS;
+  OS << "concept Z<t> { v : int; } in\n"
+     << "model Z<int> { v = 1; } in\n";
+  for (unsigned I = 0; I < D; ++I)
+    OS << "model Z<" << groundType(I) << "> { v = 0; } in\n";
+  OS << "let f = (forall t where Z<t>. Z<t>.v) in\n";
+  std::string E = "0";
+  for (unsigned I = 0; I < 256; ++I)
+    E = "iadd(f[int], " + E + ")";
+  OS << E;
+  return OS.str();
 }
 
 } // namespace
@@ -54,22 +88,17 @@ static void BM_LookupPastManyModels(benchmark::State &State) {
 }
 BENCHMARK(BM_LookupPastManyModels)->Arg(4)->Arg(32)->Arg(128)->Arg(512);
 
-/// Repeated instantiation in one program: N lookups through D models.
 static void BM_RepeatedInstantiation(benchmark::State &State) {
-  const unsigned D = State.range(0);
-  std::ostringstream OS;
-  OS << "concept Z<t> { v : t; } in\n"
-     << "model Z<int> { v = 1; } in\n";
-  for (unsigned I = 0; I < D; ++I)
-    OS << "concept C" << I << "<t> { w" << I << " : t; } in\n"
-       << "model C" << I << "<int> { w" << I << " = 0; } in\n";
-  OS << "let f = (forall t where Z<t>. Z<t>.v) in\n";
-  std::string E = "0";
-  for (unsigned I = 0; I < 32; ++I)
-    E = "iadd(f[int], " + E + ")";
-  OS << E;
-  runLookup(State, OS.str());
+  runLookup(State, repeatedInstantiation(State.range(0)));
 }
 BENCHMARK(BM_RepeatedInstantiation)->Arg(4)->Arg(64)->Arg(256);
 
-BENCHMARK_MAIN();
+/// The same workload with memoization off: the cache's win is the gap
+/// between this series and BM_RepeatedInstantiation.
+static void BM_RepeatedInstantiationNoCache(benchmark::State &State) {
+  runLookup(State, repeatedInstantiation(State.range(0)),
+            /*ModelCache=*/false);
+}
+BENCHMARK(BM_RepeatedInstantiationNoCache)->Arg(4)->Arg(64)->Arg(256);
+
+FG_BENCH_MAIN()

@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <sstream>
 
@@ -56,6 +57,28 @@ std::string instantiationsProgram(unsigned N) {
   return OS.str();
 }
 
+/// N overlapping models of one concept (only the outermost matching
+/// `int`) plus 64 instantiations at `int`.  The uncached checker
+/// re-scans every model per instantiation; the model-resolution cache
+/// scans once.  Pairs with BM_PipelineOverlapNoCache below.
+std::string overlapProgram(unsigned N) {
+  std::ostringstream OS;
+  OS << "concept Z<t> { v : int; } in\n"
+     << "model Z<int> { v = 1; } in\n";
+  for (unsigned I = 0; I < N; ++I) {
+    OS << "model Z<fn(";
+    for (unsigned B = 0; B < 8; ++B)
+      OS << ((I >> B) & 1 ? "int" : "bool") << (B < 7 ? ", " : "");
+    OS << ") -> int> { v = 0; } in\n";
+  }
+  OS << "let f = (forall t where Z<t>. Z<t>.v) in\n";
+  std::string Expr = "0";
+  for (unsigned I = 0; I < 64; ++I)
+    Expr = "iadd(f[int], " + Expr + ")";
+  OS << Expr;
+  return OS.str();
+}
+
 /// One deeply right-nested expression (parser and checker stress).
 std::string deepExprProgram(unsigned N) {
   std::string E = "1";
@@ -64,10 +87,13 @@ std::string deepExprProgram(unsigned N) {
   return E;
 }
 
-void runPipeline(benchmark::State &State, const std::string &Source) {
+void runPipeline(benchmark::State &State, const std::string &Source,
+                 bool ModelCache = true) {
+  CompileOptions Opts;
+  Opts.EnableModelCache = ModelCache;
   for (auto _ : State) {
     Frontend FE;
-    CompileOutput Out = FE.compile("bench.fg", Source);
+    CompileOutput Out = FE.compile("bench.fg", Source, Opts);
     if (!Out.Success)
       State.SkipWithError(Out.ErrorMessage.c_str());
     benchmark::DoNotOptimize(Out.SfTerm);
@@ -92,6 +118,27 @@ static void BM_PipelineInstantiations(benchmark::State &State) {
 }
 BENCHMARK(BM_PipelineInstantiations)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+/// Same workload, cache off.  With a single model in scope the cache
+/// has nothing to win, so this pair bounds its bookkeeping overhead.
+static void BM_PipelineInstantiationsNoCache(benchmark::State &State) {
+  runPipeline(State, instantiationsProgram(State.range(0)),
+              /*ModelCache=*/false);
+}
+BENCHMARK(BM_PipelineInstantiationsNoCache)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_PipelineOverlap(benchmark::State &State) {
+  runPipeline(State, overlapProgram(State.range(0)));
+}
+BENCHMARK(BM_PipelineOverlap)->Arg(16)->Arg(64)->Arg(256);
+
+/// The end-to-end win of the model-resolution cache is the gap between
+/// this series and BM_PipelineOverlap.
+static void BM_PipelineOverlapNoCache(benchmark::State &State) {
+  runPipeline(State, overlapProgram(State.range(0)), /*ModelCache=*/false);
+}
+BENCHMARK(BM_PipelineOverlapNoCache)->Arg(16)->Arg(64)->Arg(256);
+
 static void BM_PipelineDeepExpr(benchmark::State &State) {
   runPipeline(State, deepExprProgram(State.range(0)));
 }
@@ -113,4 +160,4 @@ static void BM_ParseOnly(benchmark::State &State) {
 }
 BENCHMARK(BM_ParseOnly)->Arg(16)->Arg(256);
 
-BENCHMARK_MAIN();
+FG_BENCH_MAIN()

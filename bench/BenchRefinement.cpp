@@ -15,6 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "BenchMain.h"
 #include <benchmark/benchmark.h>
 #include <sstream>
 
@@ -109,4 +110,4 @@ static void BM_RefinementRuntimeProjection(benchmark::State &State) {
 }
 BENCHMARK(BM_RefinementRuntimeProjection)->Arg(2)->Arg(16)->Arg(64);
 
-BENCHMARK_MAIN();
+FG_BENCH_MAIN()

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Check.h"
+#include "support/Stats.h"
 #include <algorithm>
 #include <cassert>
 #include <set>
@@ -46,6 +47,8 @@ Checker::ScopeMark Checker::enterScope() {
 
 void Checker::exitScope(const ScopeMark &M) {
   VarEnv.resize(M.VarEnvSize);
+  if (Models.size() != M.ModelsSize)
+    noteModelsChanged();
   Models.resize(M.ModelsSize);
   // Restore parameter bindings in reverse so nested shadowing unwinds.
   for (size_t I = M.ShadowedParams.size(); I != 0; --I) {
@@ -118,8 +121,42 @@ TypeSubst Checker::conceptSubst(const ConceptInfo &Info,
   return S;
 }
 
-int Checker::lookupModel(unsigned ConceptId,
-                         const std::vector<const Type *> &Args) {
+//===----------------------------------------------------------------------===//
+// Model-resolution memoization
+//===----------------------------------------------------------------------===//
+
+size_t Checker::ModelQueryKeyHash::operator()(const ModelQueryKey &K) const {
+  size_t H = K.ConceptId * 0x9e3779b1u;
+  for (const Type *T : K.Args)
+    H ^= std::hash<const void *>()(T) + 0x9e3779b97f4a7c15ULL + (H << 6) +
+         (H >> 2);
+  return H;
+}
+
+void Checker::setModelCacheEnabled(bool On) {
+  ModelCacheEnabled = On;
+  LookupCache.clear();
+  ResolveCache.clear();
+  CC.setQueryCacheEnabled(On);
+}
+
+void Checker::flushModelCachesIfStale() {
+  if (CachedModelStackVersion == ModelStackVersion &&
+      CachedCCVersion == CC.getVersion())
+    return;
+  if (!LookupCache.empty() || !ResolveCache.empty()) {
+    static uint64_t &FlushCount =
+        stats::Statistics::global().counter("checker.model_cache.flushes");
+    ++FlushCount;
+    LookupCache.clear();
+    ResolveCache.clear();
+  }
+  CachedModelStackVersion = ModelStackVersion;
+  CachedCCVersion = CC.getVersion();
+}
+
+int Checker::lookupModelScan(unsigned ConceptId,
+                             const std::vector<const Type *> &Args) {
   for (size_t I = Models.size(); I != 0; --I) {
     const ModelRecord &M = Models[I - 1];
     if (M.ConceptId != ConceptId || M.Args.size() != Args.size() ||
@@ -132,6 +169,46 @@ int Checker::lookupModel(unsigned ConceptId,
       return static_cast<int>(I - 1);
   }
   return -1;
+}
+
+int Checker::lookupModel(unsigned ConceptId,
+                         const std::vector<const Type *> &Args) {
+  static uint64_t &LookupCount =
+      stats::Statistics::global().counter("checker.model_lookups");
+  ++LookupCount;
+  if (!ModelCacheEnabled)
+    return lookupModelScan(ConceptId, Args);
+
+  // Canonicalize through class representatives only — semantically
+  // neutral (representative() materializes no new equations), unlike
+  // resolveAssocs, which may resolve parameterized models as a side
+  // effect and must not run on the cache-on path alone.
+  ModelQueryKey K{ConceptId, {}};
+  K.Args.reserve(Args.size());
+  for (const Type *A : Args)
+    K.Args.push_back(representative(A));
+
+  flushModelCachesIfStale();
+  auto It = LookupCache.find(K);
+  if (It != LookupCache.end()) {
+    static uint64_t &HitCount =
+        stats::Statistics::global().counter("checker.model_cache.hits");
+    ++HitCount;
+    return It->second;
+  }
+  static uint64_t &MissCount =
+      stats::Statistics::global().counter("checker.model_cache.misses");
+  ++MissCount;
+
+  uint64_t CCStamp = CC.getVersion();
+  uint64_t ModelStamp = ModelStackVersion;
+  int Result = lookupModelScan(ConceptId, Args);
+  // The scan itself can advance the closure (interning may discover
+  // congruences); an answer computed against a moving world is returned
+  // but not stored.
+  if (CC.getVersion() == CCStamp && ModelStackVersion == ModelStamp)
+    LookupCache.emplace(std::move(K), Result);
+  return Result;
 }
 
 bool Checker::matchType(const Type *Pattern, const Type *Query,
@@ -190,12 +267,43 @@ bool Checker::matchType(const Type *Pattern, const Type *Query,
 
 ModelResolution Checker::resolveModel(unsigned ConceptId,
                                       const std::vector<const Type *> &Args) {
+  static uint64_t &ResolveCount =
+      stats::Statistics::global().counter("checker.model_resolutions");
+  ++ResolveCount;
+
   // Pre-resolve the query so syntactic matching sees concrete structure
-  // where the closure already knows it.
+  // where the closure already knows it.  (Both the cached and uncached
+  // paths do this, so its side effects — parameterized models asserting
+  // associated-type facts — happen identically with the cache off.)
   std::vector<const Type *> Query;
   Query.reserve(Args.size());
   for (const Type *A : Args)
     Query.push_back(resolveAssocs(A));
+
+  ModelQueryKey Key;
+  uint64_t CCStamp = 0, ModelStamp = 0;
+  if (ModelCacheEnabled) {
+    flushModelCachesIfStale();
+    Key = {ConceptId, Query};
+    auto It = ResolveCache.find(Key);
+    if (It != ResolveCache.end()) {
+      static uint64_t &HitCount =
+          stats::Statistics::global().counter("checker.model_cache.hits");
+      ++HitCount;
+      return {It->second, {}};
+    }
+    static uint64_t &MissCount =
+        stats::Statistics::global().counter("checker.model_cache.misses");
+    ++MissCount;
+    CCStamp = CC.getVersion();
+    ModelStamp = ModelStackVersion;
+  }
+  // Stores below are gated on the stamps still matching: an answer
+  // computed while the closure advanced mid-scan is returned uncached.
+  auto Cacheable = [&] {
+    return ModelCacheEnabled && CC.getVersion() == CCStamp &&
+           ModelStackVersion == ModelStamp;
+  };
 
   for (size_t I = Models.size(); I != 0; --I) {
     const ModelRecord &M = Models[I - 1];
@@ -205,8 +313,12 @@ ModelResolution Checker::resolveModel(unsigned ConceptId,
       bool Match = true;
       for (size_t K = 0; Match && K != Args.size(); ++K)
         Match = typesEqual(M.Args[K], Args[K]);
-      if (Match)
-        return {static_cast<int>(I - 1), {}};
+      if (Match) {
+        int Idx = static_cast<int>(I - 1);
+        if (Cacheable())
+          ResolveCache.emplace(std::move(Key), Idx);
+        return {Idx, {}};
+      }
       continue;
     }
     std::unordered_set<unsigned> Vars;
@@ -219,7 +331,8 @@ ModelResolution Checker::resolveModel(unsigned ConceptId,
     if (!Match || B.size() != Vars.size())
       continue;
     // Publish the instantiated associated-type assignments (scoped to
-    // the current checking scope).
+    // the current checking scope).  The assertions make this branch
+    // side-effecting, so parameterized resolutions are never cached.
     for (const auto &[Name, Ty] : M.AssocBindings) {
       const Type *Qualified = FgCtx.getAssocType(
           ConceptId, Concepts[ConceptId].Name,
@@ -228,6 +341,8 @@ ModelResolution Checker::resolveModel(unsigned ConceptId,
     }
     return {static_cast<int>(I - 1), std::move(B)};
   }
+  if (Cacheable())
+    ResolveCache.emplace(std::move(Key), -1);
   return {-1, {}};
 }
 
@@ -613,6 +728,7 @@ bool Checker::registerRequirement(const ConceptRef &Ref,
   Proxy.DictVar = DictVar;
   Proxy.Path = std::move(Path);
   Models.push_back(std::move(Proxy));
+  noteModelsChanged();
 
   // The concept's own same-type constraints hold for any model.
   for (const TypeEquation &E : Info->Equations) {
@@ -803,9 +919,14 @@ bool Checker::findMember(unsigned ConceptId,
 //===----------------------------------------------------------------------===//
 
 Checked Checker::check(const Term *Program) {
+  stats::ScopedTimer Timer("checker.check");
+  static uint64_t &ProgramCount =
+      stats::Statistics::global().counter("checker.programs");
+  ++ProgramCount;
   // Reset any state left over from a previous program.
   VarEnv.resize(NumGlobals);
   Models.clear();
+  noteModelsChanged();
   NamedModels.clear();
   ParamsInScope.clear();
   TranslationInProgress.clear();
@@ -1389,6 +1510,7 @@ Checked Checker::checkModelDecl(const ModelDeclTerm *T) {
   } else {
     ScopeRAII Scope(*this);
     Models.push_back(Record);
+    noteModelsChanged();
     if (!T->isParameterized())
       for (const TypeEquation &E : AssocEqs)
         CC.assertEqual(E.Lhs, E.Rhs);
@@ -1435,6 +1557,7 @@ Checked Checker::checkDefaultMember(
   Virt.Virtual = true;
   Virt.MemberVars = MemberVars;
   Models.push_back(std::move(Virt));
+  noteModelsChanged();
   Checked Val = checkTerm(CM.Default);
   if (!Val.ok())
     return {};
@@ -1455,6 +1578,7 @@ Checked Checker::checkUseModel(const UseModelTerm *T) {
                  "no named model `" + T->getModelName() + "` in scope");
   ScopeRAII Scope(*this);
   Models.push_back(It->second.Record);
+  noteModelsChanged();
   for (const TypeEquation &E : It->second.AssocEquations)
     CC.assertEqual(E.Lhs, E.Rhs);
   Checked Body = checkTerm(T->getBody());

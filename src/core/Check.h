@@ -129,6 +129,14 @@ public:
   /// Read-only access to the congruence closure (tests and tools).
   Congruence &getCongruence() { return CC; }
 
+  /// Toggles the memoized model-resolution cache (and the congruence
+  /// query cache beneath it).  On by default.  Must be semantics-
+  /// neutral: cache-on and cache-off runs produce identical diagnostics
+  /// and translations — ModelCacheTest enforces this over the whole
+  /// example corpus.
+  void setModelCacheEnabled(bool On);
+  bool isModelCacheEnabled() const { return ModelCacheEnabled; }
+
   class ScopeRAII;
 
 private:
@@ -245,7 +253,12 @@ private:
   /// Innermost model of (ConceptId, Args) modulo the congruence closure;
   /// returns index into Models or -1.  Ground models only (used where a
   /// parameterized match would be meaningless, e.g. overlap warnings).
+  /// Memoized; see the "Model-resolution memoization" section below.
   int lookupModel(unsigned ConceptId, const std::vector<const Type *> &Args);
+
+  /// The uncached scan behind lookupModel.
+  int lookupModelScan(unsigned ConceptId,
+                      const std::vector<const Type *> &Args);
 
   /// Resolves a model for (ConceptId, Args), considering both ground
   /// models (equality modulo the congruence closure) and parameterized
@@ -299,6 +312,56 @@ private:
   /// scope closes, so result types do not dangle on equations that are
   /// about to be rolled back.
   const Type *resolveAssocs(const Type *T);
+
+  //===--------------------------------------------------------------===//
+  // Utilities
+  //===--------------------------------------------------------------===//
+
+  //===--------------------------------------------------------------===//
+  // Model-resolution memoization
+  //===--------------------------------------------------------------===//
+  //
+  // Resolving a model walks the whole model stack comparing argument
+  // types up to the congruence closure — the hot path of rules TAPP and
+  // MEM (every instantiation and member access).  Queries repeat
+  // heavily (the same `C<int>` is looked up once per use site), so both
+  // lookupModel and resolveModel memoize on (concept id, canonicalized
+  // argument types).
+  //
+  // Validity: a cached answer depends on (a) the model stack and (b)
+  // the congruence closure's knowledge.  The tables therefore carry a
+  // stamp (ModelStackVersion, CC.getVersion()) and are flushed on the
+  // first query after either moves — model-scope entry/exit bumps the
+  // former, merges and merge-undoing rollbacks bump the latter.
+  //
+  // Semantic neutrality: only side-effect-free results are cached.  A
+  // parameterized-model match publishes associated-type equations into
+  // the closure, so those results always re-run; ground hits and
+  // not-found results are pure.  Results computed while the closure
+  // advanced mid-scan are returned but not stored.
+
+  /// Concept id plus canonicalized argument types.  Canonical forms
+  /// make congruence-equal queries collide (hash-consing makes the
+  /// comparison pointer-wise).
+  struct ModelQueryKey {
+    unsigned ConceptId = 0;
+    std::vector<const Type *> Args;
+
+    friend bool operator==(const ModelQueryKey &A, const ModelQueryKey &B) {
+      return A.ConceptId == B.ConceptId && A.Args == B.Args;
+    }
+  };
+  struct ModelQueryKeyHash {
+    size_t operator()(const ModelQueryKey &K) const;
+  };
+
+  /// Clears both memo tables if the stamp they were filled under no
+  /// longer matches the world.
+  void flushModelCachesIfStale();
+
+  /// Every mutation of the Models stack must pass through here (or bump
+  /// ModelStackVersion itself) so cached indices never dangle.
+  void noteModelsChanged() { ++ModelStackVersion; }
 
   //===--------------------------------------------------------------===//
   // Utilities
@@ -358,6 +421,16 @@ private:
   bool InConceptDecl = false;
 
   unsigned NextDictId = 0;
+
+  /// Model-resolution memoization state (see the section above).
+  /// LookupCache backs lookupModel, ResolveCache backs resolveModel;
+  /// values are indices into Models, -1 for "no model".
+  bool ModelCacheEnabled = true;
+  uint64_t ModelStackVersion = 0;
+  uint64_t CachedModelStackVersion = 0;
+  uint64_t CachedCCVersion = 0;
+  std::unordered_map<ModelQueryKey, int, ModelQueryKeyHash> LookupCache;
+  std::unordered_map<ModelQueryKey, int, ModelQueryKeyHash> ResolveCache;
 };
 
 } // namespace fg

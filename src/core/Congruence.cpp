@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Congruence.h"
+#include "support/Stats.h"
 #include <algorithm>
 #include <cassert>
 
@@ -138,6 +139,11 @@ void Congruence::merge(unsigned A, unsigned B) {
   unsigned RA = UF.find(A), RB = UF.find(B);
   if (RA == RB)
     return;
+  static uint64_t &MergeCount =
+      stats::Statistics::global().counter("congruence.merges");
+  ++MergeCount;
+  ++NumMerges;
+  ++Version;
   // Keep the class with more parent occurrences as the survivor so each
   // node's signature is rehashed O(log n) times overall.
   if (ClassParents[RA].size() < ClassParents[RB].size())
@@ -199,19 +205,59 @@ void Congruence::processPending() {
 }
 
 void Congruence::assertEqual(const Type *Lhs, const Type *Rhs) {
+  static uint64_t &AssertCount =
+      stats::Statistics::global().counter("congruence.assertions");
+  ++AssertCount;
   unsigned A = internNode(Lhs);
   unsigned B = internNode(Rhs);
   Pending.emplace_back(A, B);
   processPending();
 }
 
+void Congruence::setQueryCacheEnabled(bool On) {
+  QueryCacheEnabled = On;
+  QueryCache.clear();
+  QueryCacheVersion = Version;
+}
+
 bool Congruence::isEqual(const Type *A, const Type *B) {
   if (A == B)
     return true;
+  static uint64_t &QueryCount =
+      stats::Statistics::global().counter("congruence.queries");
+  ++QueryCount;
+
+  std::pair<const Type *, const Type *> Key =
+      std::less<const Type *>()(A, B) ? std::make_pair(A, B)
+                                      : std::make_pair(B, A);
+  if (QueryCacheEnabled) {
+    if (QueryCacheVersion != Version) {
+      QueryCache.clear();
+      QueryCacheVersion = Version;
+    }
+    auto It = QueryCache.find(Key);
+    if (It != QueryCache.end()) {
+      static uint64_t &HitCount =
+          stats::Statistics::global().counter("congruence.query_cache.hits");
+      ++HitCount;
+      return It->second;
+    }
+    static uint64_t &MissCount =
+        stats::Statistics::global().counter("congruence.query_cache.misses");
+    ++MissCount;
+  }
+
   unsigned NA = internNode(A);
   unsigned NB = internNode(B);
   processPending();
-  return UF.same(NA, NB);
+  bool Result = UF.same(NA, NB);
+  // Interning can itself discover congruences and merge; the answer is
+  // then relative to the *new* closure, and storing it under the old
+  // stamp is fine only because the stamp moved: the whole table is
+  // flushed on the next query.  Skip the store in that case.
+  if (QueryCacheEnabled && QueryCacheVersion == Version)
+    QueryCache.emplace(Key, Result);
+  return Result;
 }
 
 const Type *Congruence::getRepresentative(const Type *T) {
@@ -230,6 +276,15 @@ unsigned Congruence::getNumClasses() const {
 
 void Congruence::rollback(const Mark &M) {
   assert(Pending.empty() && "rollback with merges still pending");
+  // Undoing a merge changes equality answers, so the knowledge stamp
+  // must move.  Node-creation-only rollbacks keep the stamp: removing
+  // fresh disjoint nodes cannot change any surviving pair's answer
+  // (types are immutable and hash-consed, so a re-intern reproduces the
+  // same structure).
+  if (NumMerges != M.NumMerges) {
+    ++Version;
+    NumMerges = M.NumMerges;
+  }
   while (Trail.size() > M.TrailSize) {
     UndoOp &Op = Trail.back();
     switch (Op.Kind) {

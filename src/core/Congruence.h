@@ -64,14 +64,28 @@ public:
   /// types; ties keep the earliest-interned.
   const Type *getRepresentative(const Type *T);
 
+  /// Monotonic stamp of the closure's *knowledge*: bumped whenever two
+  /// classes merge and whenever a rollback undoes merges.  Interning
+  /// new nodes alone does not bump it — fresh disjoint nodes cannot
+  /// change the answer for any previously queried pair.  Callers that
+  /// memoize equality-dependent results (the query cache below, the
+  /// checker's model cache) compare stamps to decide when to flush.
+  uint64_t getVersion() const { return Version; }
+
+  /// Toggles the isEqual memo table (on by default).  Off is useful for
+  /// A/B semantic-identity tests and for measuring the cache's win.
+  void setQueryCacheEnabled(bool On);
+
   /// Opaque undo position.
   struct Mark {
     size_t TrailSize;
     UnionFind::Mark UFMark;
     size_t NumNodes;
+    uint64_t NumMerges;
   };
 
-  Mark mark() const { return {Trail.size(), UF.mark(), Nodes.size()}; }
+  Mark mark() const { return {Trail.size(), UF.mark(), Nodes.size(),
+                              NumMerges}; }
 
   /// Undoes every assertion and node creation since \p M.
   void rollback(const Mark &M);
@@ -126,6 +140,13 @@ private:
   void merge(unsigned A, unsigned B);
   static unsigned repPriority(const Type *T);
 
+  struct TypePairHash {
+    size_t operator()(const std::pair<const Type *, const Type *> &P) const {
+      size_t H = std::hash<const void *>()(P.first);
+      return H ^ (std::hash<const void *>()(P.second) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
   TypeContext &Ctx;
   UnionFind UF;
   std::vector<Node> Nodes;
@@ -141,6 +162,22 @@ private:
   std::map<std::pair<unsigned, std::string>, unsigned> AssocTags;
   std::deque<std::pair<unsigned, unsigned>> Pending;
   std::vector<UndoOp> Trail;
+
+  /// Knowledge stamp (see getVersion) and the merge count backing it;
+  /// the latter is saved in marks so rollback knows whether any merge
+  /// was actually undone.
+  uint64_t Version = 0;
+  uint64_t NumMerges = 0;
+
+  /// Memoized isEqual answers, valid while QueryCacheVersion == Version.
+  /// Keys are ordered pointer pairs (types are hash-consed, so the pair
+  /// identifies the query exactly); the table is flushed lazily on the
+  /// first query after the stamp moves.
+  bool QueryCacheEnabled = true;
+  uint64_t QueryCacheVersion = 0;
+  std::unordered_map<std::pair<const Type *, const Type *>, bool,
+                     TypePairHash>
+      QueryCache;
 };
 
 } // namespace fg

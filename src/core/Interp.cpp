@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Interp.h"
+#include "support/Stats.h"
 #include <cassert>
 #include <sstream>
 
@@ -333,6 +334,7 @@ const ConceptDeclTerm *Interpreter::getConcept(unsigned Id) const {
 }
 
 EvalResult Interpreter::run(const Term *Program) {
+  stats::ScopedTimer Timer("interp.run");
   Steps = 0;
   Depth = 0;
   Concepts.clear();
@@ -394,6 +396,9 @@ std::shared_ptr<const RuntimeModel>
 Interpreter::resolveModel(unsigned ConceptId,
                           const std::vector<const Type *> &Args, const Env &E,
                           unsigned RDepth, std::string &ErrorOut) {
+  static uint64_t &ResolveCount =
+      stats::Statistics::global().counter("interp.model_resolutions");
+  ++ResolveCount;
   if (RDepth > 64) {
     ErrorOut = "model resolution exceeded the recursion limit";
     return nullptr;

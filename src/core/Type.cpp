@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Type.h"
+#include "support/Stats.h"
 #include <cassert>
 #include <sstream>
 
@@ -282,6 +283,9 @@ TypeEquation TypeContext::substitute(const TypeEquation &E,
 }
 
 const Type *TypeContext::substitute(const Type *T, const TypeSubst &Subst) {
+  static uint64_t &SubstCount =
+      stats::Statistics::global().counter("types.substitutions");
+  ++SubstCount;
   if (Subst.empty())
     return T;
   switch (T->getKind()) {

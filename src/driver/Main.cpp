@@ -20,9 +20,19 @@
 ///                  the System F translation (and cross-check the two)
 ///   --optimize     also specialize the translation (dictionary
 ///                  elimination), print it, and cross-check its value
+///   --stats        print compiler statistics (phase timings, counter
+///                  values, cache hit rates) to stderr on exit
+///   --stats-json=<file>
+///                  also write the statistics as JSON to <file>
+///                  (`-` for stdout)
+///   --no-model-cache
+///                  disable the checker's model-resolution and
+///                  congruence-query caches (for A/B comparison; the
+///                  result must be identical either way)
 ///
 //===----------------------------------------------------------------------===//
 
+#include "support/Stats.h"
 #include "syntax/Frontend.h"
 #include <cstdio>
 #include <fstream>
@@ -36,9 +46,36 @@ namespace {
 
 int usage() {
   std::cerr << "usage: fgc [--check] [--translate] [--ast] [--no-verify] "
-               "[--direct] <file.fg | ->\n";
+               "[--direct] [--optimize] [--stats] [--stats-json=<file>] "
+               "[--no-model-cache] <file.fg | ->\n";
   return 2;
 }
+
+/// Emits the accumulated statistics per the --stats/--stats-json flags.
+/// Runs on every exit path once requested, so failed compilations still
+/// report (that is when the numbers are most interesting).
+struct StatsReporter {
+  bool Human = false;
+  std::string JsonPath;
+
+  ~StatsReporter() {
+    const stats::Statistics &S = stats::Statistics::global();
+    if (Human)
+      S.print(std::cerr);
+    if (JsonPath.empty())
+      return;
+    if (JsonPath == "-") {
+      S.printJson(std::cout);
+      return;
+    }
+    std::ofstream Out(JsonPath);
+    if (!Out)
+      std::cerr << "fgc: warning: cannot write stats to `" << JsonPath
+                << "`\n";
+    else
+      S.printJson(Out);
+  }
+};
 
 } // namespace
 
@@ -47,6 +84,7 @@ int main(int Argc, char **Argv) {
   bool Direct = false, Optimize = false;
   CompileOptions Opts;
   std::string Path;
+  StatsReporter Reporter;
 
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -62,6 +100,17 @@ int main(int Argc, char **Argv) {
       Optimize = true;
     else if (Arg == "--no-verify")
       Opts.VerifyTranslation = false;
+    else if (Arg == "--stats")
+      Reporter.Human = true;
+    else if (Arg.rfind("--stats-json=", 0) == 0) {
+      Reporter.JsonPath = Arg.substr(std::string("--stats-json=").size());
+      if (Reporter.JsonPath.empty()) {
+        std::cerr << "fgc: error: --stats-json= requires a file name\n";
+        return usage();
+      }
+    }
+    else if (Arg == "--no-model-cache")
+      Opts.EnableModelCache = false;
     else if (Arg == "--help" || Arg == "-h")
       return usage();
     else if (!Arg.empty() && Arg[0] == '-' && Arg != "-")
@@ -73,6 +122,8 @@ int main(int Argc, char **Argv) {
   }
   if (Path.empty())
     return usage();
+  if (Reporter.Human || !Reporter.JsonPath.empty())
+    stats::Statistics::global().enable(true);
 
   std::string Source;
   if (Path == "-") {

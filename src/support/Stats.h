@@ -1,0 +1,138 @@
+//===- support/Stats.h - Compiler statistics and tracing --------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight observability layer for the whole pipeline: named
+/// counters, named phase timers, and an RAII scoped timer, with both
+/// human-readable and JSON emission.
+///
+/// Design constraints, in order:
+///
+///  1. Hot paths must pay (almost) nothing.  Counters are plain
+///     `uint64_t` cells registered once; the idiomatic call site is
+///
+///         static uint64_t &C =
+///             stats::Statistics::global().counter("checker.model_lookups");
+///         ++C;
+///
+///     so the steady-state cost is one increment — no map lookup, no
+///     branch on an enable flag.  Cell addresses are stable for the
+///     life of the process (`std::map` nodes never move), and reset()
+///     zeroes values without invalidating them.
+///
+///  2. Timers call the clock, which is not free, so they *are* gated:
+///     a ScopedTimer constructed while the registry is disabled does
+///     nothing.  Phase-level granularity (lex, parse, check, verify,
+///     optimize, eval) keeps the clock off the per-node paths.
+///
+///  3. Emission is deterministic: counters and timers print in name
+///     order, so two runs of the same workload diff cleanly and the
+///     per-PR `BENCH_*.json` trajectories are comparable.
+///
+/// Derived ratios are computed at emission time: for every counter pair
+/// `<prefix>.hits` / `<prefix>.misses` the reports include
+/// `<prefix>.hit_rate`.  That is how `--stats` reports the model-cache
+/// hit rate without the checker having to do division on the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SUPPORT_STATS_H
+#define FG_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace fg {
+namespace stats {
+
+/// Monotonic clock reading in nanoseconds.
+uint64_t nowNanos();
+
+/// The process-wide statistics registry.
+///
+/// Counters are always live (incrementing a uint64_t is cheaper than
+/// checking whether to).  The enabled flag gates timers and is the
+/// driver's signal that a report was requested at all.
+///
+/// Not thread-safe: the compiler is single-threaded per Frontend, and
+/// the registry mirrors that.  (Registration via counter() is idempotent
+/// and cheap enough to call once per call site via a local static.)
+class Statistics {
+public:
+  /// The singleton registry.
+  static Statistics &global();
+
+  void enable(bool On) { Enabled = On; }
+  bool isEnabled() const { return Enabled; }
+
+  /// Returns the cell for \p Name, creating it at zero on first use.
+  /// The reference stays valid (and keeps counting) forever.
+  uint64_t &counter(const std::string &Name);
+
+  /// Convenience increment for cold call sites.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    counter(Name) += Delta;
+  }
+
+  /// Accumulated wall-clock per named phase.
+  struct TimerRecord {
+    uint64_t Nanos = 0;
+    uint64_t Calls = 0;
+  };
+
+  /// Adds one timed interval to phase \p Name.
+  void addTime(const std::string &Name, uint64_t Nanos);
+
+  /// Zeroes every counter and timer; registered cells stay valid.
+  void reset();
+
+  /// Point-in-time copies, for tests and custom reporting.
+  std::map<std::string, uint64_t> counters() const { return Counters; }
+  std::map<std::string, TimerRecord> timers() const { return Timers; }
+
+  /// Human-readable report (aligned columns, ratios, microseconds).
+  void print(std::ostream &OS) const;
+
+  /// Machine-readable report:
+  ///   {"counters": {...}, "timers": {"p": {"nanos": n, "calls": c}},
+  ///    "derived": {"x.hit_rate": 0.93}}
+  void printJson(std::ostream &OS) const;
+
+private:
+  Statistics() = default;
+
+  bool Enabled = false;
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, TimerRecord> Timers;
+};
+
+/// Times one scope into a named phase.  Free when the registry is
+/// disabled at construction.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(const char *Name)
+      : Name(Name), Start(Statistics::global().isEnabled() ? nowNanos() : 0) {}
+
+  ~ScopedTimer() {
+    if (Start)
+      Statistics::global().addTime(Name, nowNanos() - Start);
+  }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  const char *Name;
+  uint64_t Start;
+};
+
+} // namespace stats
+} // namespace fg
+
+#endif // FG_SUPPORT_STATS_H

@@ -6,22 +6,36 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Frontend.h"
+#include "support/Stats.h"
 
 using namespace fg;
 
 CompileOutput Frontend::compile(const std::string &Name,
                                 const std::string &Source,
                                 const CompileOptions &Opts) {
+  static uint64_t &CompileCount =
+      stats::Statistics::global().counter("frontend.compilations");
+  ++CompileCount;
+  stats::ScopedTimer Total("frontend.compile");
+
   CompileOutput Out;
   uint32_t BufferId = SM.addBuffer(Name, Source);
   Parser P(SM, Diags, FgCtx, FgArena);
-  Out.Ast = P.parseProgram(BufferId);
+  {
+    stats::ScopedTimer Timer("frontend.parse");
+    Out.Ast = P.parseProgram(BufferId);
+  }
   if (!Out.Ast) {
     Out.ErrorMessage = Diags.firstError();
     return Out;
   }
 
-  Checked C = TheChecker.check(Out.Ast);
+  TheChecker.setModelCacheEnabled(Opts.EnableModelCache);
+  Checked C;
+  {
+    stats::ScopedTimer Timer("frontend.check");
+    C = TheChecker.check(Out.Ast);
+  }
   if (!C.ok()) {
     Out.ErrorMessage = Diags.firstError();
     return Out;
@@ -32,6 +46,7 @@ CompileOutput Frontend::compile(const std::string &Name,
   if (Opts.VerifyTranslation) {
     // Dynamic check of the paper's Theorems 1 and 2: the translation
     // must be well typed in plain System F.
+    stats::ScopedTimer Timer("frontend.verify");
     sf::TypeChecker SfChecker(SfCtx);
     Out.SfType = SfChecker.check(Out.SfTerm, ThePrelude.Types);
     if (!Out.SfType) {

@@ -47,6 +47,11 @@ struct CompileOptions {
   /// Re-check the translated term with the System F typechecker and
   /// fail if it does not typecheck (Theorem 1/2 as a dynamic check).
   bool VerifyTranslation = true;
+
+  /// Memoize model resolution and congruence queries in the checker.
+  /// Semantics-neutral either way (enforced by ModelCacheTest); off is
+  /// for A/B comparison and debugging.
+  bool EnableModelCache = true;
 };
 
 /// Everything produced for one program.

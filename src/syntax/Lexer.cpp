@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Lexer.h"
+#include "support/Stats.h"
 #include <cctype>
 #include <unordered_map>
 
@@ -123,6 +124,7 @@ static const std::unordered_map<std::string, TokenKind> &keywordTable() {
 
 std::vector<Token> fg::lexBuffer(const SourceManager &SM, uint32_t BufferId,
                                  DiagnosticEngine &Diags) {
+  stats::ScopedTimer Timer("lexer.lex");
   std::string_view Text = SM.getBufferText(BufferId);
   std::vector<Token> Tokens;
   size_t I = 0, E = Text.size();

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "syntax/Parser.h"
+#include "support/Stats.h"
 #include <cassert>
 
 using namespace fg;
@@ -39,10 +40,14 @@ int Parser::lookupConcept(const std::string &Name) const {
 }
 
 const Term *Parser::parseProgram(uint32_t BufferId) {
+  stats::ScopedTimer Timer("parser.parse");
   // Only *new* lexical errors abort this parse; the engine may carry
   // diagnostics from earlier compilations of other buffers.
   unsigned ErrorsBefore = Diags.getNumErrors();
   Tokens = lexBuffer(SM, BufferId, Diags);
+  static uint64_t &TokenCount =
+      stats::Statistics::global().counter("lexer.tokens");
+  TokenCount += Tokens.size();
   Pos = 0;
   TypeVarScope.clear();
   ConceptScope.clear();

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "systemf/Compile.h"
+#include "support/Stats.h"
 #include <cassert>
 #include <functional>
 #include <unordered_map>
@@ -357,6 +358,7 @@ CompiledTerm::CompiledTerm(CompiledTerm &&) noexcept = default;
 std::unique_ptr<CompiledTerm> CompiledTerm::compile(const Term *T,
                                                     const Prelude &Pre,
                                                     std::string *ErrorOut) {
+  stats::ScopedTimer Timer("compile.closures");
   Compiler C(Pre);
   Scope S;
   Code Entry = C.compile(T, S);

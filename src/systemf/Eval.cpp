@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "systemf/Eval.h"
+#include "support/Stats.h"
 #include <cassert>
 
 using namespace fg;
@@ -23,9 +24,14 @@ struct DepthGuard {
 } // namespace
 
 EvalResult Evaluator::eval(const Term *T, EnvPtr Env) {
+  stats::ScopedTimer Timer("eval.run");
   Steps = 0;
   Depth = 0;
-  return evalTerm(T, Env);
+  EvalResult R = evalTerm(T, Env);
+  static uint64_t &StepCount =
+      stats::Statistics::global().counter("eval.steps");
+  StepCount += Steps;
+  return R;
 }
 
 EvalResult Evaluator::apply(const ValuePtr &Fn,

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "systemf/Optimize.h"
+#include "support/Stats.h"
 #include <cassert>
 #include <string>
 #include <unordered_map>
@@ -623,7 +624,15 @@ private:
 const Term *fg::sf::specialize(TermArena &Arena, TypeContext &Ctx,
                                const Term *T, const OptimizeOptions &Opts,
                                OptimizeStats *Stats) {
+  fg::stats::ScopedTimer Timer("optimize.specialize");
   OptimizeStats Local;
-  Specializer S(Arena, Ctx, Opts, Stats ? *Stats : Local);
-  return S.run(T);
+  OptimizeStats &Out = Stats ? *Stats : Local;
+  Specializer S(Arena, Ctx, Opts, Out);
+  const Term *Result = S.run(T);
+  fg::stats::Statistics &G = fg::stats::Statistics::global();
+  G.add("optimize.typeapps_inlined", Out.TypeAppsInlined);
+  G.add("optimize.lets_inlined", Out.LetsInlined);
+  G.add("optimize.projections_folded", Out.ProjectionsFolded);
+  G.add("optimize.dead_lets_removed", Out.DeadLetsRemoved);
+  return Result;
 }

@@ -1,0 +1,173 @@
+//===- tests/ModelCacheTest.cpp - Caching is semantics-neutral ------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// The checker's model-resolution cache and the congruence query cache
+// (CompileOptions::EnableModelCache) are pure memoization: switching
+// them off must not change any observable output.  This suite compiles
+// every shipped program — examples/programs/*.fg and the conformance
+// corpus, including the deliberately ill-typed ones — once with the
+// caches on and once off, and requires byte-identical results: success
+// flag, rendered diagnostics, F_G type, and the pretty-printed System F
+// translation and its type.
+//
+// It also pins the cache-invalidation semantics directly: a model
+// leaving scope must invalidate (paper section 2.2, model scoping), and
+// repeated instantiation must actually hit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include "syntax/Frontend.h"
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <vector>
+
+using namespace fg;
+
+namespace {
+
+/// Everything observable about one compilation, as strings.
+struct Observation {
+  bool Success = false;
+  std::string Diagnostics;
+  std::string FgType;
+  std::string SfTerm;
+  std::string SfType;
+
+  bool operator==(const Observation &O) const {
+    return Success == O.Success && Diagnostics == O.Diagnostics &&
+           FgType == O.FgType && SfTerm == O.SfTerm && SfType == O.SfType;
+  }
+};
+
+Observation observe(const std::string &Name, const std::string &Source,
+                    bool EnableCache) {
+  Frontend FE;
+  CompileOptions Opts;
+  Opts.EnableModelCache = EnableCache;
+  CompileOutput Out = FE.compile(Name, Source, Opts);
+  Observation Obs;
+  Obs.Success = Out.Success;
+  Obs.Diagnostics = FE.getDiags().render();
+  if (Out.FgType)
+    Obs.FgType = typeToString(Out.FgType);
+  if (Out.SfTerm)
+    Obs.SfTerm = sf::termToString(Out.SfTerm);
+  if (Out.SfType)
+    Obs.SfType = sf::typeToString(Out.SfType);
+  return Obs;
+}
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const char *Dir : {FG_EXAMPLES_DIR, FG_CONFORMANCE_DIR})
+    for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+      if (Entry.path().extension() == ".fg")
+        Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+uint64_t counter(const char *Name) {
+  return stats::Statistics::global().counter(Name);
+}
+
+} // namespace
+
+class ModelCacheNeutrality : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelCacheNeutrality, CacheOnOffIdentical) {
+  std::ifstream In(GetParam());
+  ASSERT_TRUE(In.good()) << GetParam();
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Source = SS.str();
+
+  Observation On = observe(GetParam(), Source, /*EnableCache=*/true);
+  Observation Off = observe(GetParam(), Source, /*EnableCache=*/false);
+
+  EXPECT_EQ(On.Success, Off.Success) << GetParam();
+  EXPECT_EQ(On.Diagnostics, Off.Diagnostics) << GetParam();
+  EXPECT_EQ(On.FgType, Off.FgType) << GetParam();
+  EXPECT_EQ(On.SfTerm, Off.SfTerm)
+      << GetParam() << ": caching changed the translation";
+  EXPECT_EQ(On.SfType, Off.SfType) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ModelCacheNeutrality, ::testing::ValuesIn(corpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = std::filesystem::path(Info.param).stem().string();
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+// Repeated instantiation of the same generic at the same type must be
+// served from the cache after the first lookup (checkTyApp opens no
+// model scope, so nothing invalidates in between).
+TEST(ModelCache, RepeatedInstantiationHits) {
+  const std::string Source =
+      "concept Z<t> { v : t; } in\n"
+      "model Z<int> { v = 1; } in\n"
+      "let f = (forall t where Z<t>. Z<t>.v) in\n"
+      "iadd(f[int], iadd(f[int], iadd(f[int], f[int])))";
+  uint64_t Hits0 = counter("checker.model_cache.hits");
+  Observation Obs = observe("repeat.fg", Source, /*EnableCache=*/true);
+  ASSERT_TRUE(Obs.Success) << Obs.Diagnostics;
+  EXPECT_GE(counter("checker.model_cache.hits") - Hits0, 3u)
+      << "instantiations 2..4 of f[int] must hit";
+}
+
+// With the cache disabled, no hits or misses may be recorded at all.
+TEST(ModelCache, DisabledCacheStaysCold) {
+  const std::string Source =
+      "concept Z<t> { v : t; } in\n"
+      "model Z<int> { v = 1; } in\n"
+      "(forall t where Z<t>. Z<t>.v)[int]";
+  uint64_t Hits0 = counter("checker.model_cache.hits");
+  uint64_t Misses0 = counter("checker.model_cache.misses");
+  Observation Obs = observe("cold.fg", Source, /*EnableCache=*/false);
+  ASSERT_TRUE(Obs.Success) << Obs.Diagnostics;
+  EXPECT_EQ(counter("checker.model_cache.hits"), Hits0);
+  EXPECT_EQ(counter("checker.model_cache.misses"), Misses0);
+}
+
+// Overlapping models (paper Figure 6): the same instantiation under two
+// different innermost models must resolve differently even though the
+// (concept, args) cache key is identical.  The model-scope stamp makes
+// the cached entry unusable across the scope change; a stale cache
+// would make `sum` and `product` collapse to one dictionary.
+TEST(ModelCache, ScopedModelsDoNotLeakAcrossScopes) {
+  const std::string Source =
+      "concept M<t> { op : fn(t,t) -> t; z : t; } in\n"
+      "let apply = (forall t where M<t>. M<t>.op(M<t>.z, M<t>.z)) in\n"
+      "let a = (model M<int> { op = iadd; z = 2; } in apply[int]) in\n"
+      "let b = (model M<int> { op = imult; z = 3; } in apply[int]) in\n"
+      "iadd(a, b)";
+  Observation On = observe("scoped.fg", Source, /*EnableCache=*/true);
+  Observation Off = observe("scoped.fg", Source, /*EnableCache=*/false);
+  ASSERT_TRUE(On.Success) << On.Diagnostics;
+  EXPECT_EQ(On.SfTerm, Off.SfTerm)
+      << "cache leaked a model resolution across model scopes";
+}
+
+// A program that is rejected only because the needed model has gone out
+// of scope must still be rejected identically with the cache on.
+TEST(ModelCache, OutOfScopeModelStillRejected) {
+  const std::string Source =
+      "concept Z<t> { v : t; } in\n"
+      "let x = (model Z<int> { v = 1; } in Z<int>.v) in\n"
+      "(forall t where Z<t>. Z<t>.v)[int]";
+  Observation On = observe("escape.fg", Source, /*EnableCache=*/true);
+  Observation Off = observe("escape.fg", Source, /*EnableCache=*/false);
+  EXPECT_FALSE(On.Success)
+      << "the Z<int> model ends at the let; the instantiation must fail";
+  EXPECT_EQ(On.Success, Off.Success);
+  EXPECT_EQ(On.Diagnostics, Off.Diagnostics);
+}

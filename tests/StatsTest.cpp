@@ -1,0 +1,148 @@
+//===- tests/StatsTest.cpp - Compiler statistics registry -----------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Covers the support/Stats.h contract: counter cells are stable and
+// always live, reset() zeroes without invalidating, timers are gated on
+// the enabled flag, derived hit rates are computed at emission time,
+// and both report formats are deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+#include <gtest/gtest.h>
+#include <sstream>
+#include <thread>
+
+using namespace fg::stats;
+
+namespace {
+
+/// The registry is process-global, so every test starts from a clean
+/// slate and uses test-unique counter names.
+class StatsTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Statistics::global().reset();
+    Statistics::global().enable(false);
+  }
+  void TearDown() override {
+    Statistics::global().reset();
+    Statistics::global().enable(false);
+  }
+};
+
+} // namespace
+
+TEST_F(StatsTest, CounterStartsAtZeroAndCounts) {
+  uint64_t &C = Statistics::global().counter("statstest.basic");
+  EXPECT_EQ(C, 0u);
+  ++C;
+  C += 2;
+  EXPECT_EQ(Statistics::global().counters().at("statstest.basic"), 3u);
+}
+
+TEST_F(StatsTest, CounterCellIsStableAcrossRegistrations) {
+  uint64_t &A = Statistics::global().counter("statstest.stable");
+  uint64_t &B = Statistics::global().counter("statstest.stable");
+  EXPECT_EQ(&A, &B);
+  ++A;
+  EXPECT_EQ(B, 1u);
+}
+
+TEST_F(StatsTest, CountersAreLiveEvenWhenDisabled) {
+  ASSERT_FALSE(Statistics::global().isEnabled());
+  Statistics::global().add("statstest.disabled", 5);
+  EXPECT_EQ(Statistics::global().counters().at("statstest.disabled"), 5u);
+}
+
+TEST_F(StatsTest, ResetZeroesButKeepsCellsValid) {
+  uint64_t &C = Statistics::global().counter("statstest.reset");
+  C = 41;
+  Statistics::global().reset();
+  EXPECT_EQ(C, 0u) << "reset must zero in place";
+  ++C;
+  EXPECT_EQ(Statistics::global().counters().at("statstest.reset"), 1u)
+      << "the pre-reset reference must still feed the registry";
+}
+
+TEST_F(StatsTest, AddTimeAccumulatesNanosAndCalls) {
+  Statistics::global().addTime("statstest.phase", 100);
+  Statistics::global().addTime("statstest.phase", 50);
+  auto T = Statistics::global().timers().at("statstest.phase");
+  EXPECT_EQ(T.Nanos, 150u);
+  EXPECT_EQ(T.Calls, 2u);
+}
+
+TEST_F(StatsTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  { ScopedTimer T("statstest.gated"); }
+  EXPECT_EQ(Statistics::global().timers().count("statstest.gated"), 0u)
+      << "a timer constructed while disabled must record nothing";
+
+  Statistics::global().enable(true);
+  {
+    ScopedTimer T("statstest.gated");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto T = Statistics::global().timers().at("statstest.gated");
+  EXPECT_EQ(T.Calls, 1u);
+  EXPECT_GE(T.Nanos, 1000000u) << "slept >= 1ms inside the scope";
+}
+
+TEST_F(StatsTest, NowNanosIsMonotonic) {
+  uint64_t A = nowNanos();
+  uint64_t B = nowNanos();
+  EXPECT_LE(A, B);
+}
+
+TEST_F(StatsTest, JsonReportsCountersTimersAndDerivedHitRate) {
+  Statistics::global().add("statstest.cache.hits", 3);
+  Statistics::global().add("statstest.cache.misses", 1);
+  Statistics::global().addTime("statstest.check", 2500);
+
+  std::ostringstream OS;
+  Statistics::global().printJson(OS);
+  std::string J = OS.str();
+
+  EXPECT_NE(J.find("\"counters\""), std::string::npos);
+  EXPECT_NE(J.find("\"timers\""), std::string::npos);
+  EXPECT_NE(J.find("\"derived\""), std::string::npos);
+  EXPECT_NE(J.find("\"statstest.cache.hits\": 3"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"statstest.cache.misses\": 1"), std::string::npos);
+  EXPECT_NE(J.find("statstest.cache.hit_rate"), std::string::npos)
+      << "a hits/misses pair must yield a derived hit rate: " << J;
+  EXPECT_NE(J.find("0.75"), std::string::npos) << "3/(3+1): " << J;
+  EXPECT_NE(J.find("\"nanos\": 2500"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"calls\": 1"), std::string::npos) << J;
+}
+
+TEST_F(StatsTest, HitRateOmittedWithoutBothHalves) {
+  Statistics::global().add("statstest.lonely.hits", 7);
+  std::ostringstream OS;
+  Statistics::global().printJson(OS);
+  EXPECT_EQ(OS.str().find("statstest.lonely.hit_rate"), std::string::npos);
+}
+
+TEST_F(StatsTest, HumanReportMentionsCountersAndRates) {
+  Statistics::global().add("statstest.cache.hits", 1);
+  Statistics::global().add("statstest.cache.misses", 1);
+  std::ostringstream OS;
+  Statistics::global().print(OS);
+  std::string R = OS.str();
+  EXPECT_NE(R.find("statstest.cache.hits"), std::string::npos) << R;
+  EXPECT_NE(R.find("statstest.cache.hit_rate"), std::string::npos) << R;
+  EXPECT_NE(R.find("50.0%"), std::string::npos) << R;
+}
+
+TEST_F(StatsTest, EmissionIsDeterministic) {
+  Statistics::global().add("statstest.b", 2);
+  Statistics::global().add("statstest.a", 1);
+  Statistics::global().addTime("statstest.t", 10);
+  std::ostringstream A, B;
+  Statistics::global().printJson(A);
+  Statistics::global().printJson(B);
+  EXPECT_EQ(A.str(), B.str());
+  // Name order, not insertion order.
+  EXPECT_LT(A.str().find("statstest.a"), A.str().find("statstest.b"));
+}
