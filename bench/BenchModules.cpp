@@ -1,0 +1,177 @@
+//===- bench/BenchModules.cpp - Experiment P6 -----------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P6: separate compilation throughput.  Generates a wide
+/// module graph on disk — one concept-library `base`, N independent
+/// `mid<i>` modules importing it, one `main` importing every mid — and
+/// measures:
+///
+///   * batch checking at -j1 vs all hardware threads (the mids are
+///     mutually independent, so the wavefront covers them all);
+///   * a warm rebuild, where every module is an interface-cache hit;
+///   * the whole-program link path on the same graph, as the baseline
+///     separate compilation competes against.
+///
+//===----------------------------------------------------------------------===//
+
+#include "modules/Batch.h"
+#include "modules/Loader.h"
+#include "syntax/Frontend.h"
+#include "BenchMain.h"
+#include <benchmark/benchmark.h>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+using namespace fg;
+using namespace fg::modules;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Writes the N-module workload (base + N mids + main) into \p Dir and
+/// returns main's path.  Each mid declares its own model and a chain of
+/// generic instantiations, so checking it costs real model lookups.
+std::string writeWorkload(const fs::path &Dir, unsigned Mids) {
+  std::ofstream(Dir / "base.fg")
+      << "module base;\n"
+         "concept M<t> { op : fn(t,t) -> t; z : t; } in\n"
+         "let app = (forall t where M<t>. fun(x : t). M<t>.op(x, M<t>.z))\n"
+         "in 0\n";
+  for (unsigned I = 0; I < Mids; ++I) {
+    std::ostringstream OS;
+    OS << "module mid" << I << ";\nimport base;\n"
+       << "model M<int> { op = iadd; z = " << I % 7 << "; } in\n";
+    std::string Expr = std::to_string(I);
+    for (unsigned K = 0; K < 24; ++K)
+      Expr = "app[int](" + Expr + ")";
+    OS << "let v" << I << " = " << Expr << " in 0\n";
+    std::ofstream(Dir / ("mid" + std::to_string(I) + ".fg")) << OS.str();
+  }
+  std::ostringstream Main;
+  Main << "module main;\n";
+  for (unsigned I = 0; I < Mids; ++I)
+    Main << "import mid" << I << ";\n";
+  std::string Sum = "0";
+  for (unsigned I = 0; I < Mids; ++I)
+    Sum = "iadd(v" + std::to_string(I) + ", " + Sum + ")";
+  Main << Sum << "\n";
+  std::ofstream(Dir / "main.fg") << Main.str();
+  return (Dir / "main.fg").string();
+}
+
+/// Per-size workload on disk plus its loaded graph, set up once and
+/// shared across iterations (runBatch takes the loader const).
+struct Workload {
+  fs::path Dir;
+  ModuleLoader Loader;
+  std::string Root;
+
+  explicit Workload(unsigned Mids) {
+    Dir = fs::temp_directory_path() /
+          ("fgc_bench_modules_" + std::to_string(Mids));
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+    std::string MainPath = writeWorkload(Dir, Mids);
+    std::string Error;
+    if (!Loader.loadFile(MainPath, Root, Error)) {
+      std::cerr << "bench: workload failed to load: " << Error << "\n";
+      std::abort();
+    }
+  }
+  ~Workload() { fs::remove_all(Dir); }
+};
+
+Workload &workload(unsigned Mids) {
+  static std::map<unsigned, std::unique_ptr<Workload>> Cache;
+  auto &W = Cache[Mids];
+  if (!W)
+    W = std::make_unique<Workload>(Mids);
+  return *W;
+}
+
+void runBatchBench(benchmark::State &State, unsigned Jobs, bool Warm) {
+  Workload &W = workload(static_cast<unsigned>(State.range(0)));
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheDir = (W.Dir / "cache").string();
+  Opts.UseCache = Warm;
+  if (Warm) {
+    // Prime once; every timed iteration is then all cache hits.
+    fs::create_directories(Opts.CacheDir);
+    BatchResult Prime = runBatch(W.Loader, {W.Root}, Opts);
+    if (!Prime.Success)
+      State.SkipWithError("priming batch failed");
+  }
+  for (auto _ : State) {
+    BatchResult BR = runBatch(W.Loader, {W.Root}, Opts);
+    if (!BR.Success)
+      State.SkipWithError("batch failed");
+    benchmark::DoNotOptimize(BR.Results.data());
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          (static_cast<int64_t>(State.range(0)) + 2));
+}
+
+} // namespace
+
+/// Cold check, one worker: every module type-checked, in sequence.
+static void BM_BatchColdSerial(benchmark::State &State) {
+  runBatchBench(State, /*Jobs=*/1, /*Warm=*/false);
+}
+BENCHMARK(BM_BatchColdSerial)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cold check, four workers.  The mid modules are independent, so the
+/// speedup over BM_BatchColdSerial is the wavefront's parallel win
+/// (visible on hosts with multiple cores; on a single core the two
+/// series bound the scheduler's overhead instead).
+static void BM_BatchColdParallel(benchmark::State &State) {
+  runBatchBench(State, /*Jobs=*/4, /*Warm=*/false);
+}
+BENCHMARK(BM_BatchColdParallel)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm rebuild: nothing changed, every module is an interface-cache
+/// hit (hash check + one file read per module).
+static void BM_BatchWarm(benchmark::State &State) {
+  runBatchBench(State, /*Jobs=*/1, /*Warm=*/true);
+}
+BENCHMARK(BM_BatchWarm)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// The whole-program alternative: splice every module's declaration
+/// spine into one program and check that.  Separate compilation's cold
+/// cost should stay in the same ballpark; its warm cost should be far
+/// below.
+static void BM_LinkWholeProgram(benchmark::State &State) {
+  Workload &W = workload(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    Frontend FE;
+    std::string Error;
+    const Term *Program = W.Loader.link(FE, W.Root, Error);
+    if (!Program) {
+      State.SkipWithError(Error.c_str());
+      break;
+    }
+    CompileOutput Out = FE.compileTerm(Program);
+    if (!Out.Success) {
+      State.SkipWithError(Out.ErrorMessage.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(Out.SfTerm);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          (static_cast<int64_t>(State.range(0)) + 2));
+}
+BENCHMARK(BM_LinkWholeProgram)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+FG_BENCH_MAIN()

@@ -82,6 +82,113 @@ void Checker::bindGlobal(const std::string &Name, const Type *FgTy) {
   ++NumGlobals;
 }
 
+//===----------------------------------------------------------------------===//
+// Module-interface imports
+//===----------------------------------------------------------------------===//
+
+void Checker::declareConcept(ConceptInfo Info) {
+  unsigned Id = Info.Id;
+  Concepts[Id] = std::move(Info);
+}
+
+const ConceptInfo *Checker::findConcept(unsigned Id) const {
+  auto It = Concepts.find(Id);
+  return It == Concepts.end() ? nullptr : &It->second;
+}
+
+void Checker::bindImportedAlias(unsigned ParamId, const std::string &Name,
+                                const Type *Target) {
+  // Null image: the alias is only resolvable through the congruence
+  // closure, the same representation checkTypeAlias uses.
+  GlobalParams[ParamId] = nullptr;
+  ParamsInScope[ParamId] = nullptr;
+  CC.assertEqual(FgCtx.getParamType(ParamId, Name), Target);
+}
+
+const sf::Type *Checker::bindImportedModel(const ImportedModel &M) {
+  const ModelRecord &R = M.Record;
+  const ConceptInfo *Info = getConcept(R.ConceptId, SourceLocation());
+  if (!Info)
+    return nullptr;
+
+  ConceptRef Head;
+  Head.ConceptId = R.ConceptId;
+  Head.ConceptName = Info->Name;
+  Head.Args = R.Args;
+
+  // The model's associated-type facts, C<args>.s == tau.
+  std::vector<TypeEquation> AssocEqs;
+  for (const auto &[Name, Ty] : R.AssocBindings)
+    AssocEqs.push_back(
+        {FgCtx.getAssocType(R.ConceptId, Info->Name,
+                            std::vector<const Type *>(R.Args), Name),
+         Ty});
+
+  const sf::Type *DictTy = nullptr;
+  if (!R.isParameterized()) {
+    if (M.Name) {
+      // Named: the equations only become ambient under `use`, so assert
+      // them in a throwaway scope just to type the dictionary.
+      ScopeRAII Scope(*this);
+      for (const TypeEquation &E : AssocEqs)
+        CC.assertEqual(E.Lhs, E.Rhs);
+      DictTy = computeDictType(Head, SourceLocation());
+    } else {
+      for (const TypeEquation &E : AssocEqs)
+        CC.assertEqual(E.Lhs, E.Rhs);
+      DictTy = computeDictType(Head, SourceLocation());
+    }
+  } else {
+    // Mirror checkModelDecl: the dictionary variable holds a dictionary
+    // *function*  forall params, slots. fn(requirement dicts) -> dict.
+    ScopeRAII Scope(*this);
+    std::vector<sf::TypeParamDecl> SfParams;
+    for (const TypeParamDecl &P : R.Params) {
+      unsigned SfId = SfCtx.freshParamId();
+      SfParams.push_back({SfId, P.Name});
+      bindParamInScope(Scope.mark(), P.Id, SfCtx.getParamType(SfId, P.Name));
+    }
+    WhereInfo W = processWhereClause(Scope.mark(), R.Requirements,
+                                     R.Equations, SourceLocation());
+    if (!W.Ok)
+      return nullptr;
+    for (const TypeEquation &E : AssocEqs)
+      CC.assertEqual(E.Lhs, E.Rhs);
+    const sf::Type *HeadTy = computeDictType(Head, SourceLocation());
+    if (!HeadTy)
+      return nullptr;
+    const sf::Type *Inner = HeadTy;
+    if (!W.Dicts.empty()) {
+      std::vector<const sf::Type *> DictTys;
+      DictTys.reserve(W.Dicts.size());
+      for (const auto &[Name, Ty] : W.Dicts)
+        DictTys.push_back(Ty);
+      Inner = SfCtx.getArrowType(std::move(DictTys), HeadTy);
+    }
+    for (const sf::TypeParamDecl &P : W.AssocParams)
+      SfParams.push_back(P);
+    DictTy = SfCtx.getForAllType(std::move(SfParams), Inner);
+  }
+  if (!DictTy)
+    return nullptr;
+
+  // Register outside any scope so the model survives check() resets;
+  // named models mirror checkModelDecl's NamedModels bookkeeping.
+  if (M.Name) {
+    NamedModel NM{R, R.isParameterized() ? std::vector<TypeEquation>{}
+                                         : AssocEqs};
+    ImportedNamedModels[*M.Name] = NM;
+    NamedModels[*M.Name] = std::move(NM);
+  } else {
+    assert(Models.size() == NumGlobalModels &&
+           "imports must be bound before checking");
+    Models.push_back(R);
+    ++NumGlobalModels;
+    noteModelsChanged();
+  }
+  return DictTy;
+}
+
 Checked Checker::error(SourceLocation Loc, std::string Message) {
   Diags.error(Loc, std::move(Message));
   return {};
@@ -145,7 +252,7 @@ void Checker::flushModelCachesIfStale() {
       CachedCCVersion == CC.getVersion())
     return;
   if (!LookupCache.empty() || !ResolveCache.empty()) {
-    static uint64_t &FlushCount =
+    static std::atomic<uint64_t> &FlushCount =
         stats::Statistics::global().counter("checker.model_cache.flushes");
     ++FlushCount;
     LookupCache.clear();
@@ -173,7 +280,7 @@ int Checker::lookupModelScan(unsigned ConceptId,
 
 int Checker::lookupModel(unsigned ConceptId,
                          const std::vector<const Type *> &Args) {
-  static uint64_t &LookupCount =
+  static std::atomic<uint64_t> &LookupCount =
       stats::Statistics::global().counter("checker.model_lookups");
   ++LookupCount;
   if (!ModelCacheEnabled)
@@ -191,12 +298,12 @@ int Checker::lookupModel(unsigned ConceptId,
   flushModelCachesIfStale();
   auto It = LookupCache.find(K);
   if (It != LookupCache.end()) {
-    static uint64_t &HitCount =
+    static std::atomic<uint64_t> &HitCount =
         stats::Statistics::global().counter("checker.model_cache.hits");
     ++HitCount;
     return It->second;
   }
-  static uint64_t &MissCount =
+  static std::atomic<uint64_t> &MissCount =
       stats::Statistics::global().counter("checker.model_cache.misses");
   ++MissCount;
 
@@ -267,7 +374,7 @@ bool Checker::matchType(const Type *Pattern, const Type *Query,
 
 ModelResolution Checker::resolveModel(unsigned ConceptId,
                                       const std::vector<const Type *> &Args) {
-  static uint64_t &ResolveCount =
+  static std::atomic<uint64_t> &ResolveCount =
       stats::Statistics::global().counter("checker.model_resolutions");
   ++ResolveCount;
 
@@ -287,12 +394,12 @@ ModelResolution Checker::resolveModel(unsigned ConceptId,
     Key = {ConceptId, Query};
     auto It = ResolveCache.find(Key);
     if (It != ResolveCache.end()) {
-      static uint64_t &HitCount =
+      static std::atomic<uint64_t> &HitCount =
           stats::Statistics::global().counter("checker.model_cache.hits");
       ++HitCount;
       return {It->second, {}};
     }
-    static uint64_t &MissCount =
+    static std::atomic<uint64_t> &MissCount =
         stats::Statistics::global().counter("checker.model_cache.misses");
     ++MissCount;
     CCStamp = CC.getVersion();
@@ -920,15 +1027,16 @@ bool Checker::findMember(unsigned ConceptId,
 
 Checked Checker::check(const Term *Program) {
   stats::ScopedTimer Timer("checker.check");
-  static uint64_t &ProgramCount =
+  static std::atomic<uint64_t> &ProgramCount =
       stats::Statistics::global().counter("checker.programs");
   ++ProgramCount;
-  // Reset any state left over from a previous program.
+  // Reset any state left over from a previous program, keeping the
+  // global layer (builtins plus anything the module loader imported).
   VarEnv.resize(NumGlobals);
-  Models.clear();
+  Models.resize(NumGlobalModels);
   noteModelsChanged();
-  NamedModels.clear();
-  ParamsInScope.clear();
+  NamedModels = ImportedNamedModels;
+  ParamsInScope = GlobalParams;
   TranslationInProgress.clear();
   CurWhere = nullptr;
   InConceptDecl = false;
@@ -1276,12 +1384,16 @@ Checked Checker::checkConceptDecl(const ConceptDeclTerm *T) {
     return {};
 
   // Rule CPT side condition: c must not occur in the result type.
-  std::unordered_set<unsigned> Used;
-  FgCtx.collectConceptIds(Body.Ty, Used);
-  if (Used.count(T->getConceptId()))
-    return error(T->getLoc(), "concept `" + T->getName() +
-                                  "` escapes its scope in the type `" +
-                                  typeToString(Body.Ty) + "`");
+  // Module export probes lift this (setAllowConceptEscape): the escape
+  // is the export, and importers see the concept via the interface.
+  if (!AllowConceptEscape) {
+    std::unordered_set<unsigned> Used;
+    FgCtx.collectConceptIds(Body.Ty, Used);
+    if (Used.count(T->getConceptId()))
+      return error(T->getLoc(), "concept `" + T->getName() +
+                                    "` escapes its scope in the type `" +
+                                    typeToString(Body.Ty) + "`");
+  }
   return Body;
 }
 

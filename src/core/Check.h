@@ -137,6 +137,53 @@ public:
   void setModelCacheEnabled(bool On);
   bool isModelCacheEnabled() const { return ModelCacheEnabled; }
 
+  /// Disables the rule-CPT side condition that a concept id must not
+  /// occur in its body's result type.  A module's export probe *means*
+  /// to leak its concepts — importers receive the full declarations
+  /// through the interface, so the escaping ids stay meaningful.  Off
+  /// (i.e. the check is enforced) by default.
+  void setAllowConceptEscape(bool On) { AllowConceptEscape = On; }
+
+  //===--------------------------------------------------------------===//
+  // Module-interface imports (src/modules)
+  //===--------------------------------------------------------------===//
+  //
+  // Separate compilation checks a module against the *interfaces* of
+  // its imports instead of their bodies.  The module loader replays an
+  // interface into the checker through the three bind* entry points
+  // below before check() runs; like bindGlobal(), everything they
+  // install survives across check() calls on the same checker.
+
+  /// Registers a concept declared in another module.  \p Info must use
+  /// ids minted from this checker's F_G TypeContext (the loader remaps
+  /// serialized ids on instantiation).
+  void declareConcept(ConceptInfo Info);
+
+  /// Non-diagnosing concept lookup, for interface serialization.
+  const ConceptInfo *findConcept(unsigned Id) const;
+
+  /// Makes an imported type alias `Name == Target` ambient: the alias
+  /// parameter becomes permanently in scope and the congruence closure
+  /// learns the defining equation, exactly as a `type t = tau in ...`
+  /// wrapper around the whole program would.
+  void bindImportedAlias(unsigned ParamId, const std::string &Name,
+                         const Type *Target);
+
+  /// A model reconstructed from a module interface: the record (over
+  /// remapped ids) plus its name, if it was a named model.
+  struct ImportedModel {
+    ModelRecord Record;
+    std::optional<std::string> Name;
+  };
+
+  /// Registers an imported model so importers resolve it like any model
+  /// in an enclosing scope.  Returns the System F type of the free
+  /// dictionary variable \p M.Record.DictVar that translated importers
+  /// will reference (a dictionary tuple, or for parameterized models a
+  /// dictionary-function type mirroring checkModelDecl's term shape);
+  /// null after diagnosing.
+  const sf::Type *bindImportedModel(const ImportedModel &M);
+
   class ScopeRAII;
 
 private:
@@ -388,10 +435,18 @@ private:
   std::vector<std::pair<std::string, const Type *>> VarEnv;
   size_t NumGlobals = 0;
 
+  /// The prefix of Models installed by bindImportedModel; check()
+  /// truncates to here instead of clearing.
+  size_t NumGlobalModels = 0;
+
   /// Type parameters in scope: F_G param id -> System F image (null for
   /// parameters that are only resolvable through the congruence closure,
   /// e.g. concept parameters at declaration time and type aliases).
   std::unordered_map<unsigned, const sf::Type *> ParamsInScope;
+
+  /// Imported aliases (bindImportedAlias): re-seeded into ParamsInScope
+  /// at every check().
+  std::unordered_map<unsigned, const sf::Type *> GlobalParams;
 
   /// All concepts ever declared (ids are globally unique).
   std::unordered_map<unsigned, ConceptInfo> Concepts;
@@ -406,6 +461,10 @@ private:
     std::vector<TypeEquation> AssocEquations;
   };
   std::unordered_map<std::string, NamedModel> NamedModels;
+
+  /// Named models installed by bindImportedModel: re-seeded into
+  /// NamedModels at every check().
+  std::unordered_map<std::string, NamedModel> ImportedNamedModels;
 
   /// Guards against cyclic same-type constraints during translation.
   std::unordered_set<const Type *> TranslationInProgress;
@@ -426,6 +485,8 @@ private:
   /// LookupCache backs lookupModel, ResolveCache backs resolveModel;
   /// values are indices into Models, -1 for "no model".
   bool ModelCacheEnabled = true;
+  /// See setAllowConceptEscape().
+  bool AllowConceptEscape = false;
   uint64_t ModelStackVersion = 0;
   uint64_t CachedModelStackVersion = 0;
   uint64_t CachedCCVersion = 0;

@@ -139,7 +139,7 @@ void Congruence::merge(unsigned A, unsigned B) {
   unsigned RA = UF.find(A), RB = UF.find(B);
   if (RA == RB)
     return;
-  static uint64_t &MergeCount =
+  static std::atomic<uint64_t> &MergeCount =
       stats::Statistics::global().counter("congruence.merges");
   ++MergeCount;
   ++NumMerges;
@@ -205,7 +205,7 @@ void Congruence::processPending() {
 }
 
 void Congruence::assertEqual(const Type *Lhs, const Type *Rhs) {
-  static uint64_t &AssertCount =
+  static std::atomic<uint64_t> &AssertCount =
       stats::Statistics::global().counter("congruence.assertions");
   ++AssertCount;
   unsigned A = internNode(Lhs);
@@ -223,7 +223,7 @@ void Congruence::setQueryCacheEnabled(bool On) {
 bool Congruence::isEqual(const Type *A, const Type *B) {
   if (A == B)
     return true;
-  static uint64_t &QueryCount =
+  static std::atomic<uint64_t> &QueryCount =
       stats::Statistics::global().counter("congruence.queries");
   ++QueryCount;
 
@@ -237,12 +237,12 @@ bool Congruence::isEqual(const Type *A, const Type *B) {
     }
     auto It = QueryCache.find(Key);
     if (It != QueryCache.end()) {
-      static uint64_t &HitCount =
+      static std::atomic<uint64_t> &HitCount =
           stats::Statistics::global().counter("congruence.query_cache.hits");
       ++HitCount;
       return It->second;
     }
-    static uint64_t &MissCount =
+    static std::atomic<uint64_t> &MissCount =
         stats::Statistics::global().counter("congruence.query_cache.misses");
     ++MissCount;
   }

@@ -396,7 +396,7 @@ std::shared_ptr<const RuntimeModel>
 Interpreter::resolveModel(unsigned ConceptId,
                           const std::vector<const Type *> &Args, const Env &E,
                           unsigned RDepth, std::string &ErrorOut) {
-  static uint64_t &ResolveCount =
+  static std::atomic<uint64_t> &ResolveCount =
       stats::Statistics::global().counter("interp.model_resolutions");
   ++ResolveCount;
   if (RDepth > 64) {

@@ -283,7 +283,7 @@ TypeEquation TypeContext::substitute(const TypeEquation &E,
 }
 
 const Type *TypeContext::substitute(const Type *T, const TypeSubst &Subst) {
-  static uint64_t &SubstCount =
+  static std::atomic<uint64_t> &SubstCount =
       stats::Statistics::global().counter("types.substitutions");
   ++SubstCount;
   if (Subst.empty())

@@ -8,8 +8,17 @@
 /// \file
 /// Command-line driver:
 ///
-///   fgc [options] file.fg      compile and run an F_G program
-///   fgc [options] -            read the program from stdin
+///   fgc [options] file.fg            compile and run an F_G program
+///   fgc [options] -                  read the program from stdin
+///   fgc --batch [options] paths...   separately check a module graph
+///
+/// A single file that declares `module`/`import` is automatically
+/// compiled through the module loader: its imports are resolved, the
+/// modules are linked into one program, and the usual pipeline runs on
+/// the result.  `--batch` instead checks every module separately
+/// against its dependencies' serialized `.fgi` interfaces, scheduling
+/// independent modules across a thread pool; a directory argument means
+/// every `.fg` file in it.
 ///
 /// Options:
 ///   --check        stop after typechecking; print the F_G type
@@ -20,6 +29,13 @@
 ///                  the System F translation (and cross-check the two)
 ///   --optimize     also specialize the translation (dictionary
 ///                  elimination), print it, and cross-check its value
+///   --batch        separately check modules; write `.fgi` interfaces
+///   -j <n>         batch worker threads (0 = all hardware threads)
+///   -I <dir>       add a module search path (repeatable)
+///   --module-cache=<dir>
+///                  write/read `.fgi` interfaces in <dir> instead of
+///                  next to each source file
+///   --no-cache     ignore existing `.fgi` files; recheck everything
 ///   --stats        print compiler statistics (phase timings, counter
 ///                  values, cache hit rates) to stderr on exit
 ///   --stats-json=<file>
@@ -32,9 +48,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "modules/Batch.h"
+#include "modules/Loader.h"
 #include "support/Stats.h"
 #include "syntax/Frontend.h"
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -44,10 +65,30 @@ using namespace fg;
 
 namespace {
 
-int usage() {
-  std::cerr << "usage: fgc [--check] [--translate] [--ast] [--no-verify] "
-               "[--direct] [--optimize] [--stats] [--stats-json=<file>] "
-               "[--no-model-cache] <file.fg | ->\n";
+void printUsage(std::ostream &OS) {
+  OS << "usage: fgc [options] <file.fg | ->\n"
+        "       fgc --batch [options] <files-or-directories...>\n"
+        "\n"
+        "options:\n"
+        "  --check                stop after typechecking\n"
+        "  --translate            print the System F translation\n"
+        "  --ast                  print the parsed program\n"
+        "  --no-verify            skip System F re-checking\n"
+        "  --direct               cross-check with the direct interpreter\n"
+        "  --optimize             specialize and cross-check the result\n"
+        "  --batch                separately check modules (.fgi output)\n"
+        "  -j <n>                 batch worker threads (0 = all cores)\n"
+        "  -I <dir>               add a module search path\n"
+        "  --module-cache=<dir>   directory for .fgi interface files\n"
+        "  --no-cache             ignore existing .fgi files\n"
+        "  --stats                print statistics to stderr on exit\n"
+        "  --stats-json=<file>    write statistics as JSON (- for stdout)\n"
+        "  --no-model-cache       disable checker memoization\n"
+        "  --help, -h             print this help\n";
+}
+
+int usageError() {
+  printUsage(std::cerr);
   return 2;
 }
 
@@ -77,13 +118,97 @@ struct StatsReporter {
   }
 };
 
+/// Expands batch path arguments: a directory stands for every `.fg`
+/// file directly inside it, sorted by name.
+bool expandBatchPaths(const std::vector<std::string> &Args,
+                      std::vector<std::string> &Files) {
+  namespace fs = std::filesystem;
+  for (const std::string &Arg : Args) {
+    std::error_code EC;
+    if (fs::is_directory(Arg, EC)) {
+      std::vector<std::string> Found;
+      for (const auto &Entry : fs::directory_iterator(Arg, EC))
+        if (Entry.path().extension() == ".fg")
+          Found.push_back(Entry.path().string());
+      std::sort(Found.begin(), Found.end());
+      if (Found.empty()) {
+        std::cerr << "fgc: error: no .fg files in `" << Arg << "`\n";
+        return false;
+      }
+      Files.insert(Files.end(), Found.begin(), Found.end());
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+int runBatchMode(const std::vector<std::string> &PathArgs,
+                 const std::vector<std::string> &SearchPaths, unsigned Jobs,
+                 const std::string &CacheDir, bool UseCache,
+                 const CompileOptions &Opts) {
+  std::vector<std::string> Files;
+  if (!expandBatchPaths(PathArgs, Files))
+    return 1;
+
+  if (!CacheDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(CacheDir, EC);
+    if (EC) {
+      std::cerr << "fgc: error: cannot create module cache directory `"
+                << CacheDir << "`: " << EC.message() << "\n";
+      return 1;
+    }
+  }
+
+  modules::ModuleLoader::Options LO;
+  LO.SearchPaths = SearchPaths;
+  modules::ModuleLoader Loader(LO);
+  std::vector<std::string> Roots;
+  for (const std::string &File : Files) {
+    std::string Root, Error;
+    if (!Loader.loadFile(File, Root, Error)) {
+      std::cerr << "fgc: error: " << Error << "\n";
+      return 1;
+    }
+    Roots.push_back(Root);
+  }
+
+  modules::BatchOptions BO;
+  BO.Jobs = Jobs;
+  BO.CacheDir = CacheDir;
+  BO.UseCache = UseCache;
+  BO.Verify = Opts.VerifyTranslation;
+  BO.EnableModelCache = Opts.EnableModelCache;
+  modules::BatchResult BR = modules::runBatch(Loader, Roots, BO);
+
+  unsigned Checked = 0, Cached = 0;
+  for (const modules::ModuleBuildResult &R : BR.Results) {
+    if (R.Success) {
+      std::cout << "module " << R.Module << ": "
+                << (R.CacheHit ? "cached" : "checked") << "\n";
+      ++(R.CacheHit ? Cached : Checked);
+    } else if (R.Skipped) {
+      std::cerr << "module " << R.Module << ": skipped (" << R.Error
+                << ")\n";
+    } else {
+      std::cerr << "module " << R.Module << ": error: " << R.Error << "\n";
+    }
+  }
+  std::cout << "batch: " << BR.Results.size() << " modules, " << Checked
+            << " checked, " << Cached << " cached\n";
+  return BR.Success ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool CheckOnly = false, PrintTranslation = false, PrintAst = false;
-  bool Direct = false, Optimize = false;
+  bool Direct = false, Optimize = false, Batch = false, UseCache = true;
+  unsigned Jobs = 1;
+  std::vector<std::string> SearchPaths, Paths;
+  std::string CacheDir;
   CompileOptions Opts;
-  std::string Path;
   StatsReporter Reporter;
 
   for (int I = 1; I < Argc; ++I) {
@@ -98,6 +223,10 @@ int main(int Argc, char **Argv) {
       Direct = true;
     else if (Arg == "--optimize")
       Optimize = true;
+    else if (Arg == "--batch")
+      Batch = true;
+    else if (Arg == "--no-cache")
+      UseCache = false;
     else if (Arg == "--no-verify")
       Opts.VerifyTranslation = false;
     else if (Arg == "--stats")
@@ -106,25 +235,53 @@ int main(int Argc, char **Argv) {
       Reporter.JsonPath = Arg.substr(std::string("--stats-json=").size());
       if (Reporter.JsonPath.empty()) {
         std::cerr << "fgc: error: --stats-json= requires a file name\n";
-        return usage();
+        return usageError();
       }
-    }
-    else if (Arg == "--no-model-cache")
+    } else if (Arg.rfind("--module-cache=", 0) == 0) {
+      CacheDir = Arg.substr(std::string("--module-cache=").size());
+      if (CacheDir.empty()) {
+        std::cerr << "fgc: error: --module-cache= requires a directory\n";
+        return usageError();
+      }
+    } else if (Arg == "--no-model-cache")
       Opts.EnableModelCache = false;
-    else if (Arg == "--help" || Arg == "-h")
-      return usage();
-    else if (!Arg.empty() && Arg[0] == '-' && Arg != "-")
-      return usage();
-    else if (Path.empty())
-      Path = Arg;
+    else if (Arg == "-j" || Arg.rfind("-j", 0) == 0) {
+      std::string Value = Arg == "-j" ? (I + 1 < Argc ? Argv[++I] : "")
+                                      : Arg.substr(2);
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0') {
+        std::cerr << "fgc: error: -j requires a number\n";
+        return usageError();
+      }
+      Jobs = static_cast<unsigned>(N);
+    } else if (Arg == "-I" || Arg.rfind("-I", 0) == 0) {
+      std::string Value = Arg == "-I" ? (I + 1 < Argc ? Argv[++I] : "")
+                                      : Arg.substr(2);
+      if (Value.empty()) {
+        std::cerr << "fgc: error: -I requires a directory\n";
+        return usageError();
+      }
+      SearchPaths.push_back(Value);
+    } else if (Arg == "--help" || Arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-' && Arg != "-")
+      return usageError();
     else
-      return usage();
+      Paths.push_back(Arg);
   }
-  if (Path.empty())
-    return usage();
+  if (Paths.empty())
+    return usageError();
+  if (!Batch && Paths.size() > 1)
+    return usageError();
   if (Reporter.Human || !Reporter.JsonPath.empty())
     stats::Statistics::global().enable(true);
 
+  if (Batch)
+    return runBatchMode(Paths, SearchPaths, Jobs, CacheDir, UseCache, Opts);
+
+  const std::string &Path = Paths[0];
   std::string Source;
   if (Path == "-") {
     std::ostringstream SS;
@@ -142,8 +299,41 @@ int main(int Argc, char **Argv) {
   }
 
   Frontend FE;
-  CompileOutput Out = FE.compile(Path == "-" ? "<stdin>" : Path, Source,
-                                 Opts);
+  CompileOutput Out;
+
+  // A file with a module header routes through the loader: imports are
+  // resolved and the graph is linked into one program, which then flows
+  // through the same pipeline as a plain file.
+  ModuleHeader Header;
+  std::string HeaderError;
+  bool IsModule = false;
+  if (Path != "-") {
+    if (!modules::ModuleLoader::scanHeader(Path, Source, Header,
+                                           HeaderError)) {
+      std::cerr << "fgc: error: " << HeaderError << "\n";
+      return 1;
+    }
+    IsModule = Header.HasModuleDecl || !Header.Imports.empty();
+  }
+  if (IsModule) {
+    modules::ModuleLoader::Options LO;
+    LO.SearchPaths = SearchPaths;
+    modules::ModuleLoader Loader(LO);
+    std::string Root, Error;
+    if (!Loader.loadFile(Path, Root, Error)) {
+      std::cerr << "fgc: error: " << Error << "\n";
+      return 1;
+    }
+    const Term *Program = Loader.link(FE, Root, Error);
+    if (!Program) {
+      std::cerr << "fgc: error: " << Error << "\n";
+      std::cerr << FE.getDiags().render();
+      return 1;
+    }
+    Out = FE.compileTerm(Program, Opts);
+  } else {
+    Out = FE.compile(Path == "-" ? "<stdin>" : Path, Source, Opts);
+  }
   if (!Out.Success) {
     std::cerr << FE.getDiags().render();
     return 1;

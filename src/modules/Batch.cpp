@@ -1,0 +1,299 @@
+//===- modules/Batch.cpp - Parallel separate compilation ------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "modules/Batch.h"
+#include "modules/Interface.h"
+#include "support/Stats.h"
+#include "syntax/Frontend.h"
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace fg;
+using namespace fg::modules;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// What a finished module leaves behind for its dependents.
+struct Product {
+  bool Ok = false;
+  uint64_t Hash = 0;
+  std::string InterfaceText;
+};
+
+std::string cacheFileFor(const ModuleUnit &U, const BatchOptions &Opts) {
+  if (!Opts.CacheDir.empty())
+    return (fs::path(Opts.CacheDir) / (U.Name + ".fgi")).string();
+  fs::path P(U.Path);
+  P.replace_extension(".fgi");
+  return P.string();
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+/// Checks one module against its dependencies' interfaces.  \p Deps is
+/// the module's transitive closure in dependency order (itself
+/// excluded); every entry's Product is complete and successful.
+void buildModule(const ModuleUnit &U,
+                 const std::vector<std::string> &Closure,
+                 const std::map<std::string, Product> &Products,
+                 const BatchOptions &Opts, ModuleBuildResult &R,
+                 Product &Out) {
+  stats::Statistics &S = stats::Statistics::global();
+
+  // The expected hash covers this module's source plus the *direct*
+  // imports' interface hashes; those hashes cover their own deps in
+  // turn, so any change in the dependency cone cascades here.
+  std::vector<std::pair<std::string, uint64_t>> DirectDeps;
+  for (const ModuleHeader::Import &Imp : U.Imports)
+    DirectDeps.emplace_back(Imp.Name, Products.at(Imp.Name).Hash);
+  uint64_t Expected = interfaceHash(U.Source, DirectDeps);
+
+  std::string CachePath = cacheFileFor(U, Opts);
+  if (Opts.UseCache) {
+    std::string Text;
+    uint64_t Stored;
+    if (readFile(CachePath, Text) && peekInterfaceHash(Text, Stored) &&
+        Stored == Expected) {
+      S.add("modules.interface_cache.hits");
+      Out.Ok = true;
+      Out.Hash = Expected;
+      Out.InterfaceText = std::move(Text);
+      R.Success = true;
+      R.CacheHit = true;
+      return;
+    }
+  }
+  S.add("modules.interface_cache.misses");
+
+  // Fresh compiler state per module: instantiate every interface in the
+  // closure (dependency order), then check this module's body against
+  // them.
+  Frontend FE;
+  ImportEnv Env;
+  std::map<std::string, ModuleInterface> Ifaces;
+  for (const std::string &Dep : Closure) {
+    std::string Err;
+    if (!instantiateInterface(Products.at(Dep).InterfaceText, FE, Env,
+                              Ifaces[Dep], Err)) {
+      R.Error = Err;
+      return;
+    }
+  }
+  ParserSeeds Seeds;
+  for (const std::string &Dep : Closure) {
+    std::string Err;
+    const ModuleInterface &I = Ifaces[Dep];
+    if (!bindImportedValues(FE, Env, I, Err)) {
+      R.Error = Err;
+      return;
+    }
+    for (const auto &D : I.Decls) {
+      if (const auto *CI = std::get_if<ConceptInfo>(&D))
+        Seeds.Concepts.emplace_back(CI->Name, CI->Id);
+      else {
+        const auto &A = std::get<AliasExport>(D);
+        Seeds.TypeVars.emplace_back(A.Name, A.ParamId);
+      }
+    }
+  }
+
+  uint32_t BufferId = FE.getSourceManager().addBuffer(U.Path, U.Source);
+  Parser P(FE.getSourceManager(), FE.getDiags(), FE.getFgContext(),
+           FE.getFgArena());
+  ModuleHeader Header;
+  const Term *Ast;
+  {
+    stats::ScopedTimer Timer("modules.parse");
+    Ast = P.parseModule(BufferId, Header, Seeds);
+  }
+  if (!Ast) {
+    R.Error = FE.getDiags().firstError();
+    return;
+  }
+
+  // One check of the export probe yields every exported value's type
+  // alongside the module's own result type.
+  std::vector<std::string> ExportNames;
+  const Term *Probe = buildExportProbe(FE.getFgArena(), Ast, ExportNames);
+  CompileOptions CO;
+  CO.VerifyTranslation = Opts.Verify;
+  CO.EnableModelCache = Opts.EnableModelCache;
+  CO.ImportTypes = &Env.ImportTypes;
+  CO.AllowConceptEscape = true;
+  CompileOutput CompileOut = FE.compileTerm(Probe, CO);
+  if (!CompileOut.Success) {
+    R.Error = CompileOut.ErrorMessage;
+    return;
+  }
+
+  ModuleInterface I;
+  std::string Err;
+  if (!buildInterface(FE, Env, U.Name, Ast, ExportNames, CompileOut.FgType,
+                      I, Err)) {
+    R.Error = Err;
+    return;
+  }
+  I.Hash = Expected;
+  I.Deps = std::move(DirectDeps);
+  std::string Text;
+  {
+    stats::ScopedTimer Timer("modules.serialize");
+    Text = serializeInterface(I, Env);
+  }
+  // Cache writes are best-effort: a read-only tree still batch-checks,
+  // it just cannot warm the cache.
+  if (Opts.UseCache) {
+    std::ofstream OutFile(CachePath, std::ios::binary | std::ios::trunc);
+    if (OutFile)
+      OutFile << Text;
+  }
+  S.add("modules.compiled");
+  Out.Ok = true;
+  Out.Hash = Expected;
+  Out.InterfaceText = std::move(Text);
+  R.Success = true;
+}
+
+} // namespace
+
+BatchResult fg::modules::runBatch(const ModuleLoader &Loader,
+                                  const std::vector<std::string> &Roots,
+                                  const BatchOptions &Opts) {
+  BatchResult Result;
+
+  // Union of the roots' closures, dependency-ordered.
+  std::vector<std::string> Order;
+  std::set<std::string> InOrder;
+  for (const std::string &Root : Roots)
+    for (const std::string &M : Loader.topoOrder(Root))
+      if (InOrder.insert(M).second)
+        Order.push_back(M);
+
+  struct Node {
+    const ModuleUnit *U = nullptr;
+    std::vector<std::string> Closure; ///< Transitive deps, ordered.
+    std::vector<std::string> Dependents;
+    size_t PendingDeps = 0;
+    bool Done = false;
+  };
+  std::map<std::string, Node> Nodes;
+  std::map<std::string, Product> Products;
+  std::map<std::string, ModuleBuildResult> Results;
+  for (const std::string &M : Order) {
+    Node &N = Nodes[M];
+    N.U = Loader.find(M);
+    N.Closure = Loader.topoOrder(M);
+    N.Closure.pop_back(); // Drop the module itself.
+    N.PendingDeps = N.U->Imports.size();
+    Products[M];
+    Results[M].Module = M;
+  }
+  for (const std::string &M : Order)
+    for (const ModuleHeader::Import &Imp : Nodes[M].U->Imports)
+      Nodes[Imp.Name].Dependents.push_back(M);
+
+  std::mutex Mu;
+  std::condition_variable CV;
+  std::deque<std::string> Ready;
+  size_t Remaining = Order.size();
+  unsigned Running = 0, MaxWave = 0;
+  for (const std::string &M : Order)
+    if (Nodes[M].PendingDeps == 0)
+      Ready.push_back(M);
+
+  auto worker = [&]() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    for (;;) {
+      CV.wait(Lock, [&] { return !Ready.empty() || Remaining == 0; });
+      if (Ready.empty())
+        return;
+      std::string M = Ready.front();
+      Ready.pop_front();
+      ++Running;
+      MaxWave = std::max(MaxWave, Running);
+      Node &N = Nodes[M];
+      ModuleBuildResult R;
+      R.Module = M;
+
+      bool DepsOk = true;
+      for (const ModuleHeader::Import &Imp : N.U->Imports)
+        if (!Products[Imp.Name].Ok) {
+          R.Skipped = true;
+          R.Error = "import `" + Imp.Name + "` failed";
+          DepsOk = false;
+          break;
+        }
+      if (DepsOk) {
+        Product Out;
+        Lock.unlock();
+        auto T0 = std::chrono::steady_clock::now();
+        buildModule(*N.U, N.Closure, Products, Opts, R, Out);
+        R.Seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          T0)
+                .count();
+        Lock.lock();
+        Products[M] = std::move(Out);
+      }
+
+      Results[M] = std::move(R);
+      N.Done = true;
+      --Running;
+      --Remaining;
+      for (const std::string &Dep : N.Dependents)
+        if (--Nodes[Dep].PendingDeps == 0)
+          Ready.push_back(Dep);
+      CV.notify_all();
+    }
+  };
+
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs
+                            : std::max(1u, std::thread::hardware_concurrency());
+  if (Order.size() < Jobs)
+    Jobs = static_cast<unsigned>(Order.size());
+  if (Jobs == 0)
+    Jobs = 1;
+  std::vector<std::thread> Pool;
+  for (unsigned I = 1; I < Jobs; ++I)
+    Pool.emplace_back(worker);
+  worker();
+  for (std::thread &T : Pool)
+    T.join();
+
+  Result.MaxWavefront = MaxWave;
+  Result.Success = true;
+  for (const std::string &M : Order) {
+    if (!Results[M].Success)
+      Result.Success = false;
+    Result.Results.push_back(std::move(Results[M]));
+  }
+  stats::Statistics &S = stats::Statistics::global();
+  std::atomic<uint64_t> &Wave = S.counter("batch.wavefront.max_width");
+  uint64_t Cur = Wave.load();
+  while (MaxWave > Cur && !Wave.compare_exchange_weak(Cur, MaxWave)) {
+  }
+  return Result;
+}

@@ -1,0 +1,215 @@
+//===- modules/Interface.h - Serialized module interfaces -------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Module interfaces (`.fgi` files) for separate compilation.  A module
+/// file is a declaration spine — `concept ... in`, `model ... in`,
+/// `type ... in`, `use ... in`, `let ... in` — around one tail
+/// expression.  Its *interface* is everything the spine exports:
+///
+///   * concepts it declares (full declarations, minus default bodies);
+///   * type aliases it declares;
+///   * models it declares or makes ambient, each with the System-F-level
+///     name of its dictionary;
+///   * top-level value bindings with their F_G types;
+///   * the type of the tail expression.
+///
+/// The wire format is a versioned S-expression (`(fgi 1 ...)`).  Types
+/// serialize with the producing compiler's raw parameter/concept ids as
+/// keys; on load every key is remapped — declarations mint fresh ids in
+/// the consumer's TypeContext, references (`cref`/`aref`) resolve
+/// through the consumer's ImportEnv to the ids minted when the
+/// *declaring* module's interface was instantiated.  Cross-module
+/// identity is therefore (declaring module, exported name), independent
+/// of any compiler-local numbering.
+///
+/// The interface hash is FNV-1a 64 over the format version, the module
+/// source text, and the direct dependencies' interface hashes, so a
+/// change anywhere in the dependency cone invalidates every interface
+/// above it.
+///
+/// Known limitation: concept-member *default bodies* are terms and are
+/// not serialized; a module whose model relies on a default declared in
+/// another module must be compiled through the whole-program link path
+/// (ModuleLoader::link), which re-parses all bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_MODULES_INTERFACE_H
+#define FG_MODULES_INTERFACE_H
+
+#include "core/AST.h"
+#include "core/Check.h"
+#include "core/Type.h"
+#include "systemf/TypeCheck.h"
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace fg {
+
+class Frontend;
+
+namespace modules {
+
+/// One exported type alias: `type Name = Target in ...` at the spine.
+struct AliasExport {
+  unsigned ParamId = 0;
+  std::string Name;
+  const Type *Target = nullptr;
+};
+
+/// One exported model.  `Name` is empty for ambient models (including
+/// named models re-exported through a spine-level `use`).  `DictVar` is
+/// the globally unique System F variable importers reference for the
+/// dictionary: `$<module>$model<n>`.
+struct ModelExport {
+  unsigned ConceptId = 0;
+  std::vector<const Type *> Args;
+  std::vector<TypeParamDecl> Params;
+  std::vector<ConceptRef> Requirements;
+  std::vector<TypeEquation> Equations;
+  std::vector<std::pair<std::string, const Type *>> AssocBindings;
+  std::optional<std::string> Name;
+  std::string DictVar;
+};
+
+/// One exported value binding with its F_G type.
+struct ValueExport {
+  std::string Name;
+  const Type *Ty = nullptr;
+};
+
+/// A module's interface, bound to one Frontend's type contexts (either
+/// the Frontend that checked the module, or the consumer it was
+/// instantiated into).  `Decls` preserves spine order, which is the
+/// dependency order: every declaration references only earlier ones.
+struct ModuleInterface {
+  std::string ModuleName;
+  uint64_t Hash = 0;
+  /// Direct dependencies in import order, with their interface hashes.
+  std::vector<std::pair<std::string, uint64_t>> Deps;
+  std::vector<std::variant<ConceptInfo, AliasExport>> Decls;
+  std::vector<ModelExport> Models;
+  std::vector<ValueExport> Values;
+  const Type *ResultType = nullptr;
+};
+
+/// Per-Frontend registry of instantiated interface entities.  Keys are
+/// (declaring module, exported name); values are ids local to the
+/// Frontend the interfaces were instantiated into.  Also accumulates
+/// the System F typings of every imported free variable (dictionary
+/// variables and value names) for translation verification.
+struct ImportEnv {
+  std::map<std::pair<std::string, std::string>, unsigned> ConceptIds;
+  std::map<std::pair<std::string, std::string>, unsigned> AliasParams;
+  /// Reverse maps, used when the consumer serializes its own interface.
+  std::unordered_map<unsigned, std::pair<std::string, std::string>>
+      ConceptOrigin;
+  std::unordered_map<unsigned, std::pair<std::string, std::string>>
+      AliasOrigin;
+  /// Imported named models, for re-export through a spine-level `use`.
+  std::map<std::string, ModelExport> NamedModels;
+  /// Modules whose interfaces have been instantiated already.
+  std::set<std::string> Instantiated;
+  /// System F typings for imported free variables.
+  sf::TypeEnv ImportTypes;
+};
+
+//===----------------------------------------------------------------------===//
+// Declaration-spine helpers
+//===----------------------------------------------------------------------===//
+
+/// The declaration spine of a module body, in source order, plus the
+/// tail expression it wraps.
+struct SpineScan {
+  /// Every spine node in order (Let, ConceptDecl, ModelDecl, TypeAlias,
+  /// UseModel terms).
+  std::vector<const Term *> Nodes;
+  const Term *Tail = nullptr;
+};
+
+SpineScan scanSpine(const Term *ModuleBody);
+
+/// Rebuilds the declaration spine of \p ModuleBody around \p NewTail,
+/// dropping the original tail.  Used by the export probe and by
+/// whole-program linking.
+const Term *rebuildSpine(TermArena &Arena, const Term *ModuleBody,
+                         const Term *NewTail);
+
+/// Replaces the module tail with the tuple `(x1, ..., xn, tail)` over
+/// the exported value names (spine `let`s, deduplicated innermost-wins)
+/// so one check yields every export's type.  With no exported values
+/// the body is returned unchanged.  \p ExportNames receives the names
+/// in tuple order.
+const Term *buildExportProbe(TermArena &Arena, const Term *ModuleBody,
+                             std::vector<std::string> &ExportNames);
+
+//===----------------------------------------------------------------------===//
+// Building, serializing, instantiating
+//===----------------------------------------------------------------------===//
+
+/// FNV-1a 64-bit over \p Data, chained through \p Seed.
+uint64_t fnv1a64(std::string_view Data,
+                 uint64_t Seed = 0xcbf29ce484222325ull);
+
+/// The interface hash of a module: format version + source text +
+/// direct dependencies' (name, interface hash) in import order.
+uint64_t interfaceHash(const std::string &Source,
+                       const std::vector<std::pair<std::string, uint64_t>>
+                           &Deps);
+
+/// Assembles \p Out from a successfully checked module.  \p FE is the
+/// Frontend that checked the export probe, \p Env its import registry,
+/// \p ModuleBody the parsed body, \p ExportNames / \p ProbeType the
+/// outputs of buildExportProbe and the probe's F_G type.  Hash and Deps
+/// are the caller's responsibility.  Returns false with \p Error set on
+/// malformed exports.
+bool buildInterface(Frontend &FE, const ImportEnv &Env,
+                    const std::string &ModuleName, const Term *ModuleBody,
+                    const std::vector<std::string> &ExportNames,
+                    const Type *ProbeType, ModuleInterface &Out,
+                    std::string &Error);
+
+/// Renders \p I in the `.fgi` wire format.  \p Env classifies referenced
+/// concepts/aliases as own declarations or imports.
+std::string serializeInterface(const ModuleInterface &I,
+                               const ImportEnv &Env);
+
+/// Reads only the recorded interface hash from `.fgi` text (cheap cache
+/// validation).  Returns false on malformed input.
+bool peekInterfaceHash(const std::string &Text, uint64_t &HashOut);
+
+/// Parses `.fgi` text and installs its type-level contents into \p FE:
+/// concepts are declared, aliases bound, models registered (with their
+/// dictionary typings added to \p Env.ImportTypes).  \p Out receives
+/// the interface re-bound to \p FE's contexts.  Interfaces of all
+/// modules \p Text references must have been instantiated into \p Env
+/// first (instantiate in dependency order).
+bool instantiateInterface(const std::string &Text, Frontend &FE,
+                          ImportEnv &Env, ModuleInterface &Out,
+                          std::string &Error);
+
+/// Makes a *direct* import's value bindings visible: binds each export
+/// as a checker global and records its System F typing in
+/// \p Env.ImportTypes.  Type-level entities were installed by
+/// instantiateInterface; values are direct-imports-only (import
+/// hygiene).
+bool bindImportedValues(Frontend &FE, ImportEnv &Env,
+                        const ModuleInterface &I, std::string &Error);
+
+} // namespace modules
+} // namespace fg
+
+#endif // FG_MODULES_INTERFACE_H

@@ -1,0 +1,269 @@
+//===- modules/Loader.cpp - Module graph loading and linking --------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "modules/Loader.h"
+#include "modules/Interface.h"
+#include "support/Stats.h"
+#include "syntax/Frontend.h"
+#include "syntax/Lexer.h"
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+using namespace fg;
+using namespace fg::modules;
+
+namespace fs = std::filesystem;
+
+bool ModuleLoader::scanHeader(const std::string &BufferName,
+                              const std::string &Source, ModuleHeader &Header,
+                              std::string &Error) {
+  // A throwaway lexing context: body lex errors are none of the
+  // header's business and get reported by the real parse later.
+  SourceManager SM;
+  DiagnosticEngine Diags(&SM);
+  uint32_t BufferId = SM.addBuffer(BufferName, Source);
+  std::vector<Token> Tokens = lexBuffer(SM, BufferId, Diags);
+
+  Header = ModuleHeader();
+  size_t Pos = 0;
+  auto at = [&](TokenKind K) {
+    return Pos < Tokens.size() && Tokens[Pos].Kind == K;
+  };
+  if (at(TokenKind::KwModule)) {
+    ++Pos;
+    if (!at(TokenKind::Ident)) {
+      Error = BufferName + ": expected module name after `module`";
+      return false;
+    }
+    Header.HasModuleDecl = true;
+    Header.Name = Tokens[Pos].Text;
+    ++Pos;
+    if (!at(TokenKind::Semi)) {
+      Error = BufferName + ": expected `;` after module name";
+      return false;
+    }
+    ++Pos;
+  }
+  while (at(TokenKind::KwImport)) {
+    SourceLocation Loc = Tokens[Pos].Loc;
+    ++Pos;
+    if (!at(TokenKind::Ident)) {
+      Error = BufferName + ": expected module name after `import`";
+      return false;
+    }
+    Header.Imports.push_back({Tokens[Pos].Text, Loc});
+    ++Pos;
+    if (!at(TokenKind::Semi)) {
+      Error = BufferName + ": expected `;` after import name";
+      return false;
+    }
+    ++Pos;
+  }
+  return true;
+}
+
+std::string ModuleLoader::resolveImport(const std::string &Name,
+                                        const std::string &ImporterDir,
+                                        std::string &Error) const {
+  std::vector<std::string> Searched;
+  auto tryDir = [&](const fs::path &Dir) -> std::string {
+    fs::path Candidate = Dir / (Name + ".fg");
+    std::error_code EC;
+    if (fs::exists(Candidate, EC))
+      return Candidate.string();
+    Searched.push_back(Dir.empty() ? std::string(".") : Dir.string());
+    return "";
+  };
+  if (std::string P = tryDir(ImporterDir); !P.empty())
+    return P;
+  for (const std::string &Dir : Opts.SearchPaths)
+    if (std::string P = tryDir(Dir); !P.empty())
+      return P;
+  std::string Dirs;
+  for (const std::string &D : Searched)
+    Dirs += (Dirs.empty() ? "" : ", ") + D;
+  Error = "module `" + Name + "` not found (searched: " + Dirs + ")";
+  return "";
+}
+
+const ModuleUnit *ModuleLoader::find(const std::string &Name) const {
+  auto It = Units.find(Name);
+  return It == Units.end() ? nullptr : &It->second;
+}
+
+bool ModuleLoader::loadFile(const std::string &Path, std::string &RootName,
+                            std::string &Error) {
+  std::vector<std::string> Stack;
+  return loadFileImpl(Path, Stack, RootName, Error);
+}
+
+bool ModuleLoader::loadFileImpl(const std::string &Path,
+                                std::vector<std::string> &Stack,
+                                std::string &RootName, std::string &Error) {
+  std::string Stem = fs::path(Path).stem().string();
+
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = "cannot read `" + Path + "`";
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Source = Buf.str();
+
+  ModuleHeader Header;
+  if (!scanHeader(Path, Source, Header, Error))
+    return false;
+  if (Header.HasModuleDecl && Header.Name != Stem) {
+    Error = Path + ": module `" + Header.Name +
+            "` must live in a file named `" + Header.Name + ".fg`";
+    return false;
+  }
+  std::string Name = Stem;
+  RootName = Name;
+
+  if (const ModuleUnit *Existing = find(Name)) {
+    std::error_code EC;
+    if (fs::equivalent(Existing->Path, Path, EC))
+      return true;
+    Error = "two files define module `" + Name + "`: " + Existing->Path +
+            " and " + Path;
+    return false;
+  }
+
+  Stack.push_back(Name);
+  std::string Dir = fs::path(Path).parent_path().string();
+  for (const ModuleHeader::Import &Imp : Header.Imports) {
+    auto InStack = std::find(Stack.begin(), Stack.end(), Imp.Name);
+    if (InStack != Stack.end()) {
+      std::string Cycle;
+      for (auto It = InStack; It != Stack.end(); ++It)
+        Cycle += *It + " -> ";
+      Error = Path + ": import cycle: " + Cycle + Imp.Name;
+      return false;
+    }
+    if (find(Imp.Name))
+      continue;
+    std::string ImpPath = resolveImport(Imp.Name, Dir, Error);
+    if (ImpPath.empty()) {
+      Error = Path + ": " + Error;
+      return false;
+    }
+    std::string Ignored;
+    if (!loadFileImpl(ImpPath, Stack, Ignored, Error))
+      return false;
+  }
+  Stack.pop_back();
+
+  ModuleUnit U;
+  U.Name = Name;
+  U.Path = Path;
+  U.Source = std::move(Source);
+  U.Imports = std::move(Header.Imports);
+  U.HasModuleDecl = Header.HasModuleDecl;
+  Units.emplace(Name, std::move(U));
+  stats::Statistics::global().add("modules.loaded");
+  return true;
+}
+
+std::vector<std::string> ModuleLoader::topoOrder(
+    const std::string &Root) const {
+  std::vector<std::string> Order;
+  std::set<std::string> Visited;
+  // Iterative DFS, post-order: a module lands after all its imports.
+  struct Frame {
+    const ModuleUnit *U;
+    size_t NextImport = 0;
+  };
+  std::vector<Frame> WorkStack;
+  const ModuleUnit *RootU = find(Root);
+  if (!RootU)
+    return Order;
+  Visited.insert(Root);
+  WorkStack.push_back({RootU});
+  while (!WorkStack.empty()) {
+    Frame &F = WorkStack.back();
+    if (F.NextImport < F.U->Imports.size()) {
+      const std::string &Dep = F.U->Imports[F.NextImport++].Name;
+      if (Visited.insert(Dep).second)
+        if (const ModuleUnit *DepU = find(Dep))
+          WorkStack.push_back({DepU});
+      continue;
+    }
+    Order.push_back(F.U->Name);
+    WorkStack.pop_back();
+  }
+  return Order;
+}
+
+const Term *ModuleLoader::link(Frontend &FE, const std::string &Root,
+                               std::string &Error) const {
+  std::vector<std::string> Order = topoOrder(Root);
+  if (Order.empty()) {
+    Error = "module `" + Root + "` is not loaded";
+    return nullptr;
+  }
+
+  // Parse every module in dependency order.  Concepts and type aliases
+  // resolve lexically at parse time, so each module's parser scopes are
+  // seeded with the names its (transitive) imports declare; installing
+  // them in dependency order makes later modules shadow earlier ones,
+  // exactly as the spliced spine nesting will.
+  std::map<std::string, const Term *> Asts;
+  std::map<std::string, std::vector<std::pair<std::string, unsigned>>>
+      ConceptExports, AliasExports;
+  for (const std::string &Name : Order) {
+    const ModuleUnit &U = *find(Name);
+    ParserSeeds Seeds;
+    std::vector<std::string> Closure = topoOrder(Name);
+    for (const std::string &Dep : Closure) {
+      if (Dep == Name)
+        continue;
+      auto CIt = ConceptExports.find(Dep);
+      if (CIt != ConceptExports.end())
+        Seeds.Concepts.insert(Seeds.Concepts.end(), CIt->second.begin(),
+                              CIt->second.end());
+      auto AIt = AliasExports.find(Dep);
+      if (AIt != AliasExports.end())
+        Seeds.TypeVars.insert(Seeds.TypeVars.end(), AIt->second.begin(),
+                              AIt->second.end());
+    }
+
+    uint32_t BufferId = FE.getSourceManager().addBuffer(U.Path, U.Source);
+    Parser P(FE.getSourceManager(), FE.getDiags(), FE.getFgContext(),
+             FE.getFgArena());
+    ModuleHeader Header;
+    const Term *Ast;
+    {
+      stats::ScopedTimer Timer("modules.parse");
+      Ast = P.parseModule(BufferId, Header, Seeds);
+    }
+    if (!Ast) {
+      Error = FE.getDiags().firstError();
+      return nullptr;
+    }
+    Asts[Name] = Ast;
+
+    SpineScan S = scanSpine(Ast);
+    for (const Term *N : S.Nodes) {
+      if (const auto *CD = dyn_cast<ConceptDeclTerm>(N))
+        ConceptExports[Name].emplace_back(CD->getName(), CD->getConceptId());
+      else if (const auto *TA = dyn_cast<TypeAliasTerm>(N))
+        AliasExports[Name].emplace_back(TA->getName(), TA->getParamId());
+    }
+  }
+
+  // Splice: root innermost (keeping its tail), dependencies' spines
+  // wrapped around it in reverse dependency order, their tails dropped.
+  const Term *Program = Asts[Order.back()];
+  for (size_t I = Order.size() - 1; I-- > 0;)
+    Program = rebuildSpine(FE.getFgArena(), Asts[Order[I]], Program);
+  return Program;
+}

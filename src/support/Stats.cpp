@@ -26,21 +26,37 @@ Statistics &Statistics::global() {
   return S;
 }
 
-uint64_t &Statistics::counter(const std::string &Name) {
+std::atomic<uint64_t> &Statistics::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
   return Counters[Name]; // value-initialized to 0 on first use
 }
 
 void Statistics::addTime(const std::string &Name, uint64_t Nanos) {
+  std::lock_guard<std::mutex> Lock(Mu);
   TimerRecord &R = Timers[Name];
   R.Nanos += Nanos;
   R.Calls += 1;
 }
 
 void Statistics::reset() {
+  std::lock_guard<std::mutex> Lock(Mu);
   for (auto &[Name, Value] : Counters)
-    Value = 0;
+    Value.store(0, std::memory_order_relaxed);
   for (auto &[Name, R] : Timers)
     R = {};
+}
+
+std::map<std::string, uint64_t> Statistics::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, Value] : Counters)
+    Out.emplace(Name, Value.load(std::memory_order_relaxed));
+  return Out;
+}
+
+std::map<std::string, Statistics::TimerRecord> Statistics::timers() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Timers;
 }
 
 namespace {
@@ -84,6 +100,8 @@ std::string formatNanos(uint64_t Nanos) {
 } // namespace
 
 void Statistics::print(std::ostream &OS) const {
+  const std::map<std::string, uint64_t> Counters = counters();
+  const std::map<std::string, TimerRecord> Timers = timers();
   OS << "=== fgc statistics ===\n";
   size_t Width = 0;
   for (const auto &[Name, Value] : Counters)
@@ -114,6 +132,8 @@ void Statistics::print(std::ostream &OS) const {
 }
 
 void Statistics::printJson(std::ostream &OS) const {
+  const std::map<std::string, uint64_t> Counters = counters();
+  const std::map<std::string, TimerRecord> Timers = timers();
   // Names are dotted identifiers (no quotes/backslashes/control
   // characters), so plain quoting is valid JSON.
   OS << "{\n  \"counters\": {";

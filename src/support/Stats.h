@@ -12,17 +12,20 @@
 ///
 /// Design constraints, in order:
 ///
-///  1. Hot paths must pay (almost) nothing.  Counters are plain
-///     `uint64_t` cells registered once; the idiomatic call site is
+///  1. Hot paths must pay (almost) nothing.  Counters are
+///     `std::atomic<uint64_t>` cells registered once; the idiomatic
+///     call site is
 ///
-///         static uint64_t &C =
+///         static std::atomic<uint64_t> &C =
 ///             stats::Statistics::global().counter("checker.model_lookups");
 ///         ++C;
 ///
-///     so the steady-state cost is one increment — no map lookup, no
-///     branch on an enable flag.  Cell addresses are stable for the
-///     life of the process (`std::map` nodes never move), and reset()
-///     zeroes values without invalidating them.
+///     so the steady-state cost is one atomic increment — no map
+///     lookup, no branch on an enable flag.  Cell addresses are stable
+///     for the life of the process (`std::map` nodes never move), and
+///     reset() zeroes values without invalidating them.  Atomic cells
+///     are what lets the batch driver check modules on a thread pool
+///     while every worker counts into the same registry.
 ///
 ///  2. Timers call the clock, which is not free, so they *are* gated:
 ///     a ScopedTimer constructed while the registry is disabled does
@@ -43,9 +46,11 @@
 #ifndef FG_SUPPORT_STATS_H
 #define FG_SUPPORT_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace fg {
@@ -60,20 +65,21 @@ uint64_t nowNanos();
 /// checking whether to).  The enabled flag gates timers and is the
 /// driver's signal that a report was requested at all.
 ///
-/// Not thread-safe: the compiler is single-threaded per Frontend, and
-/// the registry mirrors that.  (Registration via counter() is idempotent
-/// and cheap enough to call once per call site via a local static.)
+/// Thread-safe: a compilation is single-threaded per Frontend, but the
+/// batch driver runs many Frontends concurrently, all counting into
+/// this one registry.  Registration and timer recording take a mutex
+/// (cold paths); increments on registered cells are lock-free atomics.
 class Statistics {
 public:
   /// The singleton registry.
   static Statistics &global();
 
-  void enable(bool On) { Enabled = On; }
-  bool isEnabled() const { return Enabled; }
+  void enable(bool On) { Enabled.store(On, std::memory_order_relaxed); }
+  bool isEnabled() const { return Enabled.load(std::memory_order_relaxed); }
 
   /// Returns the cell for \p Name, creating it at zero on first use.
   /// The reference stays valid (and keeps counting) forever.
-  uint64_t &counter(const std::string &Name);
+  std::atomic<uint64_t> &counter(const std::string &Name);
 
   /// Convenience increment for cold call sites.
   void add(const std::string &Name, uint64_t Delta = 1) {
@@ -93,8 +99,8 @@ public:
   void reset();
 
   /// Point-in-time copies, for tests and custom reporting.
-  std::map<std::string, uint64_t> counters() const { return Counters; }
-  std::map<std::string, TimerRecord> timers() const { return Timers; }
+  std::map<std::string, uint64_t> counters() const;
+  std::map<std::string, TimerRecord> timers() const;
 
   /// Human-readable report (aligned columns, ratios, microseconds).
   void print(std::ostream &OS) const;
@@ -107,8 +113,9 @@ public:
 private:
   Statistics() = default;
 
-  bool Enabled = false;
-  std::map<std::string, uint64_t> Counters;
+  std::atomic<bool> Enabled{false};
+  mutable std::mutex Mu; ///< Guards the maps, not the counter cells.
+  std::map<std::string, std::atomic<uint64_t>> Counters;
   std::map<std::string, TimerRecord> Timers;
 };
 

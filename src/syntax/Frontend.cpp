@@ -13,7 +13,7 @@ using namespace fg;
 CompileOutput Frontend::compile(const std::string &Name,
                                 const std::string &Source,
                                 const CompileOptions &Opts) {
-  static uint64_t &CompileCount =
+  static std::atomic<uint64_t> &CompileCount =
       stats::Statistics::global().counter("frontend.compilations");
   ++CompileCount;
   stats::ScopedTimer Total("frontend.compile");
@@ -29,8 +29,16 @@ CompileOutput Frontend::compile(const std::string &Name,
     Out.ErrorMessage = Diags.firstError();
     return Out;
   }
+  return compileTerm(Out.Ast, Opts);
+}
+
+CompileOutput Frontend::compileTerm(const Term *Ast,
+                                    const CompileOptions &Opts) {
+  CompileOutput Out;
+  Out.Ast = Ast;
 
   TheChecker.setModelCacheEnabled(Opts.EnableModelCache);
+  TheChecker.setAllowConceptEscape(Opts.AllowConceptEscape);
   Checked C;
   {
     stats::ScopedTimer Timer("frontend.check");
@@ -45,10 +53,16 @@ CompileOutput Frontend::compile(const std::string &Name,
 
   if (Opts.VerifyTranslation) {
     // Dynamic check of the paper's Theorems 1 and 2: the translation
-    // must be well typed in plain System F.
+    // must be well typed in plain System F.  A module's translation may
+    // reference imported values and dictionaries as free variables;
+    // their typings extend the prelude environment.
     stats::ScopedTimer Timer("frontend.verify");
     sf::TypeChecker SfChecker(SfCtx);
-    Out.SfType = SfChecker.check(Out.SfTerm, ThePrelude.Types);
+    sf::TypeEnv VerifyEnv = ThePrelude.Types;
+    if (Opts.ImportTypes)
+      for (const auto &[Name, Ty] : Opts.ImportTypes->bindings())
+        VerifyEnv.bind(Name, Ty);
+    Out.SfType = SfChecker.check(Out.SfTerm, VerifyEnv);
     if (!Out.SfType) {
       Out.ErrorMessage =
           "internal error: translation is not well typed in System F: " +

@@ -52,6 +52,18 @@ struct CompileOptions {
   /// Semantics-neutral either way (enforced by ModelCacheTest); off is
   /// for A/B comparison and debugging.
   bool EnableModelCache = true;
+
+  /// Extra System F typings for the free variables a module's
+  /// translation references (imported values and dictionaries).  The
+  /// verifier extends the prelude environment with these; used by the
+  /// module loader when checking a module against its imports'
+  /// interfaces.  Not owned.
+  const sf::TypeEnv *ImportTypes = nullptr;
+
+  /// Lift the rule-CPT concept-escape restriction; set for module
+  /// export probes, whose type deliberately mentions the module's
+  /// exported concepts (see Checker::setAllowConceptEscape).
+  bool AllowConceptEscape = false;
 };
 
 /// Everything produced for one program.
@@ -82,6 +94,12 @@ public:
   /// \p Name).  Diagnostics accumulate in getDiags().
   CompileOutput compile(const std::string &Name, const std::string &Source,
                         const CompileOptions &Opts = CompileOptions());
+
+  /// Checks and translates an already-parsed term (the module loader
+  /// parses separately so it can seed imported names).  \p Ast must
+  /// have been built from this Frontend's contexts/arenas.
+  CompileOutput compileTerm(const Term *Ast,
+                            const CompileOptions &Opts = CompileOptions());
 
   /// Evaluates a successful compilation under the builtin prelude.
   sf::EvalResult run(const CompileOutput &Out,

@@ -60,6 +60,10 @@ const char *fg::tokenKindName(TokenKind K) {
     return "'type'";
   case TokenKind::KwUse:
     return "'use'";
+  case TokenKind::KwModule:
+    return "'module'";
+  case TokenKind::KwImport:
+    return "'import'";
   case TokenKind::KwInt:
     return "'int'";
   case TokenKind::KwBool:
@@ -116,6 +120,7 @@ static const std::unordered_map<std::string, TokenKind> &keywordTable() {
       {"model", TokenKind::KwModel},     {"refines", TokenKind::KwRefines},
       {"requires", TokenKind::KwRequires}, {"types", TokenKind::KwTypes},
       {"type", TokenKind::KwType},       {"use", TokenKind::KwUse},
+      {"module", TokenKind::KwModule},   {"import", TokenKind::KwImport},
       {"int", TokenKind::KwInt},         {"bool", TokenKind::KwBool},
       {"list", TokenKind::KwList},       {"fn", TokenKind::KwFn},
   };

@@ -51,6 +51,8 @@ enum class TokenKind : uint8_t {
   KwTypes,
   KwType,
   KwUse,
+  KwModule,
+  KwImport,
   KwInt,
   KwBool,
   KwList,

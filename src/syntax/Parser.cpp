@@ -40,12 +40,26 @@ int Parser::lookupConcept(const std::string &Name) const {
 }
 
 const Term *Parser::parseProgram(uint32_t BufferId) {
+  ModuleHeader Header;
+  const Term *E = parseModule(BufferId, Header);
+  if (E && (Header.HasModuleDecl || !Header.Imports.empty())) {
+    Diags.error(Header.HasModuleDecl ? SourceLocation()
+                                     : Header.Imports.front().Loc,
+                "this file is a module; compile it through the module "
+                "loader (`fgc --batch` or `fgc -I <dir>`)");
+    return nullptr;
+  }
+  return E;
+}
+
+const Term *Parser::parseModule(uint32_t BufferId, ModuleHeader &Header,
+                                const ParserSeeds &Seeds) {
   stats::ScopedTimer Timer("parser.parse");
   // Only *new* lexical errors abort this parse; the engine may carry
   // diagnostics from earlier compilations of other buffers.
   unsigned ErrorsBefore = Diags.getNumErrors();
   Tokens = lexBuffer(SM, BufferId, Diags);
-  static uint64_t &TokenCount =
+  static std::atomic<uint64_t> &TokenCount =
       stats::Statistics::global().counter("lexer.tokens");
   TokenCount += Tokens.size();
   Pos = 0;
@@ -53,6 +67,41 @@ const Term *Parser::parseProgram(uint32_t BufferId) {
   ConceptScope.clear();
   if (Diags.getNumErrors() > ErrorsBefore)
     return nullptr;
+
+  // Header: `module <name>;` then `import <name>;`*.
+  Header = ModuleHeader();
+  if (consumeIf(TokenKind::KwModule)) {
+    if (!at(TokenKind::Ident)) {
+      errorAtToken("expected a module name after `module`");
+      return nullptr;
+    }
+    Header.HasModuleDecl = true;
+    Header.Name = tok().Text;
+    advance();
+    if (!expect(TokenKind::Semi, "module declaration"))
+      return nullptr;
+  }
+  while (at(TokenKind::KwImport)) {
+    SourceLocation Loc = tok().Loc;
+    advance();
+    if (!at(TokenKind::Ident)) {
+      errorAtToken("expected a module name after `import`");
+      return nullptr;
+    }
+    Header.Imports.push_back({tok().Text, Loc});
+    advance();
+    if (!expect(TokenKind::Semi, "import declaration"))
+      return nullptr;
+  }
+
+  // Imported names: installed as the outermost lexical scope, in
+  // import order, so the innermost-wins lookup matches the
+  // declaration-spine nesting produced at link time.
+  for (const auto &[Name, Id] : Seeds.Concepts)
+    ConceptScope.emplace_back(Name, Id);
+  for (const auto &[Name, Id] : Seeds.TypeVars)
+    TypeVarScope.emplace_back(Name, Id);
+
   const Term *E = parseExpr();
   if (!E)
     return nullptr;

@@ -7,7 +7,10 @@
 ///
 /// \file
 /// Recursive-descent parser for the F_G concrete syntax (Figures 4 and
-/// 11, ASCII spelling).  A program is one expression:
+/// 11, ASCII spelling).  A compilation unit is an optional module
+/// header followed by one expression:
+///
+///   unit ::= [module m;] [import m; ...] e
 ///
 ///   e ::= let x = e in e
 ///       | fun(x : tau, ...). e
@@ -46,6 +49,34 @@
 
 namespace fg {
 
+/// The `module`/`import` header of a module file (both parts optional;
+/// a plain program is a module with no header):
+///
+///   module <name>;
+///   import <name>; ...
+///   <expr>
+struct ModuleHeader {
+  /// True when the file opened with a `module <name>;` declaration.
+  bool HasModuleDecl = false;
+  std::string Name;
+
+  struct Import {
+    std::string Name;
+    SourceLocation Loc;
+  };
+  std::vector<Import> Imports;
+};
+
+/// Names resolved at parse time that a module inherits from its
+/// imports: concepts (name -> concept id) and type aliases (name ->
+/// parameter id).  Entries are installed innermost-last, so later
+/// imports shadow earlier ones, mirroring the declaration-spine
+/// nesting the module loader produces at link time.
+struct ParserSeeds {
+  std::vector<std::pair<std::string, unsigned>> Concepts;
+  std::vector<std::pair<std::string, unsigned>> TypeVars;
+};
+
 /// Parses F_G source text into core AST.
 class Parser {
 public:
@@ -54,8 +85,19 @@ public:
       : SM(SM), Diags(Diags), Ctx(Ctx), Arena(Arena) {}
 
   /// Parses the registered buffer \p BufferId as one program expression.
-  /// Returns null after reporting diagnostics on error.
+  /// Returns null after reporting diagnostics on error.  Module headers
+  /// are rejected here: files that declare or import modules must go
+  /// through the module loader (src/modules), which calls parseModule.
   const Term *parseProgram(uint32_t BufferId);
+
+  /// Parses the registered buffer \p BufferId as one module: an
+  /// optional `module <name>;` declaration, any number of
+  /// `import <name>;` declarations, then the body expression.  The
+  /// header lands in \p Header; \p Seeds pre-populates the lexical
+  /// scopes with the names exported by the imports so that the body can
+  /// reference imported concepts and type aliases.
+  const Term *parseModule(uint32_t BufferId, ModuleHeader &Header,
+                          const ParserSeeds &Seeds = ParserSeeds());
 
 private:
   //===--------------------------------------------------------------===//

@@ -28,7 +28,7 @@ EvalResult Evaluator::eval(const Term *T, EnvPtr Env) {
   Steps = 0;
   Depth = 0;
   EvalResult R = evalTerm(T, Env);
-  static uint64_t &StepCount =
+  static std::atomic<uint64_t> &StepCount =
       stats::Statistics::global().counter("eval.steps");
   StepCount += Steps;
   return R;

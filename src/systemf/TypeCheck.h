@@ -46,6 +46,11 @@ public:
   size_t size() const { return Bindings.size(); }
   void truncate(size_t N) { Bindings.resize(N); }
 
+  /// The bindings in insertion order (for merging environments).
+  const std::vector<std::pair<std::string, const Type *>> &bindings() const {
+    return Bindings;
+  }
+
 private:
   std::vector<std::pair<std::string, const Type *>> Bindings;
 };

@@ -1,0 +1,103 @@
+//===- tests/DriverCliTest.cpp - fgc command-line behavior ----------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+//
+// The driver's command-line contract, exercised against the real binary
+// (its path arrives via the FG_FGC_PATH compile definition):
+//
+//   * `--help` / `-h` print the usage text to *stdout* and exit 0;
+//   * a bad invocation (no input, unknown flag, malformed option)
+//     prints the usage text to *stderr* and exits 2.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <gtest/gtest.h>
+#include <string>
+#include <sys/wait.h>
+
+namespace {
+
+struct RunResult {
+  int ExitCode = -1;
+  std::string Stdout;
+  std::string Stderr;
+};
+
+/// Runs \p Cmd through the shell, appending its output to \p Out.
+int capture(const std::string &Cmd, std::string &Out) {
+  FILE *P = popen(Cmd.c_str(), "r");
+  EXPECT_NE(P, nullptr) << Cmd;
+  if (!P)
+    return -1;
+  char Buf[4096];
+  size_t N;
+  while ((N = fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  int Status = pclose(P);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+/// Runs `fgc <Args>` twice, capturing the two output streams separately.
+RunResult runFgc(const std::string &Args) {
+  RunResult R;
+  std::string Base = std::string(FG_FGC_PATH) + " " + Args;
+  R.ExitCode = capture(Base + " 2>/dev/null", R.Stdout);
+  int Code2 = capture(Base + " 2>&1 1>/dev/null", R.Stderr);
+  EXPECT_EQ(R.ExitCode, Code2) << "fgc " << Args
+                               << ": exit code differs between runs";
+  return R;
+}
+
+TEST(DriverCliTest, HelpGoesToStdoutAndExitsZero) {
+  RunResult R = runFgc("--help");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("usage: fgc"), std::string::npos) << R.Stdout;
+  EXPECT_NE(R.Stdout.find("--batch"), std::string::npos) << R.Stdout;
+  EXPECT_TRUE(R.Stderr.empty()) << R.Stderr;
+}
+
+TEST(DriverCliTest, ShortHelpMatchesLongHelp) {
+  RunResult R = runFgc("-h");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_NE(R.Stdout.find("usage: fgc"), std::string::npos) << R.Stdout;
+  EXPECT_TRUE(R.Stderr.empty()) << R.Stderr;
+}
+
+TEST(DriverCliTest, NoInputIsUsageErrorOnStderr) {
+  RunResult R = runFgc("");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("usage: fgc"), std::string::npos) << R.Stderr;
+  EXPECT_TRUE(R.Stdout.empty()) << R.Stdout;
+}
+
+TEST(DriverCliTest, UnknownFlagIsUsageError) {
+  RunResult R = runFgc("--definitely-not-a-flag");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("usage: fgc"), std::string::npos) << R.Stderr;
+}
+
+TEST(DriverCliTest, MultipleFilesWithoutBatchIsUsageError) {
+  RunResult R = runFgc("a.fg b.fg");
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_NE(R.Stderr.find("usage: fgc"), std::string::npos) << R.Stderr;
+}
+
+TEST(DriverCliTest, MalformedJobsFlagIsUsageError) {
+  RunResult R = runFgc("--batch -j nope a.fg");
+  EXPECT_EQ(R.ExitCode, 2);
+}
+
+TEST(DriverCliTest, StdinProgramStillWorks) {
+  std::string Out;
+  int Code = capture("echo 'let x = 20 in iadd(x, 1)' | " +
+                         std::string(FG_FGC_PATH) + " - 2>/dev/null",
+                     Out);
+  EXPECT_EQ(Code, 0);
+  EXPECT_NE(Out.find("value: 21"), std::string::npos) << Out;
+}
+
+} // namespace

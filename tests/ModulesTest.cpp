@@ -1,0 +1,387 @@
+//===- tests/ModulesTest.cpp - Module system tests ------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+//
+// The module subsystem end to end: header scanning, graph loading and
+// cycle rejection, whole-program linking (must agree with the
+// equivalent single-file program), separate compilation against
+// serialized interfaces, interface round-tripping, and the on-disk
+// cache with its hash-cascade invalidation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "modules/Batch.h"
+#include "modules/Interface.h"
+#include "modules/Loader.h"
+#include "support/Stats.h"
+#include "syntax/Frontend.h"
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace fg;
+using namespace fg::modules;
+namespace fs = std::filesystem;
+
+namespace {
+
+class ModulesTest : public ::testing::Test {
+protected:
+  fs::path Dir;
+
+  void SetUp() override {
+    const auto *Info = ::testing::UnitTest::GetInstance()->current_test_info();
+    Dir = fs::temp_directory_path() /
+          (std::string("fgc_modules_") + Info->name());
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  std::string write(const std::string &Name, const std::string &Text) {
+    fs::path P = Dir / Name;
+    std::ofstream Out(P);
+    Out << Text;
+    return P.string();
+  }
+
+  static std::string readAll(const std::string &Path) {
+    std::ifstream In(Path);
+    std::stringstream SS;
+    SS << In.rdbuf();
+    return SS.str();
+  }
+
+  /// Writes the diamond used by several tests:
+  ///   top -> {left, right} -> base
+  /// and returns top.fg's path.  Evaluates to (8, 12).
+  std::string writeDiamond() {
+    write("base.fg", "module base;\n"
+                     "concept Doubler<t> { twice : fn(t) -> t; } in\n"
+                     "let pair = forall t. fun(a : t, b : t). (a, b)\n"
+                     "in 0\n");
+    write("left.fg", "module left;\n"
+                     "import base;\n"
+                     "model Doubler<int> { twice = fun(x : int). iadd(x, x); }\n"
+                     "in let four = Doubler<int>.twice(2) in 0\n");
+    write("right.fg", "module right;\n"
+                      "import base;\n"
+                      "let triple = fun(x : int). iadd(x, iadd(x, x)) in 0\n");
+    return write("top.fg", "module top;\n"
+                           "import base;\n"
+                           "import left;\n"
+                           "import right;\n"
+                           "pair[int](Doubler<int>.twice(four), triple(four))\n");
+  }
+
+  /// The diamond flattened to one file, for value cross-checking.
+  static const char *diamondSingleFile() {
+    return "concept Doubler<t> { twice : fn(t) -> t; } in\n"
+           "let pair = forall t. fun(a : t, b : t). (a, b) in\n"
+           "model Doubler<int> { twice = fun(x : int). iadd(x, x); } in\n"
+           "let four = Doubler<int>.twice(2) in\n"
+           "let triple = fun(x : int). iadd(x, iadd(x, x)) in\n"
+           "pair[int](Doubler<int>.twice(four), triple(four))\n";
+  }
+
+  static BatchResult batch(const ModuleLoader &Loader,
+                           const std::vector<std::string> &Roots,
+                           unsigned Jobs = 1, bool UseCache = true) {
+    BatchOptions BO;
+    BO.Jobs = Jobs;
+    BO.UseCache = UseCache;
+    return runBatch(Loader, Roots, BO);
+  }
+};
+
+TEST_F(ModulesTest, ScanHeaderParsesModuleAndImports) {
+  ModuleHeader H;
+  std::string Error;
+  ASSERT_TRUE(ModuleLoader::scanHeader(
+      "m.fg", "module m;\nimport a;\nimport b;\n42\n", H, Error));
+  EXPECT_TRUE(H.HasModuleDecl);
+  EXPECT_EQ(H.Name, "m");
+  ASSERT_EQ(H.Imports.size(), 2u);
+  EXPECT_EQ(H.Imports[0].Name, "a");
+  EXPECT_EQ(H.Imports[1].Name, "b");
+}
+
+TEST_F(ModulesTest, ScanHeaderPlainProgramHasNoHeader) {
+  ModuleHeader H;
+  std::string Error;
+  ASSERT_TRUE(ModuleLoader::scanHeader("p.fg", "let x = 1 in x", H, Error));
+  EXPECT_FALSE(H.HasModuleDecl);
+  EXPECT_TRUE(H.Imports.empty());
+}
+
+TEST_F(ModulesTest, ScanHeaderRejectsMalformedHeader) {
+  ModuleHeader H;
+  std::string Error;
+  EXPECT_FALSE(ModuleLoader::scanHeader("m.fg", "module ;", H, Error));
+  EXPECT_NE(Error.find("module"), std::string::npos);
+}
+
+TEST_F(ModulesTest, LoaderBuildsDiamondInDependencyOrder) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+  EXPECT_EQ(Root, "top");
+  EXPECT_EQ(Loader.modules().size(), 4u);
+  std::vector<std::string> Order = Loader.topoOrder("top");
+  ASSERT_EQ(Order.size(), 4u);
+  EXPECT_EQ(Order.front(), "base");
+  EXPECT_EQ(Order.back(), "top");
+}
+
+TEST_F(ModulesTest, LoaderRejectsImportCycle) {
+  write("a.fg", "module a;\nimport b;\n1\n");
+  write("b.fg", "module b;\nimport a;\n2\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  EXPECT_FALSE(Loader.loadFile((Dir / "a.fg").string(), Root, Error));
+  EXPECT_NE(Error.find("import cycle: a -> b -> a"), std::string::npos)
+      << Error;
+}
+
+TEST_F(ModulesTest, LoaderRejectsNameStemMismatch) {
+  std::string P = write("x.fg", "module y;\n1\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  EXPECT_FALSE(Loader.loadFile(P, Root, Error));
+  EXPECT_NE(Error.find("y.fg"), std::string::npos) << Error;
+}
+
+TEST_F(ModulesTest, LoaderReportsMissingImport) {
+  std::string P = write("solo.fg", "module solo;\nimport nowhere;\n1\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  EXPECT_FALSE(Loader.loadFile(P, Root, Error));
+  EXPECT_NE(Error.find("nowhere"), std::string::npos) << Error;
+}
+
+TEST_F(ModulesTest, LinkedProgramMatchesSingleFileValue) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+
+  Frontend Linked;
+  const Term *Program = Loader.link(Linked, Root, Error);
+  ASSERT_NE(Program, nullptr) << Error;
+  CompileOutput Out = Linked.compileTerm(Program);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult R = Linked.run(Out);
+  ASSERT_TRUE(R.ok()) << R.Error;
+
+  Frontend Single;
+  sf::EvalResult S = Single.runProgram("diamond", diamondSingleFile());
+  ASSERT_TRUE(S.ok()) << S.Error;
+  EXPECT_EQ(sf::valueToString(R.Val), sf::valueToString(S.Val));
+  EXPECT_EQ(sf::valueToString(R.Val), "(8, 12)");
+}
+
+TEST_F(ModulesTest, BatchChecksDiamondSeparately) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+
+  BatchResult BR = batch(Loader, {Root});
+  ASSERT_TRUE(BR.Success);
+  ASSERT_EQ(BR.Results.size(), 4u);
+  for (const ModuleBuildResult &R : BR.Results) {
+    EXPECT_TRUE(R.Success) << R.Module << ": " << R.Error;
+    EXPECT_FALSE(R.CacheHit) << R.Module;
+  }
+  for (const char *M : {"base", "left", "right", "top"})
+    EXPECT_TRUE(fs::exists(Dir / (std::string(M) + ".fgi"))) << M;
+}
+
+TEST_F(ModulesTest, BatchWarmRunHitsInterfaceCache) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+  ASSERT_TRUE(batch(Loader, {Root}).Success);
+
+  auto Before = stats::Statistics::global().counters();
+  BatchResult Warm = batch(Loader, {Root});
+  auto After = stats::Statistics::global().counters();
+  ASSERT_TRUE(Warm.Success);
+  for (const ModuleBuildResult &R : Warm.Results)
+    EXPECT_TRUE(R.CacheHit) << R.Module;
+  EXPECT_EQ(After["modules.interface_cache.hits"] -
+                Before["modules.interface_cache.hits"],
+            4u);
+  EXPECT_EQ(After["modules.interface_cache.misses"] -
+                Before["modules.interface_cache.misses"],
+            0u);
+}
+
+TEST_F(ModulesTest, DependencyEditInvalidatesWholeCone) {
+  std::string Top = writeDiamond();
+  {
+    ModuleLoader Loader;
+    std::string Root, Error;
+    ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+    ASSERT_TRUE(batch(Loader, {Root}).Success);
+  }
+  // Touch `left` only: `left` and `top` must recompile, `base` and
+  // `right` stay cached (the hash covers the dependency cone, not the
+  // whole graph).
+  std::string Left = readAll((Dir / "left.fg").string());
+  write("left.fg", Left + "// edited\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+  BatchResult BR = batch(Loader, {Root});
+  ASSERT_TRUE(BR.Success);
+  EXPECT_TRUE(BR.find("base")->CacheHit);
+  EXPECT_TRUE(BR.find("right")->CacheHit);
+  EXPECT_FALSE(BR.find("left")->CacheHit);
+  EXPECT_FALSE(BR.find("top")->CacheHit);
+}
+
+TEST_F(ModulesTest, BatchParallelMatchesSerial) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+  BatchResult Serial = batch(Loader, {Root}, 1, /*UseCache=*/false);
+  BatchResult Parallel = batch(Loader, {Root}, 4, /*UseCache=*/false);
+  ASSERT_TRUE(Serial.Success);
+  ASSERT_TRUE(Parallel.Success);
+  ASSERT_EQ(Serial.Results.size(), Parallel.Results.size());
+  for (size_t I = 0; I != Serial.Results.size(); ++I) {
+    EXPECT_EQ(Serial.Results[I].Module, Parallel.Results[I].Module);
+    EXPECT_EQ(Serial.Results[I].Success, Parallel.Results[I].Success);
+  }
+  EXPECT_GE(Parallel.MaxWavefront, 1u);
+  EXPECT_LE(Parallel.MaxWavefront, 4u);
+}
+
+TEST_F(ModulesTest, BatchReportsCrossModuleTypeError) {
+  write("lib.fg", "module lib;\nlet inc = fun(x : int). iadd(x, 1) in 0\n");
+  std::string Bad =
+      write("bad.fg", "module bad;\nimport lib;\ninc(true)\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Bad, Root, Error)) << Error;
+  BatchResult BR = batch(Loader, {Root});
+  EXPECT_FALSE(BR.Success);
+  EXPECT_TRUE(BR.find("lib")->Success);
+  EXPECT_FALSE(BR.find("bad")->Success);
+  EXPECT_FALSE(BR.find("bad")->Error.empty());
+}
+
+TEST_F(ModulesTest, InterfaceRoundTripPreservesExportedTypes) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+  ASSERT_TRUE(batch(Loader, {Root}).Success);
+
+  std::string BaseText = readAll((Dir / "base.fgi").string());
+  ASSERT_FALSE(BaseText.empty());
+
+  // Deserialize the same interface into two independent compilers: the
+  // remapped ids differ, but every exported type must render (and thus
+  // alpha-compare) identically.
+  auto instantiate = [&](Frontend &FE, ImportEnv &Env, ModuleInterface &I) {
+    std::string Err;
+    ASSERT_TRUE(instantiateInterface(BaseText, FE, Env, I, Err)) << Err;
+  };
+  Frontend FA, FB;
+  ImportEnv EA, EB;
+  ModuleInterface IA, IB;
+  instantiate(FA, EA, IA);
+  instantiate(FB, EB, IB);
+
+  ASSERT_EQ(IA.Values.size(), 1u);
+  ASSERT_EQ(IB.Values.size(), 1u);
+  EXPECT_EQ(IA.Values[0].Name, "pair");
+  EXPECT_EQ(typeToString(IA.Values[0].Ty), typeToString(IB.Values[0].Ty));
+  EXPECT_EQ(typeToString(IA.Values[0].Ty),
+            "forall t. fn(t, t) -> (t * t)");
+  ASSERT_EQ(IA.Decls.size(), 1u);
+  const auto *CI = std::get_if<ConceptInfo>(&IA.Decls[0]);
+  ASSERT_NE(CI, nullptr);
+  EXPECT_EQ(CI->Name, "Doubler");
+  ASSERT_EQ(CI->Members.size(), 1u);
+  EXPECT_EQ(CI->Members[0].Name, "twice");
+  EXPECT_EQ(typeToString(IA.ResultType), "int");
+}
+
+TEST_F(ModulesTest, AssocTypesAndNamedModelsCrossModules) {
+  write("shapes.fg",
+        "module shapes;\n"
+        "concept Container<c> {\n"
+        "  types elt;\n"
+        "  first : fn(c) -> elt;\n"
+        "} in\n"
+        "model Container<list int> {\n"
+        "  types elt = int;\n"
+        "  first = fun(c : list int). car[int](c);\n"
+        "} in\n"
+        "model [rev] Container<(int * int)> {\n"
+        "  types elt = int;\n"
+        "  first = fun(p : (int * int)). nth p 1;\n"
+        "} in 0\n");
+  std::string Use = write(
+      "useshapes.fg",
+      "module useshapes;\n"
+      "import shapes;\n"
+      "let a = Container<list int>.first(cons[int](7, nil[int])) in\n"
+      "let b = (use rev in Container<(int * int)>.first((1, 9))) in\n"
+      "iadd(a, b)\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Use, Root, Error)) << Error;
+
+  // Separate check: useshapes compiles against shapes' interface only.
+  BatchResult BR = batch(Loader, {Root});
+  ASSERT_TRUE(BR.Success) << BR.find("useshapes")->Error;
+
+  // Link path: the spliced program must evaluate to 7 + 9.
+  Frontend FE;
+  const Term *Program = Loader.link(FE, Root, Error);
+  ASSERT_NE(Program, nullptr) << Error;
+  CompileOutput Out = FE.compileTerm(Program);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult R = FE.run(Out);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(sf::valueToString(R.Val), "16");
+}
+
+TEST_F(ModulesTest, ExportProbeCollectsSpineLets) {
+  Frontend FE;
+  Parser P(FE.getSourceManager(), FE.getDiags(), FE.getFgContext(),
+           FE.getFgArena());
+  uint32_t Buf = FE.getSourceManager().addBuffer(
+      "m.fg", "let a = 1 in let b = true in iadd(a, 2)");
+  const Term *Ast = P.parseProgram(Buf);
+  ASSERT_NE(Ast, nullptr);
+  std::vector<std::string> Names;
+  const Term *Probe = buildExportProbe(FE.getFgArena(), Ast, Names);
+  ASSERT_EQ(Names.size(), 2u);
+  EXPECT_EQ(Names[0], "a");
+  EXPECT_EQ(Names[1], "b");
+  CompileOutput Out = FE.compileTerm(Probe);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  EXPECT_EQ(typeToString(Out.FgType), "(int * bool * int)");
+}
+
+TEST_F(ModulesTest, InterfaceHashCoversSourceAndDeps) {
+  uint64_t H1 = interfaceHash("src", {{"a", 1}});
+  EXPECT_EQ(H1, interfaceHash("src", {{"a", 1}}));
+  EXPECT_NE(H1, interfaceHash("src2", {{"a", 1}}));
+  EXPECT_NE(H1, interfaceHash("src", {{"a", 2}}));
+  EXPECT_NE(H1, interfaceHash("src", {{"b", 1}}));
+  EXPECT_NE(H1, interfaceHash("src", {}));
+}
+
+} // namespace

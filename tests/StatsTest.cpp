@@ -36,7 +36,7 @@ protected:
 } // namespace
 
 TEST_F(StatsTest, CounterStartsAtZeroAndCounts) {
-  uint64_t &C = Statistics::global().counter("statstest.basic");
+  std::atomic<uint64_t> &C = Statistics::global().counter("statstest.basic");
   EXPECT_EQ(C, 0u);
   ++C;
   C += 2;
@@ -44,8 +44,8 @@ TEST_F(StatsTest, CounterStartsAtZeroAndCounts) {
 }
 
 TEST_F(StatsTest, CounterCellIsStableAcrossRegistrations) {
-  uint64_t &A = Statistics::global().counter("statstest.stable");
-  uint64_t &B = Statistics::global().counter("statstest.stable");
+  std::atomic<uint64_t> &A = Statistics::global().counter("statstest.stable");
+  std::atomic<uint64_t> &B = Statistics::global().counter("statstest.stable");
   EXPECT_EQ(&A, &B);
   ++A;
   EXPECT_EQ(B, 1u);
@@ -58,7 +58,7 @@ TEST_F(StatsTest, CountersAreLiveEvenWhenDisabled) {
 }
 
 TEST_F(StatsTest, ResetZeroesButKeepsCellsValid) {
-  uint64_t &C = Statistics::global().counter("statstest.reset");
+  std::atomic<uint64_t> &C = Statistics::global().counter("statstest.reset");
   C = 41;
   Statistics::global().reset();
   EXPECT_EQ(C, 0u) << "reset must zero in place";
