@@ -29,6 +29,13 @@
 ///                  the System F translation (and cross-check the two)
 ///   --optimize     also specialize the translation (dictionary
 ///                  elimination), print it, and cross-check its value
+///   --backend=<tree|closure|vm>
+///                  execution engine for the translation: the
+///                  tree-walking evaluator (default), the
+///                  closure-compiling engine, or the bytecode VM
+///   --dump-bytecode
+///                  print the VM bytecode for the translation
+///                  (vm/Disasm.h) and continue
 ///   --batch        separately check modules; write `.fgi` interfaces
 ///   -j <n>         batch worker threads (0 = all hardware threads)
 ///   -I <dir>       add a module search path (repeatable)
@@ -52,6 +59,8 @@
 #include "modules/Loader.h"
 #include "support/Stats.h"
 #include "syntax/Frontend.h"
+#include "vm/Disasm.h"
+#include "vm/Emit.h"
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -76,6 +85,9 @@ void printUsage(std::ostream &OS) {
         "  --no-verify            skip System F re-checking\n"
         "  --direct               cross-check with the direct interpreter\n"
         "  --optimize             specialize and cross-check the result\n"
+        "  --backend=<name>       run the translation on `tree` (default),\n"
+        "                         `closure`, or the bytecode `vm`\n"
+        "  --dump-bytecode        print the translation's VM bytecode\n"
         "  --batch                separately check modules (.fgi output)\n"
         "  -j <n>                 batch worker threads (0 = all cores)\n"
         "  -I <dir>               add a module search path\n"
@@ -205,6 +217,8 @@ int runBatchMode(const std::vector<std::string> &PathArgs,
 int main(int Argc, char **Argv) {
   bool CheckOnly = false, PrintTranslation = false, PrintAst = false;
   bool Direct = false, Optimize = false, Batch = false, UseCache = true;
+  bool DumpBytecode = false;
+  std::string Backend = "tree";
   unsigned Jobs = 1;
   std::vector<std::string> SearchPaths, Paths;
   std::string CacheDir;
@@ -227,6 +241,16 @@ int main(int Argc, char **Argv) {
       Batch = true;
     else if (Arg == "--no-cache")
       UseCache = false;
+    else if (Arg == "--dump-bytecode")
+      DumpBytecode = true;
+    else if (Arg.rfind("--backend=", 0) == 0) {
+      Backend = Arg.substr(std::string("--backend=").size());
+      if (Backend != "tree" && Backend != "closure" && Backend != "vm") {
+        std::cerr << "fgc: error: --backend must be one of tree, closure, "
+                     "vm\n";
+        return usageError();
+      }
+    }
     else if (Arg == "--no-verify")
       Opts.VerifyTranslation = false;
     else if (Arg == "--stats")
@@ -345,11 +369,24 @@ int main(int Argc, char **Argv) {
     if (Out.SfType)
       std::cout << "systemf-type: " << sf::typeToString(Out.SfType) << "\n";
   }
+  if (DumpBytecode) {
+    std::string Error;
+    std::shared_ptr<const vm::Chunk> Chunk =
+        vm::compile(Out.SfTerm, FE.getPrelude(), &Error);
+    if (!Chunk) {
+      std::cerr << "fgc: error: cannot compile to bytecode: " << Error
+                << "\n";
+      return 1;
+    }
+    std::cout << "bytecode:\n" << vm::disassemble(*Chunk);
+  }
   std::cout << "type: " << typeToString(Out.FgType) << "\n";
   if (CheckOnly)
     return 0;
 
-  sf::EvalResult R = FE.run(Out);
+  sf::EvalResult R = Backend == "vm"        ? FE.runVm(Out)
+                     : Backend == "closure" ? FE.runCompiled(Out)
+                                            : FE.run(Out);
   if (!R.ok()) {
     std::cerr << "runtime error: " << R.Error << "\n";
     return 1;

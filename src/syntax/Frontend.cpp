@@ -7,6 +7,7 @@
 
 #include "syntax/Frontend.h"
 #include "support/Stats.h"
+#include "vm/VM.h"
 
 using namespace fg;
 
@@ -129,4 +130,11 @@ sf::EvalResult Frontend::runCompiled(const CompileOutput &Out,
     return sf::EvalResult::failure("compilation to closures failed: " +
                                    Error);
   return C->run(Opts);
+}
+
+sf::EvalResult Frontend::runVm(const CompileOutput &Out,
+                               const sf::EvalOptions &Opts) {
+  if (!Out.Success)
+    return sf::EvalResult::failure("cannot run a failed compilation");
+  return vm::runTerm(Out.SfTerm, ThePrelude, Opts);
 }

@@ -137,6 +137,12 @@ public:
                              const sf::EvalOptions &Opts =
                                  sf::EvalOptions());
 
+  /// Evaluates via the bytecode VM (vm/VM.h): compiles the translation
+  /// to a flat chunk, then runs the dispatch loop.  Observationally
+  /// equivalent to run(); the `--backend=vm` driver path.
+  sf::EvalResult runVm(const CompileOutput &Out,
+                       const sf::EvalOptions &Opts = sf::EvalOptions());
+
   SourceManager &getSourceManager() { return SM; }
   DiagnosticEngine &getDiags() { return Diags; }
   TypeContext &getFgContext() { return FgCtx; }

@@ -245,8 +245,14 @@ public:
         if (!R.ok())
           return R;
         if (const auto *TC =
-                dyn_cast<CompiledTyClosureValue>(R.Val.get()))
+                dyn_cast<CompiledTyClosureValue>(R.Val.get())) {
+          // Instantiation re-enters the body: a reduction step, counted
+          // like the tree evaluator counts it.
+          if (++St.Steps > St.Opts.MaxSteps)
+            return EvalResult::failure("evaluation exceeded the step "
+                                       "limit");
           return (*TC->Body)(St, TC->Env);
+        }
         return R; // Builtins are type-erased.
       };
     }
@@ -297,8 +303,10 @@ public:
         if (!R.ok())
           return R;
         const auto *T = dyn_cast<TupleValue>(R.Val.get());
-        if (!T || Idx >= T->getElements().size())
-          return EvalResult::failure("invalid tuple projection at runtime");
+        if (!T)
+          return EvalResult::failure("`nth` applied to a non-tuple value");
+        if (Idx >= T->getElements().size())
+          return EvalResult::failure("tuple index out of range at runtime");
         return EvalResult::success(T->getElements()[Idx]);
       };
     }

@@ -205,6 +205,10 @@ EvalResult Evaluator::applyImpl(const ValuePtr &Fn,
   case ValueKind::CompiledTyClosure:
     return EvalResult::failure("compiled closure passed to the "
                                "tree-walking evaluator");
+  case ValueKind::VmClosure:
+  case ValueKind::VmTyClosure:
+    return EvalResult::failure("VM closure passed to the tree-walking "
+                               "evaluator");
   }
   assert(false && "unknown value kind");
   return EvalResult::failure("internal error: unknown value kind");

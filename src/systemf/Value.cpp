@@ -50,9 +50,11 @@ std::string fg::sf::valueToString(const Value *V) {
   }
   case ValueKind::Closure:
   case ValueKind::CompiledClosure:
+  case ValueKind::VmClosure:
     return "<closure>";
   case ValueKind::TyClosure:
   case ValueKind::CompiledTyClosure:
+  case ValueKind::VmTyClosure:
     return "<tyclosure>";
   case ValueKind::Fix:
     return "<fix>";
@@ -99,6 +101,8 @@ bool fg::sf::valueEquals(const Value *A, const Value *B) {
   case ValueKind::Builtin:
   case ValueKind::CompiledClosure:
   case ValueKind::CompiledTyClosure:
+  case ValueKind::VmClosure:
+  case ValueKind::VmTyClosure:
     return false; // Distinct function values are never equal.
   }
   return false;

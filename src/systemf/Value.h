@@ -71,6 +71,11 @@ enum class ValueKind : uint8_t {
   /// never observed by the tree-walking evaluator.
   CompiledClosure,
   CompiledTyClosure,
+  /// Closures of the bytecode VM (vm/VM.h); the classes live in the vm
+  /// library, only the kinds are shared so printing and the foreign-
+  /// closure errors of the other engines stay exhaustive.
+  VmClosure,
+  VmTyClosure,
 };
 
 /// Outcome of evaluation: a value or an error message.

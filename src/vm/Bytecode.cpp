@@ -1,0 +1,54 @@
+//===- vm/Bytecode.cpp - Flat bytecode for System F -----------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+using namespace fg;
+using namespace fg::vm;
+
+const char *fg::vm::opName(Op O) {
+  switch (O) {
+  case Op::Const:
+    return "const";
+  case Op::Builtin:
+    return "builtin";
+  case Op::LocalGet:
+    return "local.get";
+  case Op::LocalSet:
+    return "local.set";
+  case Op::UpvalGet:
+    return "upval.get";
+  case Op::MakeClosure:
+    return "make.closure";
+  case Op::MakeTyClosure:
+    return "make.tyclosure";
+  case Op::Call:
+    return "call";
+  case Op::TyApply:
+    return "tyapply";
+  case Op::MakeTuple:
+    return "make.tuple";
+  case Op::Proj:
+    return "proj";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jump.if.false";
+  case Op::MakeFix:
+    return "make.fix";
+  case Op::Return:
+    return "return";
+  }
+  return "<bad-op>";
+}
+
+size_t Chunk::instructionCount() const {
+  size_t N = 0;
+  for (const Proto &P : Protos)
+    N += P.Code.size();
+  return N;
+}

@@ -1,0 +1,112 @@
+//===- vm/Bytecode.h - Flat bytecode for System F ---------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode representation executed by the VM (vm/VM.h): a flat
+/// instruction stream per function prototype, a chunk-wide constant
+/// pool of interned literal values, and an interned table of builtin
+/// values.  Produced from translated System F terms by vm/Emit.h and
+/// rendered back to text by vm/Disasm.h.
+///
+/// Design notes:
+///
+///  * Fixed-width instructions (opcode + one 32-bit operand).  The
+///    translation's terms are small enough that decode simplicity beats
+///    byte-stream compactness.
+///  * Variables are resolved at emit time: `LocalGet` indexes the
+///    current frame (parameters and flattened `let` slots share one
+///    frame per function activation), `UpvalGet` indexes the running
+///    closure's captured-value array.  Closures are *flat*: `Capture`
+///    descriptors tell `MakeClosure` which enclosing slots/upvalues to
+///    copy at creation time, so variable access never walks a frame
+///    chain.
+///  * Jump operands are absolute instruction indices within the
+///    prototype's code array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_VM_BYTECODE_H
+#define FG_VM_BYTECODE_H
+
+#include "systemf/Value.h"
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fg {
+namespace vm {
+
+/// The instruction set.  Operand meaning is given per opcode.
+enum class Op : uint8_t {
+  Const,         ///< Push constant pool entry [A].
+  Builtin,       ///< Push builtin table entry [A].
+  LocalGet,      ///< Push current frame slot A.
+  LocalSet,      ///< Pop into current frame slot A (flattened `let`).
+  UpvalGet,      ///< Push captured value A of the running closure.
+  MakeClosure,   ///< Push a closure of prototype A, capturing per its
+                 ///  Capture descriptors.
+  MakeTyClosure, ///< Same, for a type abstraction (arity 0).
+  Call,          ///< Call stack[-A-1] with the top A values as args.
+  TyApply,       ///< Instantiate the type closure on top of the stack
+                 ///  (re-enters its body); non-closures pass through
+                 ///  unchanged (types are erased).
+  MakeTuple,     ///< Pop A values, push an A-tuple.
+  Proj,          ///< Replace the tuple on top with its element A.
+  Jump,          ///< IP := A.
+  JumpIfFalse,   ///< Pop a bool; IP := A when false.
+  MakeFix,       ///< Wrap the top of stack in a fixpoint value.
+  Return,        ///< Pop the callee frame; its top of stack is the
+                 ///  call's result.
+};
+
+/// Printable mnemonic for \p O (lower-case, disassembler style).
+const char *opName(Op O);
+
+/// One fixed-width instruction.
+struct Instr {
+  Op Opcode;
+  uint32_t A = 0;
+};
+
+/// Where one captured variable of a closure comes from, read at
+/// MakeClosure time against the *creating* activation.
+struct Capture {
+  enum SourceKind : uint8_t {
+    ParentLocal,  ///< Slot Index of the creating frame.
+    ParentUpvalue ///< Captured value Index of the creating closure.
+  };
+  SourceKind Source;
+  uint32_t Index;
+};
+
+/// One compiled function: the entry expression, a lambda, or a type
+/// abstraction body.
+struct Proto {
+  std::string Name;       ///< For the disassembler ("<main>", "fun(x)").
+  uint32_t Arity = 0;     ///< Parameter count (0 for type abstractions).
+  uint32_t NumLocals = 0; ///< Parameters + flattened `let` slots.
+  std::vector<Instr> Code;
+  std::vector<Capture> Captures;
+};
+
+/// A fully compiled program: prototypes plus the shared pools.  Chunks
+/// are immutable after emission and shared (closure values keep their
+/// chunk alive after the VM returns).
+struct Chunk {
+  std::vector<Proto> Protos;           ///< Protos[0] is the entry.
+  std::vector<sf::ValuePtr> Constants; ///< Interned literal values.
+  std::vector<sf::ValuePtr> Builtins;  ///< Interned builtin values.
+  std::vector<std::string> BuiltinNames; ///< Parallel to Builtins.
+
+  /// Total instruction count across all prototypes.
+  size_t instructionCount() const;
+};
+
+} // namespace vm
+} // namespace fg
+
+#endif // FG_VM_BYTECODE_H

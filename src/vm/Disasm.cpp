@@ -1,0 +1,73 @@
+//===- vm/Disasm.cpp - Bytecode disassembler ------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Disasm.h"
+#include <iomanip>
+#include <sstream>
+
+using namespace fg;
+using namespace fg::vm;
+
+std::string fg::vm::disassembleProto(const Chunk &C, uint32_t ProtoIdx) {
+  const Proto &P = C.Protos[ProtoIdx];
+  std::ostringstream OS;
+  OS << "proto " << ProtoIdx << " " << P.Name << "  ; arity " << P.Arity
+     << ", locals " << P.NumLocals << ", captures " << P.Captures.size()
+     << "\n";
+  for (size_t I = 0; I != P.Captures.size(); ++I) {
+    const Capture &Cap = P.Captures[I];
+    OS << "  capture " << I << " <- "
+       << (Cap.Source == Capture::ParentLocal ? "parent local "
+                                              : "parent upvalue ")
+       << Cap.Index << "\n";
+  }
+  for (size_t I = 0; I != P.Code.size(); ++I) {
+    const Instr &In = P.Code[I];
+    OS << "  " << std::setw(4) << I << "  " << std::left << std::setw(16)
+       << opName(In.Opcode) << std::right;
+    switch (In.Opcode) {
+    case Op::Const:
+      OS << In.A << "  ; " << sf::valueToString(C.Constants[In.A]);
+      break;
+    case Op::Builtin:
+      OS << In.A << "  ; " << C.BuiltinNames[In.A];
+      break;
+    case Op::MakeClosure:
+    case Op::MakeTyClosure:
+      OS << In.A << "  ; " << C.Protos[In.A].Name;
+      break;
+    case Op::Jump:
+    case Op::JumpIfFalse:
+      OS << "-> " << In.A;
+      break;
+    case Op::LocalGet:
+    case Op::LocalSet:
+    case Op::UpvalGet:
+    case Op::Call:
+    case Op::MakeTuple:
+    case Op::Proj:
+      OS << In.A;
+      break;
+    case Op::TyApply:
+    case Op::MakeFix:
+    case Op::Return:
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+std::string fg::vm::disassemble(const Chunk &C) {
+  std::ostringstream OS;
+  OS << "; " << C.Protos.size() << " protos, " << C.instructionCount()
+     << " instructions, " << C.Constants.size() << " constants, "
+     << C.Builtins.size() << " builtins\n";
+  for (uint32_t I = 0; I != C.Protos.size(); ++I)
+    OS << disassembleProto(C, I);
+  return OS.str();
+}

@@ -1,0 +1,35 @@
+//===- vm/Disasm.h - Bytecode disassembler ----------------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a compiled chunk as text for observability: one section per
+/// prototype (name, arity, locals, captures) and one line per
+/// instruction, with operands annotated from the constant pool and
+/// builtin table.  Exposed on the command line as `fgc
+/// --dump-bytecode`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_VM_DISASM_H
+#define FG_VM_DISASM_H
+
+#include "vm/Bytecode.h"
+#include <string>
+
+namespace fg {
+namespace vm {
+
+/// The whole chunk, entry prototype first.
+std::string disassemble(const Chunk &C);
+
+/// One prototype of \p C.
+std::string disassembleProto(const Chunk &C, uint32_t ProtoIdx);
+
+} // namespace vm
+} // namespace fg
+
+#endif // FG_VM_DISASM_H

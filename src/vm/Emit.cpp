@@ -1,0 +1,318 @@
+//===- vm/Emit.cpp - System F term -> bytecode compiler -------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Emit.h"
+#include "support/Casting.h"
+#include "support/Stats.h"
+#include <cassert>
+#include <unordered_map>
+
+using namespace fg;
+using namespace fg::vm;
+using namespace fg::sf;
+
+namespace {
+
+/// Emit-time state for one function prototype.  Protos live in the
+/// chunk's vector, which reallocates as nested functions are added, so
+/// everything holds indices rather than Proto pointers.
+struct FnState {
+  uint32_t ProtoIdx;
+  FnState *Parent;
+  /// Lexical scope: (name, slot), innermost binding last.  Entries are
+  /// pushed for parameters and `let`s and popped when the scope ends;
+  /// the slots themselves are never reused, so NumLocals is the total
+  /// allocated.
+  std::vector<std::pair<std::string, uint32_t>> Scope;
+};
+
+class Emitter {
+public:
+  Emitter(const Prelude &P) {
+    for (const BuiltinEntry &E : P.Entries)
+      Globals[E.Name] = E.Val;
+    C = std::make_shared<Chunk>();
+  }
+
+  std::shared_ptr<const Chunk> run(const Term *T) {
+    C->Protos.emplace_back();
+    C->Protos[0].Name = "<main>";
+    FnState Main{0, nullptr, {}};
+    emitTerm(T, Main);
+    emit(Main, Op::Return);
+    if (!Error.empty())
+      return nullptr;
+    return C;
+  }
+
+  std::string Error;
+
+private:
+  Proto &proto(const FnState &F) { return C->Protos[F.ProtoIdx]; }
+
+  uint32_t emit(FnState &F, Op O, uint32_t A = 0) {
+    proto(F).Code.push_back({O, A});
+    return static_cast<uint32_t>(proto(F).Code.size() - 1);
+  }
+
+  void patchJump(FnState &F, uint32_t At) {
+    proto(F).Code[At].A = static_cast<uint32_t>(proto(F).Code.size());
+  }
+
+  uint32_t newLocal(FnState &F, const std::string &Name) {
+    uint32_t Slot = proto(F).NumLocals++;
+    F.Scope.emplace_back(Name, Slot);
+    return Slot;
+  }
+
+  /// Innermost binding of \p Name in \p F's own frame, or -1.
+  int resolveLocal(const FnState &F, const std::string &Name) const {
+    for (size_t I = F.Scope.size(); I != 0; --I)
+      if (F.Scope[I - 1].first == Name)
+        return static_cast<int>(F.Scope[I - 1].second);
+    return -1;
+  }
+
+  /// Interns a capture descriptor, so each source is copied once per
+  /// closure no matter how many references it has.
+  uint32_t addCapture(FnState &F, Capture::SourceKind Source,
+                      uint32_t Index) {
+    auto &Caps = proto(F).Captures;
+    for (size_t I = 0; I != Caps.size(); ++I)
+      if (Caps[I].Source == Source && Caps[I].Index == Index)
+        return static_cast<uint32_t>(I);
+    Caps.push_back({Source, Index});
+    return static_cast<uint32_t>(Caps.size() - 1);
+  }
+
+  /// True when \p Name is bound by any enclosing function, i.e. a
+  /// prelude global of that name is shadowed here.  Unlike
+  /// resolveUpvalue this is a pure query: it interns no captures.
+  bool isShadowed(const FnState &F, const std::string &Name) const {
+    for (const FnState *S = &F; S; S = S->Parent)
+      if (resolveLocal(*S, Name) >= 0)
+        return true;
+    return false;
+  }
+
+  /// Resolves \p Name to an upvalue of \p F, threading the capture
+  /// through every enclosing function between the use and the binding
+  /// (the standard flat-closure chain).  Returns -1 when unbound.
+  int resolveUpvalue(FnState &F, const std::string &Name) {
+    if (!F.Parent)
+      return -1;
+    int Local = resolveLocal(*F.Parent, Name);
+    if (Local >= 0)
+      return static_cast<int>(addCapture(F, Capture::ParentLocal,
+                                         static_cast<uint32_t>(Local)));
+    int Up = resolveUpvalue(*F.Parent, Name);
+    if (Up >= 0)
+      return static_cast<int>(addCapture(F, Capture::ParentUpvalue,
+                                         static_cast<uint32_t>(Up)));
+    return -1;
+  }
+
+  uint32_t internConstant(ValuePtr V, int64_t IntKey, bool IsInt) {
+    auto &Map = IsInt ? IntConsts : BoolConsts;
+    auto It = Map.find(IntKey);
+    if (It != Map.end())
+      return It->second;
+    C->Constants.push_back(std::move(V));
+    uint32_t Idx = static_cast<uint32_t>(C->Constants.size() - 1);
+    Map[IntKey] = Idx;
+    return Idx;
+  }
+
+  void emitVar(const std::string &Name, FnState &F) {
+    int Slot = resolveLocal(F, Name);
+    if (Slot >= 0) {
+      emit(F, Op::LocalGet, static_cast<uint32_t>(Slot));
+      return;
+    }
+    int Up = resolveUpvalue(F, Name);
+    if (Up >= 0) {
+      emit(F, Op::UpvalGet, static_cast<uint32_t>(Up));
+      return;
+    }
+    auto G = Globals.find(Name);
+    if (G != Globals.end()) {
+      auto It = BuiltinIdx.find(Name);
+      uint32_t Idx;
+      if (It != BuiltinIdx.end()) {
+        Idx = It->second;
+      } else {
+        C->Builtins.push_back(G->second);
+        C->BuiltinNames.push_back(Name);
+        Idx = static_cast<uint32_t>(C->Builtins.size() - 1);
+        BuiltinIdx[Name] = Idx;
+      }
+      emit(F, Op::Builtin, Idx);
+      return;
+    }
+    if (Error.empty())
+      Error = "unbound variable `" + Name + "` at compile time";
+  }
+
+  /// Compiles a lambda or type-abstraction body into a fresh prototype
+  /// and returns its index.  \p Params is empty for type abstractions.
+  uint32_t emitProto(std::string Name,
+                     const std::vector<ParamBinding> *Params,
+                     const Term *Body, FnState &Parent) {
+    uint32_t Idx = static_cast<uint32_t>(C->Protos.size());
+    C->Protos.emplace_back();
+    {
+      Proto &P = C->Protos[Idx];
+      P.Name = std::move(Name);
+      P.Arity = Params ? static_cast<uint32_t>(Params->size()) : 0;
+    }
+    FnState F{Idx, &Parent, {}};
+    if (Params)
+      for (const ParamBinding &PB : *Params)
+        newLocal(F, PB.Name);
+    emitTerm(Body, F);
+    emit(F, Op::Return);
+    return Idx;
+  }
+
+  void emitTerm(const Term *T, FnState &F) {
+    switch (T->getKind()) {
+    case TermKind::IntLit: {
+      int64_t V = cast<IntLit>(T)->getValue();
+      emit(F, Op::Const,
+           internConstant(std::make_shared<IntValue>(V), V, true));
+      return;
+    }
+    case TermKind::BoolLit: {
+      bool V = cast<BoolLit>(T)->getValue();
+      emit(F, Op::Const,
+           internConstant(std::make_shared<BoolValue>(V), V, false));
+      return;
+    }
+    case TermKind::Var:
+      emitVar(cast<VarTerm>(T)->getName(), F);
+      return;
+
+    case TermKind::Abs: {
+      const auto *A = cast<AbsTerm>(T);
+      std::string Name = "fun(";
+      for (size_t I = 0; I != A->getParams().size(); ++I) {
+        if (I)
+          Name += ", ";
+        Name += A->getParams()[I].Name;
+      }
+      Name += ")";
+      uint32_t Idx =
+          emitProto(std::move(Name), &A->getParams(), A->getBody(), F);
+      emit(F, Op::MakeClosure, Idx);
+      return;
+    }
+
+    case TermKind::TyAbs: {
+      const auto *A = cast<TyAbsTerm>(T);
+      uint32_t Idx = emitProto("forall", nullptr, A->getBody(), F);
+      emit(F, Op::MakeTyClosure, Idx);
+      return;
+    }
+
+    case TermKind::App: {
+      const auto *A = cast<AppTerm>(T);
+      emitTerm(A->getFn(), F);
+      for (const Term *Arg : A->getArgs())
+        emitTerm(Arg, F);
+      emit(F, Op::Call, static_cast<uint32_t>(A->getArgs().size()));
+      return;
+    }
+
+    case TermKind::TyApp: {
+      // Types are erased: one TyApply enters the abstraction's body
+      // regardless of how many type arguments were written, exactly as
+      // the tree-walking evaluator re-enters the body once.
+      //
+      // A direct builtin reference (`car[t]`, `nil[int]`) can never be
+      // a type closure, and TyApply on anything else is the identity —
+      // fold the instruction away and load the builtin directly.
+      const Term *Fn = cast<TyAppTerm>(T)->getFn();
+      if (const auto *V = dyn_cast<VarTerm>(Fn))
+        if (!isShadowed(F, V->getName()) && Globals.count(V->getName())) {
+          emitVar(V->getName(), F);
+          return;
+        }
+      emitTerm(Fn, F);
+      emit(F, Op::TyApply);
+      return;
+    }
+
+    case TermKind::Let: {
+      const auto *L = cast<LetTerm>(T);
+      emitTerm(L->getInit(), F); // Binding not visible in its own init.
+      uint32_t Slot = newLocal(F, L->getName());
+      emit(F, Op::LocalSet, Slot);
+      emitTerm(L->getBody(), F);
+      F.Scope.pop_back(); // Scope ends; the slot stays allocated.
+      return;
+    }
+
+    case TermKind::Tuple: {
+      const auto *Tu = cast<TupleTerm>(T);
+      for (const Term *E : Tu->getElements())
+        emitTerm(E, F);
+      emit(F, Op::MakeTuple,
+           static_cast<uint32_t>(Tu->getElements().size()));
+      return;
+    }
+
+    case TermKind::Nth: {
+      const auto *N = cast<NthTerm>(T);
+      emitTerm(N->getTuple(), F);
+      emit(F, Op::Proj, N->getIndex());
+      return;
+    }
+
+    case TermKind::If: {
+      const auto *I = cast<IfTerm>(T);
+      emitTerm(I->getCond(), F);
+      uint32_t ToElse = emit(F, Op::JumpIfFalse);
+      emitTerm(I->getThen(), F);
+      uint32_t ToEnd = emit(F, Op::Jump);
+      patchJump(F, ToElse);
+      emitTerm(I->getElse(), F);
+      patchJump(F, ToEnd);
+      return;
+    }
+
+    case TermKind::Fix:
+      emitTerm(cast<FixTerm>(T)->getOperand(), F);
+      emit(F, Op::MakeFix);
+      return;
+    }
+    assert(false && "unknown term kind");
+  }
+
+  std::shared_ptr<Chunk> C;
+  std::unordered_map<std::string, ValuePtr> Globals;
+  std::unordered_map<std::string, uint32_t> BuiltinIdx;
+  std::unordered_map<int64_t, uint32_t> IntConsts;
+  std::unordered_map<int64_t, uint32_t> BoolConsts;
+};
+
+} // namespace
+
+std::shared_ptr<const Chunk> fg::vm::compile(const Term *T, const Prelude &P,
+                                             std::string *ErrorOut) {
+  stats::ScopedTimer Timer("vm.compile");
+  Emitter E(P);
+  std::shared_ptr<const Chunk> C = E.run(T);
+  if (!C) {
+    if (ErrorOut)
+      *ErrorOut = E.Error;
+    return nullptr;
+  }
+  stats::Statistics::global().add("vm.chunks.compiled");
+  stats::Statistics::global().add("vm.instructions.emitted",
+                                  C->instructionCount());
+  return C;
+}

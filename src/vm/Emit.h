@@ -1,0 +1,47 @@
+//===- vm/Emit.h - System F term -> bytecode compiler -----------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a translated System F term into a vm::Chunk.  All name
+/// resolution happens here, once:
+///
+///  * lambda parameters and `let` bindings become slots of the
+///    enclosing function's single frame — chains of `let`s flatten
+///    into consecutive slots instead of one environment node each;
+///  * free variables of a lambda become flat-closure captures,
+///    interned per (source, index) so a variable used twice is
+///    captured once;
+///  * remaining free names must be prelude builtins and are interned
+///    into the chunk's builtin table.
+///
+/// An unbound name is a compile-time error (the same contract as
+/// sf::CompiledTerm::compile).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_VM_EMIT_H
+#define FG_VM_EMIT_H
+
+#include "systemf/Builtins.h"
+#include "systemf/Term.h"
+#include "vm/Bytecode.h"
+#include <memory>
+#include <string>
+
+namespace fg {
+namespace vm {
+
+/// Compiles \p T against prelude \p P.  Returns null (with \p ErrorOut
+/// set) when \p T references a name bound neither locally nor in the
+/// prelude.  The chunk is immutable and shareable once returned.
+std::shared_ptr<const Chunk> compile(const sf::Term *T, const sf::Prelude &P,
+                                     std::string *ErrorOut = nullptr);
+
+} // namespace vm
+} // namespace fg
+
+#endif // FG_VM_EMIT_H

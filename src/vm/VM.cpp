@@ -1,0 +1,337 @@
+//===- vm/VM.cpp - Bytecode dispatch-loop interpreter ---------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VM.h"
+#include "support/Stats.h"
+#include "vm/Emit.h"
+#include <cassert>
+
+using namespace fg;
+using namespace fg::vm;
+using namespace fg::sf;
+
+// Abort diagnostics are shared verbatim with systemf/Eval.cpp and
+// systemf/Compile.cpp so a divergent program reports identically on
+// every backend (tests/Differential.h enforces this).
+static const char *StepLimitMsg = "evaluation exceeded the step limit";
+static const char *DepthLimitMsg =
+    "evaluation exceeded the recursion depth limit";
+
+bool VM::enterCall(uint32_t N) {
+  size_t FnPos = Stack.size() - N - 1;
+  while (true) {
+    const Value *Fn = Stack[FnPos].get();
+    switch (Fn->getKind()) {
+    case ValueKind::VmClosure: {
+      const auto *C = cast<VmClosureValue>(Fn);
+      const Proto &P = C->proto();
+      if (P.Arity != N) {
+        RuntimeError = "function called with wrong arity";
+        return false;
+      }
+      if (depth() >= Opts.MaxDepth) {
+        RuntimeError = DepthLimitMsg;
+        return false;
+      }
+      CallFrame NF;
+      NF.C = C->chunk().get();
+      NF.P = &P;
+      NF.Upvals = &C->upvals();
+      NF.Keep = std::move(Stack[FnPos]); // Keeps *C alive; slot dies below.
+      NF.LocalBase = static_cast<uint32_t>(Locals.size());
+      NF.StackBase = static_cast<uint32_t>(FnPos);
+      Locals.resize(NF.LocalBase + P.NumLocals);
+      for (uint32_t I = 0; I < N; ++I)
+        Locals[NF.LocalBase + I] = std::move(Stack[FnPos + 1 + I]);
+      Stack.resize(FnPos);
+      Frames.push_back(std::move(NF));
+      ++FramesPushed;
+      return true;
+    }
+
+    case ValueKind::Builtin: {
+      const auto *B = cast<BuiltinValue>(Fn);
+      if (B->getArity() != N) {
+        RuntimeError =
+            "builtin `" + B->getName() + "` called with wrong arity";
+        return false;
+      }
+      // Builtins are leaf primitives (they never re-enter the VM), so
+      // one scratch vector serves every invocation without a per-call
+      // allocation.
+      BuiltinArgs.clear();
+      for (uint32_t I = 0; I < N; ++I)
+        BuiltinArgs.push_back(std::move(Stack[FnPos + 1 + I]));
+      Stack.resize(FnPos);
+      EvalResult R = B->invoke(BuiltinArgs);
+      if (!R.ok()) {
+        RuntimeError = R.Error;
+        return false;
+      }
+      Stack.push_back(std::move(R.Val));
+      return true;
+    }
+
+    case ValueKind::Fix: {
+      // (fix f)(v...) unrolls to (f (fix f))(v...): run the unroll as
+      // a bounded nested dispatch, then retry the call on its result
+      // in the *current* loop so program recursion through `fix` grows
+      // the explicit frame stack, never the C++ stack.
+      //
+      // The language is pure, so the unroll of a given fix value is
+      // deterministic and effect-free: memoize it per run.  Recursive
+      // calls — one unroll per loop iteration in the tree evaluator —
+      // become a pointer-keyed lookup.  The step/depth checks stay on
+      // every path so degenerate chains (`fix (fun(f). f)` unrolls to
+      // itself forever) still abort with the shared diagnostics.
+      if (++Steps > Opts.MaxSteps) {
+        RuntimeError = StepLimitMsg;
+        return false;
+      }
+      if (depth() >= Opts.MaxDepth) {
+        RuntimeError = DepthLimitMsg;
+        return false;
+      }
+      if (Fn == FixMemoKey) { // Inline cache: the one hot fix.
+        Stack[FnPos] = FixMemoUnrolled;
+        continue;
+      }
+      auto It = FixMemo.find(Fn);
+      if (It != FixMemo.end()) {
+        FixMemoKey = Fn;
+        FixMemoUnrolled = It->second.Unrolled;
+        Stack[FnPos] = It->second.Unrolled;
+        continue;
+      }
+      const auto *FV = cast<FixValue>(Fn);
+      ++FixDepth;
+      EvalResult Unrolled = callValue(FV->getFn(), {Stack[FnPos]});
+      --FixDepth;
+      if (!Unrolled.ok()) {
+        RuntimeError = Unrolled.Error;
+        return false;
+      }
+      // The keepalive pins the fix value so its address cannot be
+      // reused by a different allocation while the memo entry lives.
+      FixMemo.emplace(Fn, FixMemoEntry{Stack[FnPos], Unrolled.Val});
+      FixMemoKey = Fn;
+      FixMemoUnrolled = Unrolled.Val;
+      Stack[FnPos] = std::move(Unrolled.Val);
+      continue; // Retry dispatch on the unrolled function.
+    }
+
+    default:
+      RuntimeError = "attempt to call a non-function value `" +
+                     valueToString(Fn) + "`";
+      return false;
+    }
+  }
+}
+
+EvalResult VM::callValue(const ValuePtr &Fn, std::vector<ValuePtr> Args) {
+  size_t Entry = Frames.size();
+  uint32_t N = static_cast<uint32_t>(Args.size());
+  Stack.push_back(Fn);
+  for (ValuePtr &A : Args)
+    Stack.push_back(std::move(A));
+  if (!enterCall(N))
+    return EvalResult::failure(RuntimeError);
+  if (Frames.size() > Entry)
+    return execute(Entry);
+  // Builtin (or fix chain ending in one): the result is on the stack.
+  ValuePtr R = std::move(Stack.back());
+  Stack.pop_back();
+  return EvalResult::success(std::move(R));
+}
+
+EvalResult VM::execute(size_t StopDepth) {
+  // The current frame is cached in a register and refreshed only when
+  // the frame stack changes (Call / TyApply push, Return pop) — every
+  // other opcode skips the Frames.back() reload.
+  CallFrame *F = &Frames.back();
+  while (true) {
+    assert(F->IP < F->P->Code.size() && "ran off the end of a prototype");
+    const Instr I = F->P->Code[F->IP++];
+    if (++Steps > Opts.MaxSteps)
+      return EvalResult::failure(StepLimitMsg);
+
+    switch (I.Opcode) {
+    case Op::Const:
+      Stack.push_back(F->C->Constants[I.A]);
+      break;
+
+    case Op::Builtin:
+      Stack.push_back(F->C->Builtins[I.A]);
+      break;
+
+    case Op::LocalGet:
+      Stack.push_back(Locals[F->LocalBase + I.A]);
+      break;
+
+    case Op::LocalSet:
+      Locals[F->LocalBase + I.A] = std::move(Stack.back());
+      Stack.pop_back();
+      break;
+
+    case Op::UpvalGet:
+      Stack.push_back((*F->Upvals)[I.A]);
+      break;
+
+    case Op::MakeClosure:
+    case Op::MakeTyClosure: {
+      const Proto &NP = F->C->Protos[I.A];
+      std::vector<ValuePtr> Ups;
+      Ups.reserve(NP.Captures.size());
+      for (const Capture &Cap : NP.Captures)
+        Ups.push_back(Cap.Source == Capture::ParentLocal
+                          ? Locals[F->LocalBase + Cap.Index]
+                          : (*F->Upvals)[Cap.Index]);
+      assert(F->C == RootChunk.get() &&
+             "every frame in a run executes the root chunk");
+      if (I.Opcode == Op::MakeClosure)
+        Stack.push_back(
+            std::make_shared<VmClosureValue>(RootChunk, I.A, std::move(Ups)));
+      else
+        Stack.push_back(std::make_shared<VmTyClosureValue>(RootChunk, I.A,
+                                                           std::move(Ups)));
+      break;
+    }
+
+    case Op::Call:
+      if (!enterCall(I.A))
+        return EvalResult::failure(RuntimeError);
+      F = &Frames.back();
+      break;
+
+    case Op::TyApply: {
+      ValuePtr V = std::move(Stack.back());
+      Stack.pop_back();
+      const auto *TC = dyn_cast<VmTyClosureValue>(V.get());
+      if (!TC) {
+        // Types are erased: builtins like `nil` pass through unchanged.
+        Stack.push_back(std::move(V));
+        break;
+      }
+      if (depth() >= Opts.MaxDepth)
+        return EvalResult::failure(DepthLimitMsg);
+      CallFrame NF;
+      NF.C = TC->chunk().get();
+      NF.P = &TC->proto();
+      NF.Upvals = &TC->upvals();
+      NF.Keep = std::move(V);
+      NF.LocalBase = static_cast<uint32_t>(Locals.size());
+      NF.StackBase = static_cast<uint32_t>(Stack.size());
+      Locals.resize(NF.LocalBase + NF.P->NumLocals);
+      Frames.push_back(std::move(NF));
+      ++FramesPushed;
+      F = &Frames.back();
+      break;
+    }
+
+    case Op::MakeTuple: {
+      std::vector<ValuePtr> Elems(
+          std::make_move_iterator(Stack.end() - I.A),
+          std::make_move_iterator(Stack.end()));
+      Stack.resize(Stack.size() - I.A);
+      Stack.push_back(std::make_shared<TupleValue>(std::move(Elems)));
+      break;
+    }
+
+    case Op::Proj: {
+      ValuePtr V = std::move(Stack.back());
+      Stack.pop_back();
+      const auto *Tu = dyn_cast<TupleValue>(V.get());
+      if (!Tu)
+        return EvalResult::failure("`nth` applied to a non-tuple value");
+      if (I.A >= Tu->getElements().size())
+        return EvalResult::failure("tuple index out of range at runtime");
+      Stack.push_back(Tu->getElements()[I.A]);
+      break;
+    }
+
+    case Op::Jump:
+      F->IP = I.A;
+      break;
+
+    case Op::JumpIfFalse: {
+      ValuePtr V = std::move(Stack.back());
+      Stack.pop_back();
+      const auto *B = dyn_cast<BoolValue>(V.get());
+      if (!B)
+        return EvalResult::failure(
+            "`if` condition evaluated to a non-boolean");
+      if (!B->getValue())
+        F->IP = I.A;
+      break;
+    }
+
+    case Op::MakeFix: {
+      ValuePtr V = std::move(Stack.back());
+      Stack.pop_back();
+      Stack.push_back(std::make_shared<FixValue>(std::move(V)));
+      break;
+    }
+
+    case Op::Return: {
+      ValuePtr R = std::move(Stack.back());
+      Locals.resize(F->LocalBase);
+      Stack.resize(F->StackBase);
+      Frames.pop_back();
+      if (Frames.size() == StopDepth)
+        return EvalResult::success(std::move(R));
+      Stack.push_back(std::move(R));
+      F = &Frames.back();
+      break;
+    }
+    }
+  }
+}
+
+EvalResult VM::run(std::shared_ptr<const Chunk> C) {
+  stats::ScopedTimer Timer("vm.run");
+  Steps = 0;
+  FramesPushed = 0;
+  FixDepth = 0;
+  Frames.clear();
+  Stack.clear();
+  Locals.clear();
+  RuntimeError.clear();
+  FixMemo.clear();
+  FixMemoKey = nullptr;
+  FixMemoUnrolled.reset();
+  if (!C || C->Protos.empty())
+    return EvalResult::failure("empty bytecode chunk");
+  RootChunk = std::move(C);
+
+  CallFrame Entry;
+  Entry.C = RootChunk.get();
+  Entry.P = &RootChunk->Protos[0];
+  Locals.resize(Entry.P->NumLocals);
+  Frames.push_back(std::move(Entry));
+  ++FramesPushed;
+  EvalResult R = execute(0);
+
+  // Bulk-flush the run's counters: one atomic add each instead of one
+  // per instruction (see Stats.h design note 1).
+  static std::atomic<uint64_t> &InstrCount =
+      stats::Statistics::global().counter("vm.instructions");
+  static std::atomic<uint64_t> &FrameCount =
+      stats::Statistics::global().counter("vm.frames.pushed");
+  InstrCount += Steps;
+  FrameCount += FramesPushed;
+  return R;
+}
+
+EvalResult fg::vm::runTerm(const sf::Term *T, const Prelude &P,
+                           const EvalOptions &Opts) {
+  std::string Error;
+  std::shared_ptr<const Chunk> C = compile(T, P, &Error);
+  if (!C)
+    return EvalResult::failure("compilation to bytecode failed: " + Error);
+  VM M(Opts);
+  return M.run(std::move(C));
+}

@@ -1,0 +1,166 @@
+//===- vm/VM.h - Bytecode dispatch-loop interpreter -------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third System F execution backend: a dispatch-loop interpreter
+/// over the flat bytecode of vm/Bytecode.h.  Where the tree walker
+/// (systemf/Eval.h) recurses over terms and the closure compiler
+/// (systemf/Compile.h) recurses over std::function trees, the VM runs
+/// a single loop over explicit call frames:
+///
+///  * locals (parameters + flattened `let`s) live in one contiguous
+///    slot stack, indexed from each frame's base;
+///  * closures are flat — captured values are copied into the closure
+///    at creation, so variable access never chases an environment;
+///  * calls push a frame, `Return` pops it; program recursion grows
+///    the explicit frame stack, not the C++ stack (the only native
+///    recursion is the bounded `fix` unroll).
+///
+/// Observationally equivalent to the other backends — the same values,
+/// the same runtime errors, and the same EvalOptions step/depth abort
+/// diagnostics; tests/Differential.h pins all three together.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_VM_VM_H
+#define FG_VM_VM_H
+
+#include "systemf/Builtins.h"
+#include "systemf/Eval.h"
+#include "vm/Bytecode.h"
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace fg {
+namespace vm {
+
+/// A flat closure: a prototype plus the captured values, holding its
+/// chunk alive so closures may outlive the VM run that made them.
+class VmClosureValue : public sf::Value {
+public:
+  VmClosureValue(std::shared_ptr<const Chunk> C, uint32_t ProtoIdx,
+                 std::vector<sf::ValuePtr> Upvals)
+      : Value(sf::ValueKind::VmClosure), Chk(std::move(C)),
+        ProtoIdx(ProtoIdx), Upvals(std::move(Upvals)) {}
+
+  const std::shared_ptr<const Chunk> &chunk() const { return Chk; }
+  const Proto &proto() const { return Chk->Protos[ProtoIdx]; }
+  const std::vector<sf::ValuePtr> &upvals() const { return Upvals; }
+
+  static bool classof(const sf::Value *V) {
+    return V->getKind() == sf::ValueKind::VmClosure;
+  }
+
+private:
+  std::shared_ptr<const Chunk> Chk;
+  uint32_t ProtoIdx;
+  std::vector<sf::ValuePtr> Upvals;
+};
+
+/// A flat type closure; its body re-runs at every instantiation, as in
+/// the tree-walking evaluator (types are erased).
+class VmTyClosureValue : public sf::Value {
+public:
+  VmTyClosureValue(std::shared_ptr<const Chunk> C, uint32_t ProtoIdx,
+                   std::vector<sf::ValuePtr> Upvals)
+      : Value(sf::ValueKind::VmTyClosure), Chk(std::move(C)),
+        ProtoIdx(ProtoIdx), Upvals(std::move(Upvals)) {}
+
+  const std::shared_ptr<const Chunk> &chunk() const { return Chk; }
+  const Proto &proto() const { return Chk->Protos[ProtoIdx]; }
+  const std::vector<sf::ValuePtr> &upvals() const { return Upvals; }
+
+  static bool classof(const sf::Value *V) {
+    return V->getKind() == sf::ValueKind::VmTyClosure;
+  }
+
+private:
+  std::shared_ptr<const Chunk> Chk;
+  uint32_t ProtoIdx;
+  std::vector<sf::ValuePtr> Upvals;
+};
+
+/// Executes compiled chunks.  One VM may run many chunks in sequence;
+/// state is reset by run().  Enforces the same sf::EvalOptions limits
+/// as the other engines: MaxSteps bounds executed instructions,
+/// MaxDepth bounds live call frames (incl. fix unrolling).
+class VM {
+public:
+  explicit VM(sf::EvalOptions Opts = sf::EvalOptions()) : Opts(Opts) {}
+
+  /// Runs \p C from its entry prototype.
+  sf::EvalResult run(std::shared_ptr<const Chunk> C);
+
+  uint64_t getInstructionsExecuted() const { return Steps; }
+  uint64_t getFramesPushed() const { return FramesPushed; }
+
+private:
+  /// One activation.  Locals and the operand stack are contiguous
+  /// vectors shared by all frames; each frame indexes from its bases.
+  /// The chunk pointer is raw: every frame's chunk is the run's root
+  /// chunk (closures only reference protos of the chunk that made
+  /// them), which RootChunk pins for the whole run.
+  struct CallFrame {
+    const Chunk *C = nullptr;
+    const Proto *P = nullptr;
+    const std::vector<sf::ValuePtr> *Upvals = nullptr; ///< Null at entry.
+    sf::ValuePtr Keep; ///< The running (ty)closure, kept alive.
+    uint32_t IP = 0;
+    uint32_t LocalBase = 0;
+    uint32_t StackBase = 0;
+  };
+
+  /// Runs until the frame stack shrinks back to \p StopDepth; the
+  /// returning frame's result is the call's value.
+  sf::EvalResult execute(size_t StopDepth);
+
+  /// Dispatches a Call on stack[-N-1] with N arguments: pushes a frame
+  /// (closure), invokes inline (builtin), or unrolls (fix).  On false,
+  /// RuntimeError holds the diagnostic.
+  bool enterCall(uint32_t N);
+
+  /// Applies \p Fn to \p Args to completion with a nested dispatch;
+  /// only the `fix` unroll needs this.
+  sf::EvalResult callValue(const sf::ValuePtr &Fn,
+                           std::vector<sf::ValuePtr> Args);
+
+  size_t depth() const { return Frames.size() + FixDepth; }
+
+  /// Memoized `fix` unroll: the language is pure, so `f (fix f)` is
+  /// computed once per fix value and run.  Keepalive pins the key's
+  /// address for the lifetime of the entry.
+  struct FixMemoEntry {
+    sf::ValuePtr Keepalive;
+    sf::ValuePtr Unrolled;
+  };
+
+  sf::EvalOptions Opts;
+  std::shared_ptr<const Chunk> RootChunk; ///< Pins every frame's chunk.
+  std::vector<CallFrame> Frames;
+  std::vector<sf::ValuePtr> Stack;  ///< Operand stack.
+  std::vector<sf::ValuePtr> Locals; ///< Frame slots.
+  std::vector<sf::ValuePtr> BuiltinArgs; ///< Scratch for builtin calls.
+  std::unordered_map<const sf::Value *, FixMemoEntry> FixMemo;
+  const sf::Value *FixMemoKey = nullptr; ///< 1-entry inline cache.
+  sf::ValuePtr FixMemoUnrolled;
+  std::string RuntimeError;
+  uint64_t Steps = 0;
+  uint64_t FramesPushed = 0;
+  unsigned FixDepth = 0; ///< Live nested fix unrolls.
+};
+
+/// Convenience: compile \p T (vm/Emit.h) and run it.  Bytecode
+/// compilation errors surface as failed results prefixed with
+/// "compilation to bytecode failed".
+sf::EvalResult runTerm(const sf::Term *T, const sf::Prelude &P,
+                       const sf::EvalOptions &Opts = sf::EvalOptions());
+
+} // namespace vm
+} // namespace fg
+
+#endif // FG_VM_VM_H

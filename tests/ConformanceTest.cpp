@@ -11,11 +11,14 @@
 //   // EXPECT-ERROR: <substring of the first diagnostic>
 //
 // Programs without EXPECT-ERROR are additionally required to verify in
-// System F (Theorems 1/2) and to produce the same value under the
-// direct interpreter.
+// System F (Theorems 1/2), to produce the same value under the direct
+// interpreter, and to behave identically on every execution backend
+// (tree / closure / vm — see Differential.h), whether they produce a
+// value or a runtime error.
 //
 //===----------------------------------------------------------------------===//
 
+#include "Differential.h"
 #include "syntax/Frontend.h"
 #include <filesystem>
 #include <fstream>
@@ -100,10 +103,15 @@ TEST_P(Conformance, MeetsExpectations) {
   ASSERT_TRUE(Out.Success) << GetParam() << ": " << Out.ErrorMessage;
   if (E.HasType)
     EXPECT_EQ(typeToString(Out.FgType), E.Type) << GetParam();
+
+  // Every backend must agree on the outcome — a value for EXPECT-VALUE
+  // programs, a runtime error for the rest of the corpus.
+  std::vector<fgtest::BackendOutcome> Outcomes =
+      fgtest::runAllBackends(FE, Out, sf::EvalOptions(), GetParam());
   if (E.HasValue) {
-    sf::EvalResult R = FE.run(Out);
-    ASSERT_TRUE(R.ok()) << GetParam() << ": " << R.Error;
-    EXPECT_EQ(sf::valueToString(R.Val), E.Value) << GetParam();
+    ASSERT_TRUE(Outcomes.front().Ok)
+        << GetParam() << ": " << Outcomes.front().Rendered;
+    EXPECT_EQ(Outcomes.front().Rendered, E.Value) << GetParam();
     interp::EvalResult D = FE.runDirect(Out);
     ASSERT_TRUE(D.ok()) << GetParam() << ": " << D.Error;
     EXPECT_EQ(interp::valueToString(D.Val), E.Value)

@@ -1,0 +1,113 @@
+//===- tests/Differential.h - Cross-backend differential harness -*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-testing contract for execution backends: any
+/// compiled program, run through every System F engine — the
+/// tree-walking evaluator (systemf/Eval.h), the closure-compiling
+/// engine (systemf/Compile.h), and the bytecode VM (vm/VM.h) — must
+/// produce the identical outcome: the same printed value on success,
+/// or the same error string on failure (including the EvalOptions
+/// step/depth abort diagnostics).
+///
+/// ConformanceTest routes the whole corpus through here and VmTest
+/// adds the examples and limit cases, so a future backend gets
+/// coverage by adding one line to backends() below.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_TESTS_DIFFERENTIAL_H
+#define FG_TESTS_DIFFERENTIAL_H
+
+#include "syntax/Frontend.h"
+#include <functional>
+#include <gtest/gtest.h>
+#include <string>
+#include <vector>
+
+namespace fgtest {
+
+/// Outcome of one backend on one program.
+struct BackendOutcome {
+  std::string Name;
+  bool Ok = false;
+  std::string Rendered; ///< Printed value when Ok, error otherwise.
+};
+
+/// One registered execution backend.
+struct Backend {
+  std::string Name;
+  std::function<fg::sf::EvalResult(fg::Frontend &, const fg::CompileOutput &,
+                                   const fg::sf::EvalOptions &)>
+      Run;
+};
+
+/// Every System F execution backend.  New engines join the differential
+/// contract by being added here.
+inline const std::vector<Backend> &backends() {
+  static const std::vector<Backend> All = {
+      {"tree",
+       [](fg::Frontend &FE, const fg::CompileOutput &Out,
+          const fg::sf::EvalOptions &Opts) { return FE.run(Out, Opts); }},
+      {"closure",
+       [](fg::Frontend &FE, const fg::CompileOutput &Out,
+          const fg::sf::EvalOptions &Opts) {
+         return FE.runCompiled(Out, Opts);
+       }},
+      {"vm",
+       [](fg::Frontend &FE, const fg::CompileOutput &Out,
+          const fg::sf::EvalOptions &Opts) { return FE.runVm(Out, Opts); }},
+  };
+  return All;
+}
+
+/// Runs \p Out through every backend and EXPECTs pairwise-identical
+/// outcomes (success flag and rendered value/error).  Returns the
+/// outcomes, reference (tree) backend first; \p Context names the
+/// program in failure messages.
+inline std::vector<BackendOutcome>
+runAllBackends(fg::Frontend &FE, const fg::CompileOutput &Out,
+               const fg::sf::EvalOptions &Opts = fg::sf::EvalOptions(),
+               const std::string &Context = std::string()) {
+  std::vector<BackendOutcome> Results;
+  for (const Backend &B : backends()) {
+    fg::sf::EvalResult R = B.Run(FE, Out, Opts);
+    Results.push_back(
+        {B.Name, R.ok(),
+         R.ok() ? fg::sf::valueToString(R.Val) : R.Error});
+  }
+  const BackendOutcome &Ref = Results.front();
+  for (size_t I = 1; I < Results.size(); ++I) {
+    EXPECT_EQ(Ref.Ok, Results[I].Ok)
+        << Context << ": backend `" << Results[I].Name << "` "
+        << (Results[I].Ok ? "succeeded" : "failed") << " but `" << Ref.Name
+        << "` " << (Ref.Ok ? "succeeded" : "failed") << " (" << Ref.Rendered
+        << " vs " << Results[I].Rendered << ")";
+    EXPECT_EQ(Ref.Rendered, Results[I].Rendered)
+        << Context << ": backend `" << Results[I].Name
+        << "` disagrees with `" << Ref.Name << "`";
+  }
+  return Results;
+}
+
+/// Compiles \p Source and runs the differential check; EXPECTs the
+/// compilation to succeed.  Returns the reference outcome's rendering.
+inline std::string
+runDifferential(const std::string &Source,
+                const fg::sf::EvalOptions &Opts = fg::sf::EvalOptions()) {
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile("differential.fg", Source);
+  EXPECT_TRUE(Out.Success) << Out.ErrorMessage << "\nprogram:\n" << Source;
+  if (!Out.Success)
+    return std::string();
+  std::vector<BackendOutcome> R = runAllBackends(FE, Out, Opts, Source);
+  return R.front().Rendered;
+}
+
+} // namespace fgtest
+
+#endif // FG_TESTS_DIFFERENTIAL_H

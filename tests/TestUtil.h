@@ -69,6 +69,20 @@ inline RunResult runFg(const std::string &Source) {
     EXPECT_EQ(fg::sf::valueToString(E.Val), fg::sf::valueToString(C.Val))
         << "compiled engine changed the value of:\n"
         << Source;
+
+  // And the bytecode VM, including on runtime errors.
+  fg::sf::EvalResult V = FE.runVm(Out);
+  EXPECT_EQ(E.ok(), V.ok())
+      << "vm backend changed success/failure: " << E.Error << " vs "
+      << V.Error << "\nprogram:\n"
+      << Source;
+  if (E.ok() && V.ok())
+    EXPECT_EQ(fg::sf::valueToString(E.Val), fg::sf::valueToString(V.Val))
+        << "vm backend changed the value of:\n"
+        << Source;
+  else if (!E.ok() && !V.ok())
+    EXPECT_EQ(E.Error, V.Error) << "vm backend changed the error of:\n"
+                                << Source;
   return R;
 }
 

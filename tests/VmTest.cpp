@@ -1,0 +1,470 @@
+//===- tests/VmTest.cpp - Bytecode VM backend tests -----------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Covers the vm/ subsystem on three levels:
+//
+//  * compilation mechanics — let-flattening into frame slots, flat-
+//    closure capture threading, constant/builtin interning, shadowing,
+//    unbound-name rejection, disassembler output;
+//  * limit enforcement — the sf::EvalOptions step/depth aborts must
+//    fire with exactly the tree evaluator's diagnostics, on every
+//    backend (the divergence tests run all three);
+//  * observational equivalence — every conformance program and shipped
+//    example must produce identical outcomes on tree/closure/vm
+//    (Differential.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Differential.h"
+#include "syntax/Frontend.h"
+#include "systemf/Compile.h"
+#include "vm/Disasm.h"
+#include "vm/Emit.h"
+#include "vm/VM.h"
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+
+// Only the sf namespace: Frontend.h also pulls in the F_G AST, whose
+// Term/Type names would otherwise be ambiguous with System F's.
+using namespace fg::sf;
+using fg::dyn_cast_or_null;
+namespace vm = fg::vm;
+
+namespace {
+
+class VmTest : public ::testing::Test {
+protected:
+  VmTest() : ThePrelude(makePrelude(Ctx)) {}
+
+  std::shared_ptr<const vm::Chunk> compileChunk(const Term *T) {
+    std::string Error;
+    std::shared_ptr<const vm::Chunk> C = vm::compile(T, ThePrelude, &Error);
+    EXPECT_NE(C, nullptr) << Error;
+    return C;
+  }
+
+  int64_t runInt(const Term *T) {
+    EvalResult R = vm::runTerm(T, ThePrelude, Opts);
+    EXPECT_TRUE(R.ok()) << R.Error;
+    const auto *I = dyn_cast_or_null<IntValue>(R.Val.get());
+    EXPECT_NE(I, nullptr);
+    return I ? I->getValue() : INT64_MIN;
+  }
+
+  /// fix (fun(f). fun(n). f(n)) applied to 0 — diverges on every
+  /// backend; used by the limit tests.
+  const Term *divergentLoop() {
+    const Type *I = Ctx.getIntType();
+    const Type *FnTy = Ctx.getArrowType({I}, I);
+    const Term *Loop = A.makeFix(A.makeAbs(
+        {{"f", FnTy}},
+        A.makeAbs({{"n", I}},
+                  A.makeApp(A.makeVar("f"), {A.makeVar("n")}))));
+    return A.makeApp(Loop, {A.makeIntLit(0)});
+  }
+
+  /// Runs \p T on all three System F engines with \p O and EXPECTs one
+  /// identical failure message containing \p ExpectedSubstr.
+  void expectUniformAbort(const Term *T, const EvalOptions &O,
+                          const std::string &ExpectedSubstr) {
+    Evaluator Tree(O);
+    EvalResult RT = Tree.eval(T, ThePrelude.Values);
+    std::string Error;
+    std::unique_ptr<CompiledTerm> CT =
+        CompiledTerm::compile(T, ThePrelude, &Error);
+    ASSERT_NE(CT, nullptr) << Error;
+    EvalResult RC = CT->run(O);
+    EvalResult RV = vm::runTerm(T, ThePrelude, O);
+    auto Check = [&](const char *Name, const EvalResult &R) {
+      EXPECT_FALSE(R.ok()) << Name << " backend did not abort";
+      EXPECT_NE(R.Error.find(ExpectedSubstr), std::string::npos)
+          << Name << " backend aborted with: " << R.Error;
+    };
+    Check("tree", RT);
+    Check("closure", RC);
+    Check("vm", RV);
+    EXPECT_EQ(RT.Error, RC.Error);
+    EXPECT_EQ(RT.Error, RV.Error);
+  }
+
+  TypeContext Ctx;
+  TermArena A;
+  Prelude ThePrelude;
+  EvalOptions Opts;
+};
+
+std::vector<std::string> fgFilesIn(const std::string &Dir) {
+  std::vector<std::string> Files;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    if (Entry.path().extension() == ".fg")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compilation mechanics
+//===----------------------------------------------------------------------===//
+
+TEST_F(VmTest, LiteralCompilesToConstReturn) {
+  auto C = compileChunk(A.makeIntLit(42));
+  ASSERT_EQ(C->Protos.size(), 1u);
+  const vm::Proto &Entry = C->Protos[0];
+  ASSERT_EQ(Entry.Code.size(), 2u);
+  EXPECT_EQ(Entry.Code[0].Opcode, vm::Op::Const);
+  EXPECT_EQ(Entry.Code[1].Opcode, vm::Op::Return);
+  ASSERT_EQ(C->Constants.size(), 1u);
+  EXPECT_EQ(valueToString(C->Constants[0]), "42");
+}
+
+TEST_F(VmTest, LetChainFlattensIntoOneFrame) {
+  // let a = 1 in let b = 2 in let c = 3 in iadd(a, iadd(b, c)) — three
+  // lets become three slots of the entry frame, not three environments.
+  const Term *T = A.makeLet(
+      "a", A.makeIntLit(1),
+      A.makeLet(
+          "b", A.makeIntLit(2),
+          A.makeLet("c", A.makeIntLit(3),
+                    A.makeApp(A.makeVar("iadd"),
+                              {A.makeVar("a"),
+                               A.makeApp(A.makeVar("iadd"),
+                                         {A.makeVar("b"),
+                                          A.makeVar("c")})}))));
+  auto C = compileChunk(T);
+  ASSERT_EQ(C->Protos.size(), 1u);
+  EXPECT_EQ(C->Protos[0].NumLocals, 3u);
+  EXPECT_EQ(runInt(T), 6);
+}
+
+TEST_F(VmTest, ConstantsAndBuiltinsAreInterned) {
+  // 7 appears three times and iadd twice: one pool entry each.
+  const Term *T = A.makeApp(
+      A.makeVar("iadd"),
+      {A.makeIntLit(7),
+       A.makeApp(A.makeVar("iadd"), {A.makeIntLit(7), A.makeIntLit(7)})});
+  auto C = compileChunk(T);
+  EXPECT_EQ(C->Constants.size(), 1u);
+  ASSERT_EQ(C->Builtins.size(), 1u);
+  EXPECT_EQ(C->BuiltinNames[0], "iadd");
+  EXPECT_EQ(runInt(T), 21);
+}
+
+TEST_F(VmTest, LetShadowingResolvesToInnermostBinding) {
+  const Term *T =
+      A.makeLet("x", A.makeIntLit(1),
+                A.makeLet("x", A.makeIntLit(2), A.makeVar("x")));
+  EXPECT_EQ(runInt(T), 2);
+}
+
+TEST_F(VmTest, DuplicateParameterNamesLastWins) {
+  // Matches the tree evaluator and the closure engine (pinned by
+  // CompiledEvalTest.DuplicateParameterNamesLastWins).
+  const Type *I = Ctx.getIntType();
+  const Term *T =
+      A.makeApp(A.makeAbs({{"x", I}, {"x", I}}, A.makeVar("x")),
+                {A.makeIntLit(1), A.makeIntLit(2)});
+  EXPECT_EQ(runInt(T), 2);
+}
+
+TEST_F(VmTest, NestedClosuresThreadCapturesTransitively) {
+  // fun(a). fun(b). fun(c). iadd(a, iadd(b, c)) — the innermost lambda
+  // reaches `a` through the middle one, so the middle prototype gains
+  // an interned capture of the outer parameter.
+  const Type *I = Ctx.getIntType();
+  const Term *Inner =
+      A.makeAbs({{"c", I}},
+                A.makeApp(A.makeVar("iadd"),
+                          {A.makeVar("a"),
+                           A.makeApp(A.makeVar("iadd"),
+                                     {A.makeVar("b"), A.makeVar("c")})}));
+  const Term *Curried =
+      A.makeAbs({{"a", I}}, A.makeAbs({{"b", I}}, Inner));
+  auto C = compileChunk(Curried);
+  ASSERT_EQ(C->Protos.size(), 4u); // <main> + the three lambdas.
+  // Innermost proto captures both a and b; the middle one must have
+  // threaded `a` through itself as a capture of its own.
+  EXPECT_EQ(C->Protos[3].Captures.size(), 2u);
+  EXPECT_GE(C->Protos[2].Captures.size(), 1u);
+
+  const Term *Call = A.makeApp(
+      A.makeApp(A.makeApp(Curried, {A.makeIntLit(100)}),
+                {A.makeIntLit(20)}),
+      {A.makeIntLit(3)});
+  EXPECT_EQ(runInt(Call), 123);
+}
+
+TEST_F(VmTest, UnboundVariableIsACompileTimeError) {
+  std::string Error;
+  std::shared_ptr<const vm::Chunk> C =
+      vm::compile(A.makeVar("nope"), ThePrelude, &Error);
+  EXPECT_EQ(C, nullptr);
+  EXPECT_NE(Error.find("unbound variable `nope` at compile time"),
+            std::string::npos)
+      << Error;
+
+  EvalResult R = vm::runTerm(A.makeVar("nope"), ThePrelude);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("compilation to bytecode failed"),
+            std::string::npos)
+      << R.Error;
+}
+
+TEST_F(VmTest, DisassemblerRendersProtosAndAnnotations) {
+  const Type *I = Ctx.getIntType();
+  const Term *T = A.makeLet(
+      "inc",
+      A.makeAbs({{"x", I}},
+                A.makeApp(A.makeVar("iadd"),
+                          {A.makeVar("x"), A.makeIntLit(1)})),
+      A.makeIf(A.makeBoolLit(true),
+               A.makeApp(A.makeVar("inc"), {A.makeIntLit(41)}),
+               A.makeIntLit(0)));
+  auto C = compileChunk(T);
+  std::string D = vm::disassemble(*C);
+  EXPECT_NE(D.find("protos"), std::string::npos) << D;
+  EXPECT_NE(D.find("proto 0 <main>"), std::string::npos) << D;
+  EXPECT_NE(D.find("fun(x)"), std::string::npos) << D;
+  EXPECT_NE(D.find("make.closure"), std::string::npos) << D;
+  EXPECT_NE(D.find("jump.if.false"), std::string::npos) << D;
+  EXPECT_NE(D.find("; iadd"), std::string::npos) << D;
+  EXPECT_NE(D.find("; 41"), std::string::npos) << D;
+}
+
+TEST_F(VmTest, CountersAdvanceDuringARun) {
+  vm::VM M;
+  EvalResult R = M.run(compileChunk(A.makeApp(
+      A.makeVar("iadd"), {A.makeIntLit(1), A.makeIntLit(2)})));
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_GT(M.getInstructionsExecuted(), 0u);
+  EXPECT_GE(M.getFramesPushed(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime semantics and errors
+//===----------------------------------------------------------------------===//
+
+TEST_F(VmTest, FixComputesFactorial) {
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Fact = A.makeFix(A.makeAbs(
+      {{"f", FnTy}},
+      A.makeAbs(
+          {{"n", I}},
+          A.makeIf(
+              A.makeApp(A.makeVar("ile"), {A.makeVar("n"), A.makeIntLit(0)}),
+              A.makeIntLit(1),
+              A.makeApp(A.makeVar("imult"),
+                        {A.makeVar("n"),
+                         A.makeApp(A.makeVar("f"),
+                                   {A.makeApp(A.makeVar("isub"),
+                                              {A.makeVar("n"),
+                                               A.makeIntLit(1)})})})))));
+  EXPECT_EQ(runInt(A.makeApp(Fact, {A.makeIntLit(10)})), 3628800);
+}
+
+TEST_F(VmTest, DeepRecursionGrowsTheFrameStackNotTheCxxStack) {
+  // 60k-deep non-tail recursion: fine for the explicit frame stack,
+  // would overflow the native stack if calls recursed in C++.
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Sum = A.makeFix(A.makeAbs(
+      {{"f", FnTy}},
+      A.makeAbs(
+          {{"n", I}},
+          A.makeIf(
+              A.makeApp(A.makeVar("ile"), {A.makeVar("n"), A.makeIntLit(0)}),
+              A.makeIntLit(0),
+              A.makeApp(A.makeVar("iadd"),
+                        {A.makeVar("n"),
+                         A.makeApp(A.makeVar("f"),
+                                   {A.makeApp(A.makeVar("isub"),
+                                              {A.makeVar("n"),
+                                               A.makeIntLit(1)})})})))));
+  EXPECT_EQ(runInt(A.makeApp(Sum, {A.makeIntLit(60'000)})),
+            60'000ll * 60'001ll / 2);
+}
+
+TEST_F(VmTest, TypeApplicationIsErased) {
+  unsigned T = Ctx.freshParamId();
+  const Type *PT = Ctx.getParamType(T, "t");
+  const Term *Id =
+      A.makeTyAbs({{T, "t"}}, A.makeAbs({{"x", PT}}, A.makeVar("x")));
+  const Term *Use = A.makeApp(A.makeTyApp(Id, {Ctx.getIntType()}),
+                              {A.makeIntLit(5)});
+  EXPECT_EQ(runInt(Use), 5);
+}
+
+TEST_F(VmTest, RuntimeErrorsMatchTheTreeEvaluator) {
+  const Type *I = Ctx.getIntType();
+  struct Case {
+    const char *Label;
+    const Term *T;
+  };
+  const std::vector<Case> Cases = {
+      {"nth of non-tuple", A.makeNth(A.makeIntLit(0), 0)},
+      {"tuple index out of range",
+       A.makeNth(A.makeTuple({A.makeIntLit(1)}), 5)},
+      {"if on non-boolean",
+       A.makeIf(A.makeIntLit(1), A.makeIntLit(2), A.makeIntLit(3))},
+      {"call of non-function", A.makeApp(A.makeIntLit(3), {A.makeIntLit(4)})},
+      {"closure arity mismatch",
+       A.makeApp(A.makeAbs({{"x", I}}, A.makeVar("x")),
+                 {A.makeIntLit(1), A.makeIntLit(2)})},
+      {"builtin arity mismatch",
+       A.makeApp(A.makeVar("iadd"), {A.makeIntLit(1)})},
+      {"division by zero",
+       A.makeApp(A.makeVar("idiv"), {A.makeIntLit(1), A.makeIntLit(0)})},
+      {"car of nil",
+       A.makeApp(A.makeTyApp(A.makeVar("car"), {I}),
+                 {A.makeTyApp(A.makeVar("nil"), {I})})},
+  };
+  for (const Case &C : Cases) {
+    Evaluator Tree(Opts);
+    EvalResult RT = Tree.eval(C.T, ThePrelude.Values);
+    EvalResult RV = vm::runTerm(C.T, ThePrelude, Opts);
+    ASSERT_FALSE(RT.ok()) << C.Label;
+    ASSERT_FALSE(RV.ok()) << C.Label;
+    EXPECT_EQ(RT.Error, RV.Error) << C.Label;
+  }
+}
+
+TEST_F(VmTest, VmClosuresPrintOpaquelyAndAreForeignToOtherEngines) {
+  const Type *I = Ctx.getIntType();
+  EvalResult R = vm::runTerm(A.makeAbs({{"x", I}}, A.makeVar("x")),
+                             ThePrelude, Opts);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(valueToString(R.Val), "<closure>");
+  // Distinct function values never compare equal, as with the other
+  // engines' closures.
+  EvalResult R2 = vm::runTerm(A.makeAbs({{"x", I}}, A.makeVar("x")),
+                              ThePrelude, Opts);
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  EXPECT_FALSE(valueEquals(R.Val, R2.Val));
+  // The tree evaluator rejects a VM closure rather than misapplying it.
+  Evaluator Tree(Opts);
+  EvalResult Foreign =
+      Tree.apply(R.Val, {std::make_shared<IntValue>(1)});
+  ASSERT_FALSE(Foreign.ok());
+  EXPECT_NE(Foreign.Error.find("VM closure"), std::string::npos)
+      << Foreign.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Limit enforcement — identical on every backend
+//===----------------------------------------------------------------------===//
+
+TEST_F(VmTest, StepLimitAbortsIdenticallyOnEveryBackend) {
+  EvalOptions O;
+  // Small enough that the native-recursion backends stay well inside
+  // the C++ stack even with sanitizer-sized frames (the depth limit is
+  // out of the way, so every step until the abort recurses).
+  O.MaxSteps = 1'000;
+  O.MaxDepth = 1u << 30;
+  expectUniformAbort(divergentLoop(), O,
+                     "evaluation exceeded the step limit");
+}
+
+TEST_F(VmTest, DepthLimitAbortsIdenticallyOnEveryBackend) {
+  EvalOptions O;
+  O.MaxDepth = 100;
+  expectUniformAbort(divergentLoop(), O,
+                     "evaluation exceeded the recursion depth limit");
+}
+
+TEST_F(VmTest, FixChainDoesNotOverflowTheNativeStack) {
+  // fix (fix (fun(f). fun(n). n)) style chains unroll through nested
+  // C++ dispatch; the depth limit must bound that recursion too.
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  // fix (fun(f). f) unrolls forever without ever pushing a program
+  // frame: (fix g) -> g (fix g) -> fix g -> ...
+  const Term *Pathological =
+      A.makeApp(A.makeFix(A.makeAbs({{"f", FnTy}}, A.makeVar("f"))),
+                {A.makeIntLit(0)});
+  EvalOptions O;
+  O.MaxDepth = 1'000;
+  EvalResult R = vm::runTerm(Pathological, ThePrelude, O);
+  EXPECT_FALSE(R.ok());
+  EXPECT_TRUE(R.Error.find("depth limit") != std::string::npos ||
+              R.Error.find("step limit") != std::string::npos)
+      << R.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Observational equivalence on the shipped corpora
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class VmCorpus : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(VmCorpus, AllBackendsAgree) {
+  std::string Source = slurp(GetParam());
+  ASSERT_FALSE(Source.empty()) << GetParam();
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile(GetParam(), Source);
+  if (!Out.Success) // EXPECT-ERROR fixtures; ConformanceTest pins them.
+    GTEST_SKIP() << "does not compile: " << Out.ErrorMessage;
+  fgtest::runAllBackends(FE, Out, EvalOptions(), GetParam());
+}
+
+static std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files = fgFilesIn(FG_CONFORMANCE_DIR);
+  std::vector<std::string> Examples = fgFilesIn(FG_EXAMPLES_DIR);
+  Files.insert(Files.end(), Examples.begin(), Examples.end());
+  return Files;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, VmCorpus, ::testing::ValuesIn(corpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      std::string Name = std::filesystem::path(Info.param).stem().string();
+      for (char &C : Name)
+        if (!std::isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// End-to-end F_G programs through the differential harness
+//===----------------------------------------------------------------------===//
+
+TEST(VmDifferential, GenericAccumulateRunsOnAllBackends) {
+  // Dictionary passing (the paper's translation) through the VM: the
+  // monoid dictionary becomes a tuple the bytecode projects from.
+  EXPECT_EQ(fgtest::runDifferential(R"(
+    concept Monoid<t> { identity : t; binary_op : fn(t,t) -> t; } in
+    model Monoid<int> { identity = 0; binary_op = iadd; } in
+    let accumulate = (forall t where Monoid<t>. fun(a : t, b : t, c : t).
+      Monoid<t>.binary_op(a,
+        Monoid<t>.binary_op(b,
+          Monoid<t>.binary_op(c, Monoid<t>.identity)))) in
+    accumulate[int](1, 2, 39)
+  )"),
+            "42");
+}
+
+TEST(VmDifferential, RuntimeErrorProgramFailsIdentically) {
+  fg::Frontend FE;
+  fg::CompileOutput Out = FE.compile(
+      "car_nil.fg", "car[int](nil[int])");
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  std::vector<fgtest::BackendOutcome> R =
+      fgtest::runAllBackends(FE, Out, EvalOptions(), "car_nil.fg");
+  EXPECT_FALSE(R.front().Ok);
+}
