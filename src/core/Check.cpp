@@ -1042,6 +1042,21 @@ Checked Checker::check(const Term *Program) {
   InConceptDecl = false;
   Congruence::Mark Top = CC.mark();
   Checked Result = checkTerm(Program);
+  if (Result.ok() && !AllowConceptEscape) {
+    // The System F image of the program type — the right-hand side of
+    // Theorem 2's equality, which the frontend compares against the
+    // type the independent System F checker assigns to the translation.
+    // Must happen before the rollback below: an open result type only
+    // translates while the program's same-type knowledge is alive.
+    // Export probes are excluded (their type deliberately leaks the
+    // module's concepts, which sfTypeOf would reject).  The translation
+    // is speculative: if it fails, drop its diagnostics and leave SfTy
+    // null rather than failing a program that checked fine.
+    size_t DiagMark = Diags.size();
+    Result.SfTy = sfTypeOfImpl(Result.Ty, SourceLocation());
+    if (!Result.SfTy)
+      Diags.truncate(DiagMark);
+  }
   CC.rollback(Top);
   return Result;
 }

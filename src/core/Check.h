@@ -51,6 +51,11 @@ namespace fg {
 struct Checked {
   const Type *Ty = nullptr;       ///< F_G type; null on error.
   const sf::Term *Sf = nullptr;   ///< Translated System F term.
+  /// The System F image of Ty (Figures 8/12) — what Theorem 2 says the
+  /// translated term must have.  Computed by Checker::check() for
+  /// top-level programs; null when unavailable (errors, or module
+  /// export probes whose type deliberately leaks concepts).
+  const sf::Type *SfTy = nullptr;
 
   bool ok() const { return Ty != nullptr; }
 };

@@ -25,6 +25,20 @@
 ///   --translate    print the System F translation and its type
 ///   --ast          print the parsed F_G program
 ///   --no-verify    skip re-checking the translation in System F
+///                  (alias for --validate=off)
+///   --validate[=<off|translate|passes>]
+///                  dynamic verification level: `translate` re-checks
+///                  the translation in System F and compares its type
+///                  against the F_G type's image (Theorems 1 and 2);
+///                  `passes` additionally re-typechecks every
+///                  optimizer pass's output, attributing a failure to
+///                  the pass by name.  Bare `--validate` means
+///                  `passes`.  Defaults to `translate` in debug
+///                  builds and `off` in release builds.
+///   --fuzz <n>     generate <n> seeded well-typed programs and drive
+///                  the full validation surface with them (no input
+///                  file is read; see validate/Fuzz.h)
+///   --seed <n>     base seed for --fuzz (default 42)
 ///   --direct       evaluate with the direct F_G interpreter instead of
 ///                  the System F translation (and cross-check the two)
 ///   --optimize     also specialize the translation (dictionary
@@ -59,6 +73,8 @@
 #include "modules/Loader.h"
 #include "support/Stats.h"
 #include "syntax/Frontend.h"
+#include "validate/Fuzz.h"
+#include "validate/Validate.h"
 #include "vm/Disasm.h"
 #include "vm/Emit.h"
 #include <algorithm>
@@ -83,6 +99,15 @@ void printUsage(std::ostream &OS) {
         "  --translate            print the System F translation\n"
         "  --ast                  print the parsed program\n"
         "  --no-verify            skip System F re-checking\n"
+        "  --validate[=<mode>]    `off`, `translate` (re-check the\n"
+        "                         translation; Theorems 1/2), or `passes`\n"
+        "                         (also re-typecheck each optimizer pass);\n"
+        "                         bare --validate means `passes`; default\n"
+        "                         is `translate` in debug builds, `off` in\n"
+        "                         release builds\n"
+        "  --fuzz <n>             validate <n> generated well-typed\n"
+        "                         programs across all backends\n"
+        "  --seed <n>             base seed for --fuzz (default 42)\n"
         "  --direct               cross-check with the direct interpreter\n"
         "  --optimize             specialize and cross-check the result\n"
         "  --backend=<name>       run the translation on `tree` (default),\n"
@@ -220,6 +245,16 @@ int main(int Argc, char **Argv) {
   bool DumpBytecode = false;
   std::string Backend = "tree";
   unsigned Jobs = 1;
+  unsigned FuzzCount = 0;
+  uint64_t FuzzSeed = 42;
+  // Default verification level: re-check the translation in debug
+  // builds, nothing in release builds (BenchValidate measures why).
+#ifndef NDEBUG
+  validate::Mode VMode = validate::Mode::Translate;
+#else
+  validate::Mode VMode = validate::Mode::Off;
+#endif
+  bool VModeSet = false;
   std::vector<std::string> SearchPaths, Paths;
   std::string CacheDir;
   CompileOptions Opts;
@@ -251,8 +286,43 @@ int main(int Argc, char **Argv) {
         return usageError();
       }
     }
-    else if (Arg == "--no-verify")
-      Opts.VerifyTranslation = false;
+    else if (Arg == "--no-verify") {
+      VMode = validate::Mode::Off;
+      VModeSet = true;
+    } else if (Arg == "--validate") {
+      VMode = validate::Mode::Passes;
+      VModeSet = true;
+    } else if (Arg.rfind("--validate=", 0) == 0) {
+      std::string Value = Arg.substr(std::string("--validate=").size());
+      if (!validate::parseMode(Value, VMode)) {
+        std::cerr << "fgc: error: --validate must be one of off, "
+                     "translate, passes\n";
+        return usageError();
+      }
+      VModeSet = true;
+    } else if (Arg == "--fuzz" || Arg.rfind("--fuzz=", 0) == 0) {
+      std::string Value = Arg == "--fuzz"
+                              ? (I + 1 < Argc ? Argv[++I] : "")
+                              : Arg.substr(std::string("--fuzz=").size());
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0' || N == 0) {
+        std::cerr << "fgc: error: --fuzz requires a positive number\n";
+        return usageError();
+      }
+      FuzzCount = static_cast<unsigned>(N);
+    } else if (Arg == "--seed" || Arg.rfind("--seed=", 0) == 0) {
+      std::string Value = Arg == "--seed"
+                              ? (I + 1 < Argc ? Argv[++I] : "")
+                              : Arg.substr(std::string("--seed=").size());
+      char *End = nullptr;
+      unsigned long long N = std::strtoull(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0') {
+        std::cerr << "fgc: error: --seed requires a number\n";
+        return usageError();
+      }
+      FuzzSeed = N;
+    }
     else if (Arg == "--stats")
       Reporter.Human = true;
     else if (Arg.rfind("--stats-json=", 0) == 0) {
@@ -295,12 +365,30 @@ int main(int Argc, char **Argv) {
     else
       Paths.push_back(Arg);
   }
-  if (Paths.empty())
+  Opts.VerifyTranslation = VMode != validate::Mode::Off;
+  if (Paths.empty() && FuzzCount == 0)
     return usageError();
   if (!Batch && Paths.size() > 1)
     return usageError();
   if (Reporter.Human || !Reporter.JsonPath.empty())
     stats::Statistics::global().enable(true);
+
+  if (FuzzCount != 0) {
+    if (!Paths.empty() || Batch)
+      return usageError();
+    validate::FuzzOptions FO;
+    FO.Count = FuzzCount;
+    FO.Seed = FuzzSeed;
+    // Fuzzing exists to exercise the validators; keep per-pass
+    // checking on unless the user explicitly lowered the level.
+    FO.ValidatePasses = !VModeSet || VMode == validate::Mode::Passes;
+    FO.Log = &std::cerr;
+    validate::FuzzResult FR = validate::runFuzz(FO);
+    std::cout << "fuzz: " << FR.Generated << " programs, "
+              << FR.Failures.size() << " failures (seed " << FuzzSeed
+              << ")\n";
+    return FR.ok() ? 0 : 1;
+  }
 
   if (Batch)
     return runBatchMode(Paths, SearchPaths, Jobs, CacheDir, UseCache, Opts);
@@ -361,6 +449,17 @@ int main(int Argc, char **Argv) {
   if (!Out.Success) {
     std::cerr << FE.getDiags().render();
     return 1;
+  }
+  if (VMode == validate::Mode::Passes) {
+    validate::Validator V(FE.getSfContext(), FE.getPrelude().Types);
+    sf::OptimizeOptions VOpts;
+    VOpts.PassHook = V.passHook(Out.SfType);
+    sf::OptimizeStats VStats;
+    FE.optimize(Out, &VStats, VOpts);
+    if (V.failed()) {
+      std::cerr << "fgc: " << V.error() << "\n";
+      return 1;
+    }
   }
   if (PrintAst)
     std::cout << "ast: " << termToString(Out.Ast) << "\n";

@@ -7,21 +7,42 @@
 
 #include "support/Diagnostics.h"
 #include "support/SourceManager.h"
+#include <algorithm>
 #include <sstream>
 
 using namespace fg;
 
 void DiagnosticEngine::error(SourceLocation Loc, std::string Message) {
-  Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+  Diags.push_back({DiagSeverity::Error, Loc, {}, std::move(Message)});
+  ++NumErrors;
+}
+
+void DiagnosticEngine::error(SourceRange Range, std::string Message) {
+  Diags.push_back(
+      {DiagSeverity::Error, Range.Begin, Range.End, std::move(Message)});
   ++NumErrors;
 }
 
 void DiagnosticEngine::warning(SourceLocation Loc, std::string Message) {
-  Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  Diags.push_back({DiagSeverity::Warning, Loc, {}, std::move(Message)});
+}
+
+void DiagnosticEngine::warning(SourceRange Range, std::string Message) {
+  Diags.push_back(
+      {DiagSeverity::Warning, Range.Begin, Range.End, std::move(Message)});
 }
 
 void DiagnosticEngine::note(SourceLocation Loc, std::string Message) {
-  Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  Diags.push_back({DiagSeverity::Note, Loc, {}, std::move(Message)});
+}
+
+void DiagnosticEngine::truncate(size_t N) {
+  if (N >= Diags.size())
+    return;
+  for (size_t I = N; I != Diags.size(); ++I)
+    if (Diags[I].Severity == DiagSeverity::Error)
+      --NumErrors;
+  Diags.resize(N);
 }
 
 void DiagnosticEngine::clear() {
@@ -41,6 +62,60 @@ static const char *severityName(DiagSeverity S) {
   return "unknown";
 }
 
+/// Prints one source line and its underline.  \p From and \p To are
+/// 1-based columns, half-open [From, To); the underline's first
+/// character is \p Lead (`^` on the line the diagnostic points at,
+/// `~` on continuation lines).
+static void renderUnderlinedLine(std::ostringstream &OS,
+                                 std::string_view Line, uint32_t From,
+                                 uint32_t To, char Lead) {
+  OS << "  " << Line << '\n';
+  // Allow the underline to extend one column past the text so spans
+  // ending at end-of-line (and EOF carets) stay visible.
+  uint32_t Limit = static_cast<uint32_t>(Line.size()) + 2;
+  From = std::min(From, Limit - 1);
+  To = std::min(std::max(To, From + 1), Limit);
+  OS << "  " << std::string(From - 1, ' ') << Lead
+     << std::string(To - From - 1, '~') << '\n';
+}
+
+/// Renders the source snippet for \p D: a caret for point
+/// diagnostics, an underline for single-line spans, and per-line
+/// underlines (long interiors elided) for multi-line spans.
+static void renderSnippet(std::ostringstream &OS, const SourceManager &SM,
+                          const Diagnostic &D) {
+  std::string_view First = SM.getLineText(D.Loc.BufferId, D.Loc.Line);
+  bool Spans = D.EndLoc.isValid() && D.EndLoc.BufferId == D.Loc.BufferId;
+  if (!Spans || D.EndLoc.Line == D.Loc.Line) {
+    if (First.empty())
+      return;
+    uint32_t From = std::max<uint32_t>(D.Loc.Column, 1);
+    uint32_t To = Spans ? D.EndLoc.Column : From + 1;
+    renderUnderlinedLine(OS, First, From, To, '^');
+    return;
+  }
+  // Multi-line span: underline from the start column to each line's
+  // end, eliding interiors longer than four lines.
+  renderUnderlinedLine(OS, First, std::max<uint32_t>(D.Loc.Column, 1),
+                       static_cast<uint32_t>(First.size()) + 1, '^');
+  uint32_t Interior = D.EndLoc.Line - D.Loc.Line - 1;
+  bool Elide = Interior > 4;
+  for (uint32_t L = D.Loc.Line + 1; L < D.EndLoc.Line; ++L) {
+    if (Elide && L == D.Loc.Line + 3) {
+      OS << "  ...\n";
+      L = D.EndLoc.Line - 2;
+      continue;
+    }
+    std::string_view Line = SM.getLineText(D.Loc.BufferId, L);
+    renderUnderlinedLine(OS, Line, 1,
+                         static_cast<uint32_t>(Line.size()) + 1, '~');
+  }
+  if (D.EndLoc.Column > 1) {
+    std::string_view Last = SM.getLineText(D.Loc.BufferId, D.EndLoc.Line);
+    renderUnderlinedLine(OS, Last, 1, D.EndLoc.Column, '~');
+  }
+}
+
 std::string DiagnosticEngine::render() const {
   std::ostringstream OS;
   for (const Diagnostic &D : Diags) {
@@ -51,14 +126,8 @@ std::string DiagnosticEngine::render() const {
       OS << D.Loc.Line << ':' << D.Loc.Column << ": ";
     }
     OS << severityName(D.Severity) << ": " << D.Message << '\n';
-    if (D.Loc.isValid() && SM) {
-      std::string_view Line = SM->getLineText(D.Loc.BufferId, D.Loc.Line);
-      if (!Line.empty()) {
-        OS << "  " << Line << '\n';
-        OS << "  " << std::string(D.Loc.Column ? D.Loc.Column - 1 : 0, ' ')
-           << "^\n";
-      }
-    }
+    if (D.Loc.isValid() && SM)
+      renderSnippet(OS, *SM, D);
   }
   return OS.str();
 }

@@ -28,9 +28,13 @@ class SourceManager;
 enum class DiagSeverity { Note, Warning, Error };
 
 /// One reported diagnostic: severity, location, and rendered message.
+/// EndLoc, when valid, makes [Loc, EndLoc) a source range; render()
+/// underlines the whole span (across lines when needed) instead of
+/// printing a single caret.
 struct Diagnostic {
   DiagSeverity Severity = DiagSeverity::Error;
   SourceLocation Loc;
+  SourceLocation EndLoc;
   std::string Message;
 };
 
@@ -49,8 +53,14 @@ public:
   /// Reports an error at \p Loc.
   void error(SourceLocation Loc, std::string Message);
 
+  /// Reports an error spanning \p Range.
+  void error(SourceRange Range, std::string Message);
+
   /// Reports a warning at \p Loc.
   void warning(SourceLocation Loc, std::string Message);
+
+  /// Reports a warning spanning \p Range.
+  void warning(SourceRange Range, std::string Message);
 
   /// Attaches an explanatory note to the previous diagnostic.
   void note(SourceLocation Loc, std::string Message);
@@ -58,6 +68,14 @@ public:
   bool hasErrors() const { return NumErrors != 0; }
   unsigned getNumErrors() const { return NumErrors; }
   const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Number of diagnostics recorded so far; pair with truncate() to
+  /// drop the output of a speculative check that turned out not to
+  /// matter.
+  size_t size() const { return Diags.size(); }
+
+  /// Drops every diagnostic recorded after a size() snapshot.
+  void truncate(size_t N);
 
   /// Forgets all recorded diagnostics (used by tests and the REPL).
   void clear();

@@ -40,6 +40,14 @@ SourceLocation SourceManager::getLocation(uint32_t BufferId,
                                           size_t Offset) const {
   const Buffer &B = getBuffer(BufferId);
   assert(Offset <= B.Text.size() && "offset past end of buffer");
+  // End-of-file positions in a buffer with trailing newlines would
+  // land on the phantom line after the last one — a line with no text
+  // to show in a snippet.  Clamp them back to just past the last real
+  // character, so EOF diagnostics point at the end of the final
+  // non-empty line.
+  if (Offset == B.Text.size())
+    while (Offset > 0 && B.Text[Offset - 1] == '\n')
+      --Offset;
   // Find the last line start <= Offset.
   auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(), Offset);
   size_t LineIdx = static_cast<size_t>(It - B.LineStarts.begin()) - 1;

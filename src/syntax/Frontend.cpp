@@ -51,13 +51,21 @@ CompileOutput Frontend::compileTerm(const Term *Ast,
   }
   Out.FgType = C.Ty;
   Out.SfTerm = C.Sf;
+  Out.SfExpectedType = C.SfTy;
 
   if (Opts.VerifyTranslation) {
     // Dynamic check of the paper's Theorems 1 and 2: the translation
-    // must be well typed in plain System F.  A module's translation may
-    // reference imported values and dictionaries as free variables;
+    // must be well typed in plain System F, *and* its type must be the
+    // System F image of the program's F_G type.  A module's translation
+    // may reference imported values and dictionaries as free variables;
     // their typings extend the prelude environment.
     stats::ScopedTimer Timer("frontend.verify");
+    stats::ScopedTimer VTimer("validate.translate");
+    static std::atomic<uint64_t> &ChecksCount =
+        stats::Statistics::global().counter("validate.translate.checks");
+    static std::atomic<uint64_t> &FailureCount =
+        stats::Statistics::global().counter("validate.translate.failures");
+    ++ChecksCount;
     sf::TypeChecker SfChecker(SfCtx);
     sf::TypeEnv VerifyEnv = ThePrelude.Types;
     if (Opts.ImportTypes)
@@ -65,10 +73,24 @@ CompileOutput Frontend::compileTerm(const Term *Ast,
         VerifyEnv.bind(Name, Ty);
     Out.SfType = SfChecker.check(Out.SfTerm, VerifyEnv);
     if (!Out.SfType) {
+      ++FailureCount;
       Out.ErrorMessage =
           "internal error: translation is not well typed in System F: " +
           SfChecker.firstError();
-      Diags.error({}, Out.ErrorMessage);
+      Diags.error(SourceLocation(), Out.ErrorMessage);
+      return Out;
+    }
+    // Theorem 2, executable: hash-consing makes the comparison one
+    // pointer equality (interned types are alpha-equivalent iff equal).
+    if (Out.SfExpectedType && Out.SfType != Out.SfExpectedType) {
+      ++FailureCount;
+      Out.ErrorMessage =
+          "internal error: translation violates Theorem 2: the translated "
+          "term has type `" +
+          sf::typeToString(Out.SfType) +
+          "` but the program's F_G type translates to `" +
+          sf::typeToString(Out.SfExpectedType) + "`";
+      Diags.error(SourceLocation(), Out.ErrorMessage);
       return Out;
     }
   }

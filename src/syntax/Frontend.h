@@ -73,6 +73,12 @@ struct CompileOutput {
   const Type *FgType = nullptr;     ///< F_G type of the program.
   const sf::Term *SfTerm = nullptr; ///< Dictionary-passing translation.
   const sf::Type *SfType = nullptr; ///< Type assigned by the SF checker.
+  /// The System F image of FgType per Figures 8/12 — the type Theorem 2
+  /// promises for SfTerm.  When verification runs, SfType is checked to
+  /// be pointer-identical to this (hash-consing makes pointer equality
+  /// alpha-equivalence).  Null when the checker could not produce it
+  /// (module export probes).
+  const sf::Type *SfExpectedType = nullptr;
   /// Specialized translation (dictionaries eliminated); populated by
   /// Frontend::optimize().
   const sf::Term *SfOptimized = nullptr;

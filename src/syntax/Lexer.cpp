@@ -171,7 +171,8 @@ std::vector<Token> fg::lexBuffer(const SourceManager &SM, uint32_t BufferId,
         }
       }
       if (Depth)
-        Diags.error(locAt(Begin), "unterminated block comment");
+        Diags.error(SourceRange(locAt(Begin), locAt(I)),
+                    "unterminated block comment");
       continue;
     }
     // Identifiers and keywords.

@@ -60,6 +60,30 @@ size_t fg::sf::countTermNodes(const Term *T) {
 
 namespace {
 
+/// The pipeline's named passes.  Each is one bottom-up traversal doing
+/// only its own rewrites; an iteration of the pipeline runs them in
+/// order and the whole sequence repeats until a fixpoint.  Keeping the
+/// passes separate is what makes per-pass translation validation
+/// meaningful: a type-breaking rewrite is attributed to one name.
+enum : unsigned {
+  PassInstantiate = 1u << 0, ///< TyApp-of-TyAbs inlining.
+  PassBetaInline = 1u << 1,  ///< App-of-Abs beta reduction.
+  PassInlineLets = 1u << 2,  ///< Let inlining + dead-let elimination.
+  PassFold = 1u << 3,        ///< Tuple-projection and `if` folding.
+};
+
+struct PassDesc {
+  const char *Name;
+  unsigned Mask;
+};
+
+constexpr PassDesc Pipeline[] = {
+    {"instantiate-tyapps", PassInstantiate},
+    {"beta-inline", PassBetaInline},
+    {"inline-lets", PassInlineLets},
+    {"fold-projections", PassFold},
+};
+
 /// The specializer.  All rewriting preserves sharing: a transform
 /// returns the original node when nothing changed underneath it.
 class Specializer {
@@ -72,10 +96,26 @@ public:
     Stats.NodesBefore = countTermNodes(T);
     Budget = std::max<size_t>(4096, Stats.NodesBefore * Opts.MaxGrowthFactor);
     for (unsigned I = 0; I < Opts.MaxIterations; ++I) {
-      const Term *Next = rewrite(T);
-      if (Next == T)
+      const Term *IterStart = T;
+      for (const PassDesc &P : Pipeline) {
+        Mask = P.Mask;
+        const Term *Next = rewrite(T);
+        if (Next != T && !firePassHook(P.Name, T, Next)) {
+          Stats.NodesAfter = countTermNodes(T);
+          return T; // The last term the hook accepted.
+        }
+        T = Next;
+      }
+      if (Opts.TestPass) {
+        const Term *Next = Opts.TestPass(Arena, T);
+        if (Next != T && !firePassHook(Opts.TestPassName, T, Next)) {
+          Stats.NodesAfter = countTermNodes(T);
+          return T;
+        }
+        T = Next;
+      }
+      if (T == IterStart)
         break;
-      T = Next;
       if (countTermNodes(T) > Budget)
         break;
     }
@@ -84,6 +124,15 @@ public:
   }
 
 private:
+  /// Runs the validation hook on one changed pass output; records the
+  /// rejected pass in the stats.  True means "keep going".
+  bool firePassHook(const char *Name, const Term *Before, const Term *After) {
+    if (!Opts.PassHook || Opts.PassHook(Name, Before, After))
+      return true;
+    Stats.AbortedOnPass = Name;
+    return false;
+  }
+
   //===--------------------------------------------------------------===//
   // Predicates
   //===--------------------------------------------------------------===//
@@ -364,9 +413,14 @@ private:
         if (P.Name == Name)
           return T; // Shadowed: substitution stops here.
       // Rename parameters that would capture free variables of Value.
+      // Walk the parameter list back to front: with duplicate names the
+      // *last* binding owns the body occurrences (evaluation binds
+      // sequentially, later shadowing earlier), so it must be renamed
+      // first, leaving nothing for the earlier duplicates to capture.
       std::vector<ParamBinding> Params(A->getParams());
       const Term *Body = A->getBody();
-      for (ParamBinding &P : Params) {
+      for (size_t I = Params.size(); I-- != 0;) {
+        ParamBinding &P = Params[I];
         if (!ValueFree.count(P.Name))
           continue;
         std::string NewName = freshName(P.Name);
@@ -459,7 +513,8 @@ private:
   }
 
   //===--------------------------------------------------------------===//
-  // The rewrite pass (bottom-up, one simplification round)
+  // The rewrite pass (bottom-up, one simplification round; Mask selects
+  // which of the named passes' rewrites fire)
   //===--------------------------------------------------------------===//
 
   const Term *rewrite(const Term *T) {
@@ -488,19 +543,25 @@ private:
       }
       // Beta-reduce (fun(x...). body)(v...) for pure arguments — the
       // dictionary application exposed by TyApp inlining.
-      if (const auto *Abs = dyn_cast<AbsTerm>(Fn)) {
+      if (const auto *Abs = dyn_cast<AbsTerm>(Fn);
+          Abs && (Mask & PassBetaInline)) {
         bool AllPure = Abs->getParams().size() == Args.size();
         for (const Term *Arg : Args)
           AllPure &= isPure(Arg);
         if (AllPure) {
           // Rename all parameters to fresh names first so sequential
           // substitution is equivalent to simultaneous substitution.
+          // Rename back to front: with duplicate parameter names the
+          // body occurrences belong to the *last* duplicate (evaluation
+          // binds left to right, later shadowing earlier), so it must
+          // claim them before the earlier duplicates are renamed.
           const Term *Body = Abs->getBody();
-          std::vector<std::string> Fresh;
-          for (const ParamBinding &P : Abs->getParams()) {
+          std::vector<std::string> Fresh(Abs->getParams().size());
+          for (size_t I = Abs->getParams().size(); I-- != 0;) {
+            const ParamBinding &P = Abs->getParams()[I];
             std::string NewName = freshName(P.Name);
             Body = substVar(Body, P.Name, Arena.makeVar(NewName), {});
-            Fresh.push_back(std::move(NewName));
+            Fresh[I] = std::move(NewName);
           }
           for (size_t I = 0; I != Args.size(); ++I)
             Body = substVar(Body, Fresh[I], Args[I], freeVars(Args[I]));
@@ -522,7 +583,8 @@ private:
       const auto *A = cast<TyAppTerm>(T);
       const Term *Fn = rewrite(A->getFn());
       // Instantiate a known type abstraction (the C++ model).
-      if (const auto *TA = dyn_cast<TyAbsTerm>(Fn)) {
+      if (const auto *TA = dyn_cast<TyAbsTerm>(Fn);
+          TA && (Mask & PassInstantiate)) {
         if (TA->getParams().size() == A->getTypeArgs().size()) {
           TypeSubst S;
           for (size_t I = 0; I != TA->getParams().size(); ++I)
@@ -538,7 +600,7 @@ private:
       const auto *L = cast<LetTerm>(T);
       const Term *Init = rewrite(L->getInit());
       const Term *Body = rewrite(L->getBody());
-      if (isPure(Init)) {
+      if ((Mask & PassInlineLets) && isPure(Init)) {
         unsigned N = countOccurrences(Body, L->getName());
         if (N == 0) {
           ++Stats.DeadLetsRemoved;
@@ -575,7 +637,8 @@ private:
       const Term *Tu = rewrite(N->getTuple());
       // Fold `nth (e0, ..., en) i` when dropping the other elements is
       // safe (all pure) — compiled member access collapses this way.
-      if (const auto *Lit = dyn_cast<TupleTerm>(Tu)) {
+      if (const auto *Lit = dyn_cast<TupleTerm>(Tu);
+          Lit && (Mask & PassFold)) {
         if (N->getIndex() < Lit->getElements().size()) {
           bool AllPure = true;
           for (const Term *E : Lit->getElements())
@@ -595,7 +658,7 @@ private:
       const Term *Th = rewrite(I->getThen());
       const Term *El = rewrite(I->getElse());
       // Constant-fold a literal condition.
-      if (const auto *B = dyn_cast<BoolLit>(C))
+      if (const auto *B = dyn_cast<BoolLit>(C); B && (Mask & PassFold))
         return B->getValue() ? Th : El;
       if (C == I->getCond() && Th == I->getThen() && El == I->getElse())
         return T;
@@ -617,9 +680,20 @@ private:
   OptimizeStats &Stats;
   size_t Budget = 0;
   unsigned NextRename = 0;
+  unsigned Mask = ~0u; ///< Rewrites enabled in the current pass.
 };
 
 } // namespace
+
+const std::vector<const char *> &fg::sf::optimizePassNames() {
+  static const std::vector<const char *> Names = [] {
+    std::vector<const char *> N;
+    for (const PassDesc &P : Pipeline)
+      N.push_back(P.Name);
+    return N;
+  }();
+  return Names;
+}
 
 const Term *fg::sf::specialize(TermArena &Arena, TypeContext &Ctx,
                                const Term *T, const OptimizeOptions &Opts,

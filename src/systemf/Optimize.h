@@ -35,6 +35,8 @@
 #include "systemf/Term.h"
 #include "systemf/Type.h"
 #include <cstddef>
+#include <functional>
+#include <vector>
 
 namespace fg {
 namespace sf {
@@ -47,6 +49,23 @@ struct OptimizeOptions {
   /// original size (guards against code-size blowup from dictionary
   /// duplication).
   size_t MaxGrowthFactor = 64;
+
+  /// Translation-validation hook: called after every named pass whose
+  /// output differs from its input, with the pass name and both terms.
+  /// Returning false aborts the pipeline — the optimizer then returns
+  /// the rejected pass's *input* (the last accepted term) and records
+  /// the pass name in OptimizeStats::AbortedOnPass.  src/validate binds
+  /// this to a System F re-typecheck of each pass's output.
+  std::function<bool(const char *PassName, const Term *Before,
+                     const Term *After)>
+      PassHook;
+
+  /// Test-only: an extra rewrite appended to every pipeline iteration
+  /// under TestPassName.  ValidateTest injects a deliberately
+  /// type-breaking pass here to prove the validator detects the break
+  /// and attributes it to the right pass.
+  std::function<const Term *(TermArena &Arena, const Term *T)> TestPass;
+  const char *TestPassName = "test-pass";
 };
 
 /// Counters for reporting and tests.
@@ -57,7 +76,13 @@ struct OptimizeStats {
   unsigned DeadLetsRemoved = 0;
   size_t NodesBefore = 0;
   size_t NodesAfter = 0;
+  /// Pass rejected by OptimizeOptions::PassHook, or null if none.
+  const char *AbortedOnPass = nullptr;
 };
+
+/// The named passes of the specialization pipeline, in the order each
+/// iteration runs them (exposed so tools and tests can enumerate them).
+const std::vector<const char *> &optimizePassNames();
 
 /// Returns the number of AST nodes in \p T.
 size_t countTermNodes(const Term *T);

@@ -50,6 +50,7 @@ bool VM::enterCall(uint32_t N) {
       Stack.resize(FnPos);
       Frames.push_back(std::move(NF));
       ++FramesPushed;
+      noteDepth();
       return true;
     }
 
@@ -97,29 +98,45 @@ bool VM::enterCall(uint32_t N) {
         return false;
       }
       if (Fn == FixMemoKey) { // Inline cache: the one hot fix.
-        Stack[FnPos] = FixMemoUnrolled;
+        if (!replayFixMemo(*FixMemoCached, FnPos))
+          return false;
         continue;
       }
       auto It = FixMemo.find(Fn);
       if (It != FixMemo.end()) {
         FixMemoKey = Fn;
-        FixMemoUnrolled = It->second.Unrolled;
-        Stack[FnPos] = It->second.Unrolled;
+        FixMemoCached = &It->second;
+        if (!replayFixMemo(It->second, FnPos))
+          return false;
         continue;
       }
       const auto *FV = cast<FixValue>(Fn);
+      // Meter the unroll so memo hits can replay its budget use:
+      // steps by delta, transient depth by resetting the high-water
+      // mark to the call site for the duration (restored to cover the
+      // enclosing measurement afterwards).
+      uint64_t StepsBefore = Steps;
+      size_t DepthBefore = depth();
+      size_t SavedMax = MaxDepthSeen;
+      MaxDepthSeen = DepthBefore;
       ++FixDepth;
+      noteDepth();
       EvalResult Unrolled = callValue(FV->getFn(), {Stack[FnPos]});
       --FixDepth;
+      size_t DepthNeed = MaxDepthSeen - DepthBefore;
+      if (SavedMax > MaxDepthSeen)
+        MaxDepthSeen = SavedMax;
       if (!Unrolled.ok()) {
         RuntimeError = Unrolled.Error;
         return false;
       }
       // The keepalive pins the fix value so its address cannot be
       // reused by a different allocation while the memo entry lives.
-      FixMemo.emplace(Fn, FixMemoEntry{Stack[FnPos], Unrolled.Val});
+      auto Inserted = FixMemo.emplace(
+          Fn, FixMemoEntry{Stack[FnPos], Unrolled.Val, Steps - StepsBefore,
+                           DepthNeed});
       FixMemoKey = Fn;
-      FixMemoUnrolled = Unrolled.Val;
+      FixMemoCached = &Inserted.first->second;
       Stack[FnPos] = std::move(Unrolled.Val);
       continue; // Retry dispatch on the unrolled function.
     }
@@ -130,6 +147,24 @@ bool VM::enterCall(uint32_t N) {
       return false;
     }
   }
+}
+
+bool VM::replayFixMemo(const FixMemoEntry &E, size_t FnPos) {
+  // A hit must be indistinguishable from re-running the unroll: charge
+  // its recorded steps and require its transient depth to fit, so a
+  // run under a smaller budget aborts exactly as the uncached
+  // computation would.
+  Steps += E.StepCost;
+  if (Steps > Opts.MaxSteps) {
+    RuntimeError = StepLimitMsg;
+    return false;
+  }
+  if (depth() + E.DepthNeed > Opts.MaxDepth) {
+    RuntimeError = DepthLimitMsg;
+    return false;
+  }
+  Stack[FnPos] = E.Unrolled;
+  return true;
 }
 
 EvalResult VM::callValue(const ValuePtr &Fn, std::vector<ValuePtr> Args) {
@@ -228,6 +263,7 @@ EvalResult VM::execute(size_t StopDepth) {
       Locals.resize(NF.LocalBase + NF.P->NumLocals);
       Frames.push_back(std::move(NF));
       ++FramesPushed;
+      noteDepth();
       F = &Frames.back();
       break;
     }
@@ -302,7 +338,8 @@ EvalResult VM::run(std::shared_ptr<const Chunk> C) {
   RuntimeError.clear();
   FixMemo.clear();
   FixMemoKey = nullptr;
-  FixMemoUnrolled.reset();
+  FixMemoCached = nullptr;
+  MaxDepthSeen = 0;
   if (!C || C->Protos.empty())
     return EvalResult::failure("empty bytecode chunk");
   RootChunk = std::move(C);
@@ -313,6 +350,7 @@ EvalResult VM::run(std::shared_ptr<const Chunk> C) {
   Locals.resize(Entry.P->NumLocals);
   Frames.push_back(std::move(Entry));
   ++FramesPushed;
+  noteDepth();
   EvalResult R = execute(0);
 
   // Bulk-flush the run's counters: one atomic add each instead of one

@@ -131,13 +131,32 @@ private:
 
   size_t depth() const { return Frames.size() + FixDepth; }
 
+  /// Records the current depth into the run's high-water mark; called
+  /// after every growth of Frames or FixDepth so fix unrolls can
+  /// measure their transient depth.
+  void noteDepth() {
+    if (depth() > MaxDepthSeen)
+      MaxDepthSeen = depth();
+  }
+
   /// Memoized `fix` unroll: the language is pure, so `f (fix f)` is
   /// computed once per fix value and run.  Keepalive pins the key's
-  /// address for the lifetime of the entry.
+  /// address for the lifetime of the entry.  StepCost and DepthNeed
+  /// record what the unroll consumed, so a memo hit can charge the
+  /// same budget the re-computation would — memoization must never
+  /// turn an over-budget run into a successful one.
   struct FixMemoEntry {
     sf::ValuePtr Keepalive;
     sf::ValuePtr Unrolled;
+    uint64_t StepCost = 0;  ///< Steps the unroll consumed.
+    size_t DepthNeed = 0;   ///< Transient depth above the call site.
   };
+
+  /// Replays a memoized unroll: charges StepCost, requires DepthNeed
+  /// headroom, and installs the unrolled function at \p FnPos.  On
+  /// false, RuntimeError holds the same diagnostic the uncached
+  /// unroll would have produced.
+  bool replayFixMemo(const FixMemoEntry &E, size_t FnPos);
 
   sf::EvalOptions Opts;
   std::shared_ptr<const Chunk> RootChunk; ///< Pins every frame's chunk.
@@ -146,12 +165,15 @@ private:
   std::vector<sf::ValuePtr> Locals; ///< Frame slots.
   std::vector<sf::ValuePtr> BuiltinArgs; ///< Scratch for builtin calls.
   std::unordered_map<const sf::Value *, FixMemoEntry> FixMemo;
-  const sf::Value *FixMemoKey = nullptr; ///< 1-entry inline cache.
-  sf::ValuePtr FixMemoUnrolled;
+  const sf::Value *FixMemoKey = nullptr; ///< 1-entry inline cache key.
+  /// Inline-cached entry for FixMemoKey; node pointers into FixMemo
+  /// are stable.
+  const FixMemoEntry *FixMemoCached = nullptr;
   std::string RuntimeError;
   uint64_t Steps = 0;
   uint64_t FramesPushed = 0;
-  unsigned FixDepth = 0; ///< Live nested fix unrolls.
+  unsigned FixDepth = 0;      ///< Live nested fix unrolls.
+  size_t MaxDepthSeen = 0;    ///< High-water mark of depth() this run.
 };
 
 /// Convenience: compile \p T (vm/Emit.h) and run it.  Bytecode

@@ -136,6 +136,54 @@ model Local<int> { v = 1; } in
   EXPECT_NE(R.find("escapes its scope"), std::string::npos) << R;
 }
 
+TEST(DiagnosticsQualityTest, MultiLineSpanUnderlinesEveryLine) {
+  // An unterminated block comment spans from `/*` to the end of the
+  // file; the snippet must underline the whole range — caret line
+  // first, then each continuation line — not just print one caret.
+  std::string R = renderErrors(
+      "let x = 1 in\n/* comment\n   spans\n   lines\niadd(x, 2)");
+  EXPECT_NE(R.find("demo.fg:2:1: error: unterminated block comment"),
+            std::string::npos)
+      << R;
+  EXPECT_NE(R.find("  /* comment\n"
+                   "  ^~~~~~~~~~\n"
+                   "     spans\n"
+                   "  ~~~~~~~~\n"
+                   "     lines\n"
+                   "  ~~~~~~~~\n"
+                   "  iadd(x, 2)\n"
+                   "  ~~~~~~~~~~\n"),
+            std::string::npos)
+      << R;
+}
+
+TEST(DiagnosticsQualityTest, LongSpanInteriorIsElided) {
+  std::string R = renderErrors(
+      "let x = 1 in\n/* a\nb\nc\nd\ne\nf\ng\nh\niadd(x, 2)");
+  EXPECT_NE(R.find("  ...\n"), std::string::npos)
+      << "long interior not elided: " << R;
+  // First, last, and the lines adjacent to the ellipsis still render.
+  EXPECT_NE(R.find("  ^~~~\n"), std::string::npos) << R;
+  EXPECT_NE(R.find("  c\n  ~\n  ...\n  h\n"), std::string::npos) << R;
+  EXPECT_NE(R.find("  iadd(x, 2)\n  ~~~~~~~~~~\n"), std::string::npos) << R;
+}
+
+TEST(DiagnosticsQualityTest, EofErrorPointsPastTheLastRealLine) {
+  // A file ending in a trailing newline must not report EOF errors on
+  // the phantom line after it (which has no text to show); the
+  // location clamps to just past the last real character.
+  std::string R = renderErrors("let y =\n");
+  EXPECT_NE(R.find("demo.fg:1:8: error: expected an expression"),
+            std::string::npos)
+      << R;
+  EXPECT_EQ(R.find("demo.fg:2:"), std::string::npos)
+      << "EOF diagnostic landed on a phantom line: " << R;
+  EXPECT_NE(R.find("  let y =\n"
+                   "         ^\n"),
+            std::string::npos)
+      << "caret should sit one past the end of the line: " << R;
+}
+
 TEST(DiagnosticsQualityTest, InternalTheoremViolationWouldBeLoud) {
   // Nothing should trigger this, but the harness message exists; verify
   // normal programs do NOT mention it.

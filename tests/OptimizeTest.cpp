@@ -168,6 +168,17 @@ TEST(OptimizeTest, CaptureAvoidanceInBetaReduction) {
       << "beta reduction captured the outer x";
 }
 
+TEST(OptimizeTest, BetaInliningRespectsDuplicateParameters) {
+  // (fun(x : int, x : int). x)(1, 2) — the second x shadows the first,
+  // so the body must see 2.  Beta-inlining that substitutes parameters
+  // left to right without honoring the shadowing would wrongly wire
+  // the body's x to the first argument.
+  sf::OptimizeStats S;
+  std::string Printed;
+  optimizeAndCheck("(fun(x : int, x : int). x)(1, 2)", S, &Printed);
+  EXPECT_EQ(Printed, "2");
+}
+
 TEST(OptimizeTest, RecursionSurvivesSpecialization) {
   sf::OptimizeStats S;
   std::string Printed;

@@ -59,11 +59,11 @@ TEST(SourceManagerTest, EndOfBufferLocation) {
 TEST(DiagnosticsTest, CountsErrorsOnly) {
   DiagnosticEngine D;
   EXPECT_FALSE(D.hasErrors());
-  D.warning({}, "w");
+  D.warning(SourceLocation(), "w");
   EXPECT_FALSE(D.hasErrors());
-  D.error({}, "e1");
+  D.error(SourceLocation(), "e1");
   D.note({}, "n");
-  D.error({}, "e2");
+  D.error(SourceLocation(), "e2");
   EXPECT_TRUE(D.hasErrors());
   EXPECT_EQ(D.getNumErrors(), 2u);
   EXPECT_EQ(D.firstError(), "e1");
@@ -84,7 +84,7 @@ TEST(DiagnosticsTest, RenderIncludesLocationAndSnippet) {
 
 TEST(DiagnosticsTest, ClearResets) {
   DiagnosticEngine D;
-  D.error({}, "e");
+  D.error(SourceLocation(), "e");
   D.clear();
   EXPECT_FALSE(D.hasErrors());
   EXPECT_EQ(D.firstError(), "");

@@ -384,6 +384,68 @@ TEST_F(VmTest, DepthLimitAbortsIdenticallyOnEveryBackend) {
                      "evaluation exceeded the recursion depth limit");
 }
 
+TEST_F(VmTest, FixMemoChargesStepsOnEveryReplay) {
+  // The VM memoizes fix unrolling; the tree evaluator re-unrolls on
+  // every recursive call.  A memo hit must charge the recorded unroll
+  // cost, or a program too expensive for the step budget would finish
+  // on the VM while aborting everywhere else.  The unroll is made
+  // deliberately dear — `w` costs a 60-application chain each time the
+  // fix is (re-)unrolled — and the recursion replays it 40 times.
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Chain = A.makeIntLit(0);
+  for (int K = 0; K != 60; ++K)
+    Chain = A.makeApp(A.makeVar("iadd"), {A.makeIntLit(1), Chain});
+  const Term *Body = A.makeIf(
+      A.makeApp(A.makeVar("ieq"), {A.makeVar("n"), A.makeIntLit(0)}),
+      A.makeVar("w"),
+      A.makeApp(A.makeVar("iadd"),
+                {A.makeVar("w"),
+                 A.makeApp(A.makeVar("go"),
+                           {A.makeApp(A.makeVar("isub"),
+                                      {A.makeVar("n"), A.makeIntLit(1)})})}));
+  const Term *Rec = A.makeFix(A.makeAbs(
+      {{"go", FnTy}}, A.makeLet("w", Chain, A.makeAbs({{"n", I}}, Body))));
+  EvalOptions O;
+  O.MaxSteps = 2'000; // enough to prime the memo, not to finish
+  O.MaxDepth = 1u << 30;
+  expectUniformAbort(A.makeApp(Rec, {A.makeIntLit(40)}), O,
+                     "evaluation exceeded the step limit");
+}
+
+TEST_F(VmTest, FixMemoRequiresDepthHeadroomOnReplay) {
+  // Same idea for the depth budget: unrolling this fix transiently
+  // pushes a dozen frames (`w` is a tower of non-tail applications),
+  // and re-unrolling happens ever deeper in the recursion.  A memo hit
+  // must verify that the recorded transient depth would still fit, or
+  // the VM would sail past a limit the other backends honor.  At depth
+  // 24 the recursion itself fits comfortably — only a replayed unroll
+  // near the bottom does not — so an abort here proves the headroom
+  // check fires.
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Deep = A.makeIntLit(1);
+  for (int K = 0; K != 12; ++K)
+    Deep = A.makeApp(
+        A.makeAbs({{"d", I}},
+                  A.makeApp(A.makeVar("iadd"), {A.makeVar("d"), Deep})),
+        {A.makeIntLit(1)});
+  const Term *Body = A.makeIf(
+      A.makeApp(A.makeVar("ieq"), {A.makeVar("n"), A.makeIntLit(0)}),
+      A.makeVar("w"),
+      A.makeApp(A.makeVar("iadd"),
+                {A.makeVar("w"),
+                 A.makeApp(A.makeVar("go"),
+                           {A.makeApp(A.makeVar("isub"),
+                                      {A.makeVar("n"), A.makeIntLit(1)})})}));
+  const Term *Rec = A.makeFix(A.makeAbs(
+      {{"go", FnTy}}, A.makeLet("w", Deep, A.makeAbs({{"n", I}}, Body))));
+  EvalOptions O;
+  O.MaxDepth = 24;
+  expectUniformAbort(A.makeApp(Rec, {A.makeIntLit(10)}), O,
+                     "evaluation exceeded the recursion depth limit");
+}
+
 TEST_F(VmTest, FixChainDoesNotOverflowTheNativeStack) {
   // fix (fix (fun(f). fun(n). n)) style chains unroll through nested
   // C++ dispatch; the depth limit must bound that recursion too.
