@@ -43,6 +43,10 @@
 ///                  the System F translation (and cross-check the two)
 ///   --optimize     also specialize the translation (dictionary
 ///                  elimination), print it, and cross-check its value
+///   --specialize[=off|apps|dicts|full]
+///                  whole-program specialization level on top of the
+///                  baseline passes (systemf/Specialize.h); `-O2` is
+///                  shorthand for `--optimize --specialize=full`
 ///   --backend=<tree|closure|vm>
 ///                  execution engine for the translation: the
 ///                  tree-walking evaluator (default), the
@@ -109,7 +113,16 @@ void printUsage(std::ostream &OS) {
         "                         programs across all backends\n"
         "  --seed <n>             base seed for --fuzz (default 42)\n"
         "  --direct               cross-check with the direct interpreter\n"
-        "  --optimize             specialize and cross-check the result\n"
+        "  --optimize, -O1        optimize and cross-check the result\n"
+        "  --specialize[=<lvl>]   whole-program specialization level on\n"
+        "                         top of -O1: `off`, `apps` (clone\n"
+        "                         polymorphic functions at concrete\n"
+        "                         types), `dicts` (also devirtualize\n"
+        "                         concept members), `full` (also drop\n"
+        "                         dead dictionary params/fields); bare\n"
+        "                         --specialize means `full`\n"
+        "  -O2                    shorthand for --optimize\n"
+        "                         --specialize=full\n"
         "  --backend=<name>       run the translation on `tree` (default),\n"
         "                         `closure`, or the bytecode `vm`\n"
         "  --dump-bytecode        print the translation's VM bytecode\n"
@@ -243,6 +256,7 @@ int main(int Argc, char **Argv) {
   bool CheckOnly = false, PrintTranslation = false, PrintAst = false;
   bool Direct = false, Optimize = false, Batch = false, UseCache = true;
   bool DumpBytecode = false;
+  sf::SpecializeLevel SpecLevel = sf::SpecializeLevel::Off;
   std::string Backend = "tree";
   unsigned Jobs = 1;
   unsigned FuzzCount = 0;
@@ -270,9 +284,23 @@ int main(int Argc, char **Argv) {
       PrintAst = true;
     else if (Arg == "--direct")
       Direct = true;
-    else if (Arg == "--optimize")
+    else if (Arg == "--optimize" || Arg == "-O1")
       Optimize = true;
-    else if (Arg == "--batch")
+    else if (Arg == "-O2") {
+      Optimize = true;
+      SpecLevel = sf::SpecializeLevel::Full;
+    } else if (Arg == "--specialize") {
+      Optimize = true;
+      SpecLevel = sf::SpecializeLevel::Full;
+    } else if (Arg.rfind("--specialize=", 0) == 0) {
+      std::string Value = Arg.substr(std::string("--specialize=").size());
+      if (!sf::parseSpecializeLevel(Value, SpecLevel)) {
+        std::cerr << "fgc: error: --specialize must be one of off, apps, "
+                     "dicts, full\n";
+        return usageError();
+      }
+      Optimize |= SpecLevel != sf::SpecializeLevel::Off;
+    } else if (Arg == "--batch")
       Batch = true;
     else if (Arg == "--no-cache")
       UseCache = false;
@@ -382,6 +410,7 @@ int main(int Argc, char **Argv) {
     // Fuzzing exists to exercise the validators; keep per-pass
     // checking on unless the user explicitly lowered the level.
     FO.ValidatePasses = !VModeSet || VMode == validate::Mode::Passes;
+    FO.Specialize = SpecLevel;
     FO.Log = &std::cerr;
     validate::FuzzResult FR = validate::runFuzz(FO);
     std::cout << "fuzz: " << FR.Generated << " programs, "
@@ -453,6 +482,7 @@ int main(int Argc, char **Argv) {
   if (VMode == validate::Mode::Passes) {
     validate::Validator V(FE.getSfContext(), FE.getPrelude().Types);
     sf::OptimizeOptions VOpts;
+    VOpts.Specialize = SpecLevel;
     VOpts.PassHook = V.passHook(Out.SfType);
     sf::OptimizeStats VStats;
     FE.optimize(Out, &VStats, VOpts);
@@ -494,7 +524,9 @@ int main(int Argc, char **Argv) {
 
   if (Optimize) {
     sf::OptimizeStats Stats;
-    FE.optimize(Out, &Stats);
+    sf::OptimizeOptions SOpts;
+    SOpts.Specialize = SpecLevel;
+    FE.optimize(Out, &Stats, SOpts);
     std::cout << "specialized: " << sf::termToString(Out.SfOptimized)
               << "\n";
     std::cout << "  (nodes " << Stats.NodesBefore << " -> "
@@ -502,6 +534,19 @@ int main(int Argc, char **Argv) {
               << " instantiations, " << Stats.LetsInlined
               << " lets inlined, " << Stats.ProjectionsFolded
               << " projections folded)\n";
+    if (SpecLevel != sf::SpecializeLevel::Off) {
+      std::cout << "  (specialize " << sf::specializeLevelName(SpecLevel)
+                << ": " << Stats.ClonesCreated << " clones, "
+                << Stats.SpecCacheHits << " cache hits, "
+                << Stats.MembersDevirtualized << " members devirtualized, "
+                << Stats.DictParamsEliminated << " params + "
+                << Stats.DictFieldsEliminated << " fields dropped, "
+                << Stats.BudgetHits << " budget hits)\n";
+      if (Stats.BudgetHits != 0 && Reporter.Human)
+        std::cerr << "fgc: note: the specialization size budget declined "
+                  << Stats.BudgetHits
+                  << " specialization(s) (specialize.budget_hits)\n";
+    }
     sf::EvalResult O = FE.runOptimized(Out);
     if (!O.ok()) {
       std::cerr << "specialized evaluation error: " << O.Error << "\n";

@@ -122,13 +122,25 @@ interp::EvalResult Frontend::runDirect(const CompileOutput &Out,
   return I.run(Out.Ast);
 }
 
+const std::unordered_set<std::string> &Frontend::preludeNames() {
+  if (PreludeNames.empty())
+    for (const sf::BuiltinEntry &E : ThePrelude.Entries)
+      PreludeNames.insert(E.Name);
+  return PreludeNames;
+}
+
 const sf::Term *Frontend::optimize(CompileOutput &Out,
                                    sf::OptimizeStats *Stats,
                                    const sf::OptimizeOptions &Opts) {
   if (!Out.Success)
     return nullptr;
-  if (!Out.SfOptimized || Stats)
-    Out.SfOptimized = sf::specialize(SfArena, SfCtx, Out.SfTerm, Opts, Stats);
+  if (!Out.SfOptimized || Stats) {
+    sf::OptimizeOptions Effective = Opts;
+    if (!Effective.HoistableTyApps)
+      Effective.HoistableTyApps = &preludeNames();
+    Out.SfOptimized =
+        sf::specialize(SfArena, SfCtx, Out.SfTerm, Effective, Stats);
+  }
   return Out.SfOptimized;
 }
 

@@ -39,6 +39,7 @@
 #include "systemf/TypeCheck.h"
 #include <memory>
 #include <string>
+#include <unordered_set>
 
 namespace fg {
 
@@ -158,6 +159,10 @@ public:
   const sf::Prelude &getPrelude() const { return ThePrelude; }
   Checker &getChecker() { return TheChecker; }
 
+  /// The builtin names, as the default OptimizeOptions::HoistableTyApps
+  /// set: globally bound, pure, safe to instantiate at program start.
+  const std::unordered_set<std::string> &preludeNames();
+
 private:
   SourceManager SM;
   DiagnosticEngine Diags;
@@ -167,6 +172,7 @@ private:
   sf::TermArena SfArena;
   sf::Prelude ThePrelude;
   Checker TheChecker;
+  std::unordered_set<std::string> PreludeNames; ///< Lazy; see preludeNames().
 };
 
 } // namespace fg

@@ -7,6 +7,8 @@
 
 #include "systemf/Optimize.h"
 #include "support/Stats.h"
+#include "systemf/Specialize.h"
+#include "systemf/TermOps.h"
 #include <cassert>
 #include <string>
 #include <unordered_map>
@@ -70,6 +72,9 @@ enum : unsigned {
   PassBetaInline = 1u << 1,  ///< App-of-Abs beta reduction.
   PassInlineLets = 1u << 2,  ///< Let inlining + dead-let elimination.
   PassFold = 1u << 3,        ///< Tuple-projection and `if` folding.
+  PassSpecTyApps = 1u << 4,  ///< Clone let-bound Λs at concrete types.
+  PassDevirt = 1u << 5,      ///< Dictionary-shape propagation + MEM rewrite.
+  PassDeadDicts = 1u << 6,   ///< Dead dictionary params/fields.
 };
 
 struct PassDesc {
@@ -77,12 +82,31 @@ struct PassDesc {
   unsigned Mask;
 };
 
+/// The -O2 passes interleave with the baseline ones: specialization
+/// runs first so it sees the translation's original let structure
+/// before inlining duplicates it, and dead-dictionary cleanup runs last
+/// over whatever the reducing passes left behind.
 constexpr PassDesc Pipeline[] = {
+    {"specialize-tyapps", PassSpecTyApps},
+    {"devirtualize-dicts", PassDevirt},
     {"instantiate-tyapps", PassInstantiate},
     {"beta-inline", PassBetaInline},
     {"inline-lets", PassInlineLets},
     {"fold-projections", PassFold},
+    {"eliminate-dead-dicts", PassDeadDicts},
 };
+
+/// The pass set a specialization level enables (levels are cumulative).
+unsigned enabledMask(SpecializeLevel L) {
+  unsigned M = PassInstantiate | PassBetaInline | PassInlineLets | PassFold;
+  if (L >= SpecializeLevel::Apps)
+    M |= PassSpecTyApps;
+  if (L >= SpecializeLevel::Dicts)
+    M |= PassDevirt;
+  if (L >= SpecializeLevel::Full)
+    M |= PassDeadDicts;
+  return M;
+}
 
 /// The specializer.  All rewriting preserves sharing: a transform
 /// returns the original node when nothing changed underneath it.
@@ -90,40 +114,85 @@ class Specializer {
 public:
   Specializer(TermArena &Arena, TypeContext &Ctx,
               const OptimizeOptions &Opts, OptimizeStats &Stats)
-      : Arena(Arena), Ctx(Ctx), Opts(Opts), Stats(Stats) {}
+      : Arena(Arena), Ctx(Ctx), Opts(Opts), Stats(Stats),
+        Spec(Arena, Ctx, Opts.HoistableTyApps) {}
 
   const Term *run(const Term *T) {
     Stats.NodesBefore = countTermNodes(T);
     Budget = std::max<size_t>(4096, Stats.NodesBefore * Opts.MaxGrowthFactor);
+    const unsigned Enabled = enabledMask(Opts.Specialize);
     for (unsigned I = 0; I < Opts.MaxIterations; ++I) {
       const Term *IterStart = T;
       for (const PassDesc &P : Pipeline) {
-        Mask = P.Mask;
-        const Term *Next = rewrite(T);
-        if (Next != T && !firePassHook(P.Name, T, Next)) {
-          Stats.NodesAfter = countTermNodes(T);
-          return T; // The last term the hook accepted.
+        if (!(P.Mask & Enabled))
+          continue;
+        // A pass that reported "no change" on this exact term need not
+        // run again until some other pass produces a new term.
+        auto Memo = LastNoopInput.find(P.Name);
+        if (Memo != LastNoopInput.end() && Memo->second == T) {
+          ++Stats.NoopPassSkips;
+          continue;
         }
+        const Term *Next = runPass(P, T);
+        if (Next == T) {
+          ++Stats.NoopPassRuns;
+          LastNoopInput[P.Name] = T;
+          continue;
+        }
+        if (!firePassHook(P.Name, T, Next))
+          return finish(T); // The last term the hook accepted.
         T = Next;
       }
       if (Opts.TestPass) {
         const Term *Next = Opts.TestPass(Arena, T);
-        if (Next != T && !firePassHook(Opts.TestPassName, T, Next)) {
-          Stats.NodesAfter = countTermNodes(T);
-          return T;
-        }
+        if (Next != T && !firePassHook(Opts.TestPassName, T, Next))
+          return finish(T);
         T = Next;
       }
       if (T == IterStart)
         break;
-      if (countTermNodes(T) > Budget)
+      if (countTermNodes(T) > Budget) {
+        ++Stats.BudgetHits;
         break;
+      }
     }
-    Stats.NodesAfter = countTermNodes(T);
-    return T;
+    return finish(T);
   }
 
 private:
+  /// Dispatches one named pass.
+  const Term *runPass(const PassDesc &P, const Term *T) {
+    switch (P.Mask) {
+    case PassSpecTyApps: {
+      size_t Current = countTermNodes(T);
+      return Spec.runTypeAppSpecialize(T,
+                                       Budget > Current ? Budget - Current : 0,
+                                       Opts.MaxSpecializeTypeSize);
+    }
+    case PassDevirt:
+      return Spec.runDevirtualizeDicts(T);
+    case PassDeadDicts:
+      return Spec.runEliminateDeadDicts(T);
+    default:
+      Mask = P.Mask;
+      return rewrite(T);
+    }
+  }
+
+  /// Final bookkeeping on every exit path: node count and the
+  /// specialization pass counters.
+  const Term *finish(const Term *T) {
+    Stats.NodesAfter = countTermNodes(T);
+    const SpecializeCounters &C = Spec.counters();
+    Stats.ClonesCreated = C.ClonesCreated;
+    Stats.SpecCacheHits = C.CacheHits;
+    Stats.MembersDevirtualized = C.MembersDevirtualized;
+    Stats.DictParamsEliminated = C.DictParamsEliminated;
+    Stats.DictFieldsEliminated = C.DictFieldsEliminated;
+    Stats.BudgetHits += C.BudgetHits;
+    Stats.LetsInlined += C.LetBetaExpansions;
+    return T;
+  }
   /// Runs the validation hook on one changed pass output; records the
   /// rejected pass in the stats.  True means "keep going".
   bool firePassHook(const char *Name, const Term *Before, const Term *After) {
@@ -133,383 +202,8 @@ private:
     return false;
   }
 
-  //===--------------------------------------------------------------===//
-  // Predicates
-  //===--------------------------------------------------------------===//
-
-  /// Pure, terminating terms: safe to duplicate, reorder, or drop.  On a
-  /// *well-typed* program `nth` of a pure tuple cannot fail, so it is
-  /// included; applications are not (they may diverge or error).
-  static bool isPure(const Term *T) {
-    switch (T->getKind()) {
-    case TermKind::IntLit:
-    case TermKind::BoolLit:
-    case TermKind::Var:
-    case TermKind::Abs:
-    case TermKind::TyAbs:
-      return true;
-    case TermKind::Tuple:
-      for (const Term *E : cast<TupleTerm>(T)->getElements())
-        if (!isPure(E))
-          return false;
-      return true;
-    case TermKind::Nth:
-      return isPure(cast<NthTerm>(T)->getTuple());
-    case TermKind::Fix:
-      return isPure(cast<FixTerm>(T)->getOperand());
-    default:
-      return false;
-    }
-  }
-
-  //===--------------------------------------------------------------===//
-  // Free variables / occurrence counting
-  //===--------------------------------------------------------------===//
-
-  static void freeVarsImpl(const Term *T,
-                           std::unordered_set<std::string> &Bound,
-                           std::unordered_set<std::string> &Out) {
-    switch (T->getKind()) {
-    case TermKind::IntLit:
-    case TermKind::BoolLit:
-      return;
-    case TermKind::Var: {
-      const std::string &N = cast<VarTerm>(T)->getName();
-      if (!Bound.count(N))
-        Out.insert(N);
-      return;
-    }
-    case TermKind::Abs: {
-      const auto *A = cast<AbsTerm>(T);
-      std::vector<std::string> Added;
-      for (const ParamBinding &P : A->getParams())
-        if (Bound.insert(P.Name).second)
-          Added.push_back(P.Name);
-      freeVarsImpl(A->getBody(), Bound, Out);
-      for (const std::string &N : Added)
-        Bound.erase(N);
-      return;
-    }
-    case TermKind::App: {
-      const auto *A = cast<AppTerm>(T);
-      freeVarsImpl(A->getFn(), Bound, Out);
-      for (const Term *Arg : A->getArgs())
-        freeVarsImpl(Arg, Bound, Out);
-      return;
-    }
-    case TermKind::TyAbs:
-      freeVarsImpl(cast<TyAbsTerm>(T)->getBody(), Bound, Out);
-      return;
-    case TermKind::TyApp:
-      freeVarsImpl(cast<TyAppTerm>(T)->getFn(), Bound, Out);
-      return;
-    case TermKind::Let: {
-      const auto *L = cast<LetTerm>(T);
-      freeVarsImpl(L->getInit(), Bound, Out);
-      bool Added = Bound.insert(L->getName()).second;
-      freeVarsImpl(L->getBody(), Bound, Out);
-      if (Added)
-        Bound.erase(L->getName());
-      return;
-    }
-    case TermKind::Tuple:
-      for (const Term *E : cast<TupleTerm>(T)->getElements())
-        freeVarsImpl(E, Bound, Out);
-      return;
-    case TermKind::Nth:
-      freeVarsImpl(cast<NthTerm>(T)->getTuple(), Bound, Out);
-      return;
-    case TermKind::If: {
-      const auto *I = cast<IfTerm>(T);
-      freeVarsImpl(I->getCond(), Bound, Out);
-      freeVarsImpl(I->getThen(), Bound, Out);
-      freeVarsImpl(I->getElse(), Bound, Out);
-      return;
-    }
-    case TermKind::Fix:
-      freeVarsImpl(cast<FixTerm>(T)->getOperand(), Bound, Out);
-      return;
-    }
-  }
-
-  static std::unordered_set<std::string> freeVars(const Term *T) {
-    std::unordered_set<std::string> Bound, Out;
-    freeVarsImpl(T, Bound, Out);
-    return Out;
-  }
-
-  static unsigned countOccurrences(const Term *T, const std::string &Name) {
-    switch (T->getKind()) {
-    case TermKind::IntLit:
-    case TermKind::BoolLit:
-      return 0;
-    case TermKind::Var:
-      return cast<VarTerm>(T)->getName() == Name ? 1 : 0;
-    case TermKind::Abs: {
-      const auto *A = cast<AbsTerm>(T);
-      for (const ParamBinding &P : A->getParams())
-        if (P.Name == Name)
-          return 0; // Shadowed.
-      return countOccurrences(A->getBody(), Name);
-    }
-    case TermKind::App: {
-      const auto *A = cast<AppTerm>(T);
-      unsigned N = countOccurrences(A->getFn(), Name);
-      for (const Term *Arg : A->getArgs())
-        N += countOccurrences(Arg, Name);
-      return N;
-    }
-    case TermKind::TyAbs:
-      return countOccurrences(cast<TyAbsTerm>(T)->getBody(), Name);
-    case TermKind::TyApp:
-      return countOccurrences(cast<TyAppTerm>(T)->getFn(), Name);
-    case TermKind::Let: {
-      const auto *L = cast<LetTerm>(T);
-      unsigned N = countOccurrences(L->getInit(), Name);
-      if (L->getName() != Name)
-        N += countOccurrences(L->getBody(), Name);
-      return N;
-    }
-    case TermKind::Tuple: {
-      unsigned N = 0;
-      for (const Term *E : cast<TupleTerm>(T)->getElements())
-        N += countOccurrences(E, Name);
-      return N;
-    }
-    case TermKind::Nth:
-      return countOccurrences(cast<NthTerm>(T)->getTuple(), Name);
-    case TermKind::If: {
-      const auto *I = cast<IfTerm>(T);
-      return countOccurrences(I->getCond(), Name) +
-             countOccurrences(I->getThen(), Name) +
-             countOccurrences(I->getElse(), Name);
-    }
-    case TermKind::Fix:
-      return countOccurrences(cast<FixTerm>(T)->getOperand(), Name);
-    }
-    return 0;
-  }
-
-  //===--------------------------------------------------------------===//
-  // Type substitution inside terms (for TyApp inlining)
-  //===--------------------------------------------------------------===//
-
-  const Term *substTypes(const Term *T, const TypeSubst &S) {
-    switch (T->getKind()) {
-    case TermKind::IntLit:
-    case TermKind::BoolLit:
-    case TermKind::Var:
-      return T;
-    case TermKind::Abs: {
-      const auto *A = cast<AbsTerm>(T);
-      std::vector<ParamBinding> Params;
-      bool Changed = false;
-      for (const ParamBinding &P : A->getParams()) {
-        const Type *NT = Ctx.substitute(P.Ty, S);
-        Changed |= NT != P.Ty;
-        Params.push_back({P.Name, NT});
-      }
-      const Term *Body = substTypes(A->getBody(), S);
-      if (!Changed && Body == A->getBody())
-        return T;
-      return Arena.makeAbs(std::move(Params), Body);
-    }
-    case TermKind::App: {
-      const auto *A = cast<AppTerm>(T);
-      const Term *Fn = substTypes(A->getFn(), S);
-      std::vector<const Term *> Args;
-      bool Changed = Fn != A->getFn();
-      for (const Term *Arg : A->getArgs()) {
-        const Term *NA = substTypes(Arg, S);
-        Changed |= NA != Arg;
-        Args.push_back(NA);
-      }
-      return Changed ? Arena.makeApp(Fn, std::move(Args)) : T;
-    }
-    case TermKind::TyAbs: {
-      const auto *A = cast<TyAbsTerm>(T);
-      for ([[maybe_unused]] const TypeParamDecl &P : A->getParams())
-        assert(!S.count(P.Id) && "type substitution would capture");
-      const Term *Body = substTypes(A->getBody(), S);
-      return Body == A->getBody() ? T : Arena.makeTyAbs(A->getParams(), Body);
-    }
-    case TermKind::TyApp: {
-      const auto *A = cast<TyAppTerm>(T);
-      const Term *Fn = substTypes(A->getFn(), S);
-      std::vector<const Type *> Args;
-      bool Changed = Fn != A->getFn();
-      for (const Type *Arg : A->getTypeArgs()) {
-        const Type *NA = Ctx.substitute(Arg, S);
-        Changed |= NA != Arg;
-        Args.push_back(NA);
-      }
-      return Changed ? Arena.makeTyApp(Fn, std::move(Args)) : T;
-    }
-    case TermKind::Let: {
-      const auto *L = cast<LetTerm>(T);
-      const Term *Init = substTypes(L->getInit(), S);
-      const Term *Body = substTypes(L->getBody(), S);
-      if (Init == L->getInit() && Body == L->getBody())
-        return T;
-      return Arena.makeLet(L->getName(), Init, Body);
-    }
-    case TermKind::Tuple: {
-      const auto *Tu = cast<TupleTerm>(T);
-      std::vector<const Term *> Elems;
-      bool Changed = false;
-      for (const Term *E : Tu->getElements()) {
-        const Term *NE = substTypes(E, S);
-        Changed |= NE != E;
-        Elems.push_back(NE);
-      }
-      return Changed ? Arena.makeTuple(std::move(Elems)) : T;
-    }
-    case TermKind::Nth: {
-      const auto *N = cast<NthTerm>(T);
-      const Term *Tu = substTypes(N->getTuple(), S);
-      return Tu == N->getTuple() ? T : Arena.makeNth(Tu, N->getIndex());
-    }
-    case TermKind::If: {
-      const auto *I = cast<IfTerm>(T);
-      const Term *C = substTypes(I->getCond(), S);
-      const Term *Th = substTypes(I->getThen(), S);
-      const Term *El = substTypes(I->getElse(), S);
-      if (C == I->getCond() && Th == I->getThen() && El == I->getElse())
-        return T;
-      return Arena.makeIf(C, Th, El);
-    }
-    case TermKind::Fix: {
-      const auto *F = cast<FixTerm>(T);
-      const Term *Op = substTypes(F->getOperand(), S);
-      return Op == F->getOperand() ? T : Arena.makeFix(Op);
-    }
-    }
-    return T;
-  }
-
-  //===--------------------------------------------------------------===//
-  // Capture-avoiding term substitution (for let/beta inlining)
-  //===--------------------------------------------------------------===//
-
   std::string freshName(const std::string &Base) {
     return Base + "$r" + std::to_string(NextRename++);
-  }
-
-  /// Substitutes \p Value for free occurrences of \p Name in \p T.
-  /// \p ValueFree are the free variables of \p Value; any binder along
-  /// the way that would capture one of them is alpha-renamed first.
-  const Term *substVar(const Term *T, const std::string &Name,
-                       const Term *Value,
-                       const std::unordered_set<std::string> &ValueFree) {
-    switch (T->getKind()) {
-    case TermKind::IntLit:
-    case TermKind::BoolLit:
-      return T;
-    case TermKind::Var:
-      return cast<VarTerm>(T)->getName() == Name ? Value : T;
-    case TermKind::Abs: {
-      const auto *A = cast<AbsTerm>(T);
-      for (const ParamBinding &P : A->getParams())
-        if (P.Name == Name)
-          return T; // Shadowed: substitution stops here.
-      // Rename parameters that would capture free variables of Value.
-      // Walk the parameter list back to front: with duplicate names the
-      // *last* binding owns the body occurrences (evaluation binds
-      // sequentially, later shadowing earlier), so it must be renamed
-      // first, leaving nothing for the earlier duplicates to capture.
-      std::vector<ParamBinding> Params(A->getParams());
-      const Term *Body = A->getBody();
-      for (size_t I = Params.size(); I-- != 0;) {
-        ParamBinding &P = Params[I];
-        if (!ValueFree.count(P.Name))
-          continue;
-        std::string NewName = freshName(P.Name);
-        Body = substVar(Body, P.Name, Arena.makeVar(NewName), {});
-        P.Name = NewName;
-      }
-      const Term *NewBody = substVar(Body, Name, Value, ValueFree);
-      if (NewBody == A->getBody() && Body == A->getBody())
-        return T;
-      return Arena.makeAbs(std::move(Params), NewBody);
-    }
-    case TermKind::App: {
-      const auto *A = cast<AppTerm>(T);
-      const Term *Fn = substVar(A->getFn(), Name, Value, ValueFree);
-      std::vector<const Term *> Args;
-      bool Changed = Fn != A->getFn();
-      for (const Term *Arg : A->getArgs()) {
-        const Term *NA = substVar(Arg, Name, Value, ValueFree);
-        Changed |= NA != Arg;
-        Args.push_back(NA);
-      }
-      return Changed ? Arena.makeApp(Fn, std::move(Args)) : T;
-    }
-    case TermKind::TyAbs: {
-      const auto *A = cast<TyAbsTerm>(T);
-      const Term *Body = substVar(A->getBody(), Name, Value, ValueFree);
-      return Body == A->getBody() ? T
-                                  : Arena.makeTyAbs(A->getParams(), Body);
-    }
-    case TermKind::TyApp: {
-      const auto *A = cast<TyAppTerm>(T);
-      const Term *Fn = substVar(A->getFn(), Name, Value, ValueFree);
-      return Fn == A->getFn() ? T
-                              : Arena.makeTyApp(Fn, A->getTypeArgs());
-    }
-    case TermKind::Let: {
-      const auto *L = cast<LetTerm>(T);
-      const Term *Init = substVar(L->getInit(), Name, Value, ValueFree);
-      if (L->getName() == Name) {
-        // Shadowed in the body.
-        return Init == L->getInit()
-                   ? T
-                   : Arena.makeLet(L->getName(), Init, L->getBody());
-      }
-      std::string BoundName = L->getName();
-      const Term *Body = L->getBody();
-      if (ValueFree.count(BoundName)) {
-        std::string NewName = freshName(BoundName);
-        Body = substVar(Body, BoundName, Arena.makeVar(NewName), {});
-        BoundName = NewName;
-      }
-      const Term *NewBody = substVar(Body, Name, Value, ValueFree);
-      if (Init == L->getInit() && NewBody == L->getBody() &&
-          BoundName == L->getName())
-        return T;
-      return Arena.makeLet(BoundName, Init, NewBody);
-    }
-    case TermKind::Tuple: {
-      const auto *Tu = cast<TupleTerm>(T);
-      std::vector<const Term *> Elems;
-      bool Changed = false;
-      for (const Term *E : Tu->getElements()) {
-        const Term *NE = substVar(E, Name, Value, ValueFree);
-        Changed |= NE != E;
-        Elems.push_back(NE);
-      }
-      return Changed ? Arena.makeTuple(std::move(Elems)) : T;
-    }
-    case TermKind::Nth: {
-      const auto *N = cast<NthTerm>(T);
-      const Term *Tu = substVar(N->getTuple(), Name, Value, ValueFree);
-      return Tu == N->getTuple() ? T : Arena.makeNth(Tu, N->getIndex());
-    }
-    case TermKind::If: {
-      const auto *I = cast<IfTerm>(T);
-      const Term *C = substVar(I->getCond(), Name, Value, ValueFree);
-      const Term *Th = substVar(I->getThen(), Name, Value, ValueFree);
-      const Term *El = substVar(I->getElse(), Name, Value, ValueFree);
-      if (C == I->getCond() && Th == I->getThen() && El == I->getElse())
-        return T;
-      return Arena.makeIf(C, Th, El);
-    }
-    case TermKind::Fix: {
-      const auto *F = cast<FixTerm>(T);
-      const Term *Op = substVar(F->getOperand(), Name, Value, ValueFree);
-      return Op == F->getOperand() ? T : Arena.makeFix(Op);
-    }
-    }
-    return T;
   }
 
   //===--------------------------------------------------------------===//
@@ -547,7 +241,7 @@ private:
           Abs && (Mask & PassBetaInline)) {
         bool AllPure = Abs->getParams().size() == Args.size();
         for (const Term *Arg : Args)
-          AllPure &= isPure(Arg);
+          AllPure &= isPureTerm(Arg);
         if (AllPure) {
           // Rename all parameters to fresh names first so sequential
           // substitution is equivalent to simultaneous substitution.
@@ -560,11 +254,13 @@ private:
           for (size_t I = Abs->getParams().size(); I-- != 0;) {
             const ParamBinding &P = Abs->getParams()[I];
             std::string NewName = freshName(P.Name);
-            Body = substVar(Body, P.Name, Arena.makeVar(NewName), {});
+            Body = substituteTermVar(Arena, Body, P.Name,
+                                     Arena.makeVar(NewName), {}, NextRename);
             Fresh[I] = std::move(NewName);
           }
           for (size_t I = 0; I != Args.size(); ++I)
-            Body = substVar(Body, Fresh[I], Args[I], freeVars(Args[I]));
+            Body = substituteTermVar(Arena, Body, Fresh[I], Args[I],
+                                     freeTermVars(Args[I]), NextRename);
           ++Stats.LetsInlined;
           return Body;
         }
@@ -590,7 +286,7 @@ private:
           for (size_t I = 0; I != TA->getParams().size(); ++I)
             S[TA->getParams()[I].Id] = A->getTypeArgs()[I];
           ++Stats.TypeAppsInlined;
-          return substTypes(TA->getBody(), S);
+          return substituteTermTypes(Arena, Ctx, TA->getBody(), S);
         }
       }
       return Fn == A->getFn() ? T : Arena.makeTyApp(Fn, A->getTypeArgs());
@@ -600,8 +296,8 @@ private:
       const auto *L = cast<LetTerm>(T);
       const Term *Init = rewrite(L->getInit());
       const Term *Body = rewrite(L->getBody());
-      if ((Mask & PassInlineLets) && isPure(Init)) {
-        unsigned N = countOccurrences(Body, L->getName());
+      if ((Mask & PassInlineLets) && isPureTerm(Init)) {
+        unsigned N = countVarOccurrences(Body, L->getName());
         if (N == 0) {
           ++Stats.DeadLetsRemoved;
           return Body;
@@ -612,7 +308,8 @@ private:
             countTermNodes(Body) + (N - 1) * InitSize <= Budget;
         if (FitsBudget) {
           ++Stats.LetsInlined;
-          return substVar(Body, L->getName(), Init, freeVars(Init));
+          return substituteTermVar(Arena, Body, L->getName(), Init,
+                                   freeTermVars(Init), NextRename);
         }
       }
       if (Init == L->getInit() && Body == L->getBody())
@@ -642,7 +339,7 @@ private:
         if (N->getIndex() < Lit->getElements().size()) {
           bool AllPure = true;
           for (const Term *E : Lit->getElements())
-            AllPure &= isPure(E);
+            AllPure &= isPureTerm(E);
           if (AllPure) {
             ++Stats.ProjectionsFolded;
             return Lit->getElements()[N->getIndex()];
@@ -681,6 +378,10 @@ private:
   size_t Budget = 0;
   unsigned NextRename = 0;
   unsigned Mask = ~0u; ///< Rewrites enabled in the current pass.
+  /// The -O2 pass object (persistent fresh-name counters, counters).
+  SpecializePasses Spec;
+  /// Per-pass memo of the last input the pass left unchanged.
+  std::unordered_map<const char *, const Term *> LastNoopInput;
 };
 
 } // namespace
@@ -708,5 +409,17 @@ const Term *fg::sf::specialize(TermArena &Arena, TypeContext &Ctx,
   G.add("optimize.lets_inlined", Out.LetsInlined);
   G.add("optimize.projections_folded", Out.ProjectionsFolded);
   G.add("optimize.dead_lets_removed", Out.DeadLetsRemoved);
+  G.add("optimize.pass.noop", Out.NoopPassRuns);
+  G.add("optimize.pass.noop_skipped", Out.NoopPassSkips);
+  if (Opts.Specialize != SpecializeLevel::Off) {
+    G.add("specialize.clones_created", Out.ClonesCreated);
+    G.add("specialize.cache_hits", Out.SpecCacheHits);
+    G.add("specialize.members_devirtualized", Out.MembersDevirtualized);
+    G.add("specialize.dict_params_eliminated", Out.DictParamsEliminated);
+    G.add("specialize.dict_fields_eliminated", Out.DictFieldsEliminated);
+    G.add("specialize.budget_hits", Out.BudgetHits);
+    if (Out.NodesAfter > Out.NodesBefore)
+      G.add("specialize.size_growth", Out.NodesAfter - Out.NodesBefore);
+  }
   return Result;
 }

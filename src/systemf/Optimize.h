@@ -32,10 +32,12 @@
 #ifndef FG_SYSTEMF_OPTIMIZE_H
 #define FG_SYSTEMF_OPTIMIZE_H
 
+#include "systemf/Specialize.h"
 #include "systemf/Term.h"
 #include "systemf/Type.h"
 #include <cstddef>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 namespace fg {
@@ -49,6 +51,23 @@ struct OptimizeOptions {
   /// original size (guards against code-size blowup from dictionary
   /// duplication).
   size_t MaxGrowthFactor = 64;
+
+  /// How much of the -O2 specialization pipeline (Specialize.h) to run
+  /// on top of the baseline passes.  Off reproduces the -O1 pipeline
+  /// exactly.
+  SpecializeLevel Specialize = SpecializeLevel::Off;
+  /// Per-application cap on the summed structural size of type
+  /// arguments accepted by specialize-tyapps.  Nested instantiation
+  /// chains (the polymorphic-recursion pattern) double their argument
+  /// size at each level, so this bounds the clone cascade; refusals are
+  /// counted in OptimizeStats::BudgetHits.
+  size_t MaxSpecializeTypeSize = 48;
+  /// Names whose type applications specialize-tyapps may hoist into
+  /// top-level anchor lets (one per instantiation).  The frontend binds
+  /// this to the prelude builtins; null disables hoisting.  Only names
+  /// that are *globally* bound to pure values belong here — hoisting
+  /// moves the instantiation to program start.
+  const std::unordered_set<std::string> *HoistableTyApps = nullptr;
 
   /// Translation-validation hook: called after every named pass whose
   /// output differs from its input, with the pass name and both terms.
@@ -78,6 +97,21 @@ struct OptimizeStats {
   size_t NodesAfter = 0;
   /// Pass rejected by OptimizeOptions::PassHook, or null if none.
   const char *AbortedOnPass = nullptr;
+
+  /// Specialization counters (all zero when Specialize is Off).
+  unsigned ClonesCreated = 0;        ///< Specialized function copies made.
+  unsigned SpecCacheHits = 0;        ///< Clone-cache hits.
+  unsigned MembersDevirtualized = 0; ///< Member projections devirtualized.
+  unsigned DictParamsEliminated = 0; ///< Dead dictionary params dropped.
+  unsigned DictFieldsEliminated = 0; ///< Dead record fields dropped.
+  /// Specializations declined by the size budgets plus pipeline
+  /// iterations cut short by the growth budget.
+  unsigned BudgetHits = 0;
+  /// Pass runs that returned their input unchanged, and pass runs
+  /// skipped outright because the input was already known to be a
+  /// fixpoint for that pass.
+  unsigned NoopPassRuns = 0;
+  unsigned NoopPassSkips = 0;
 };
 
 /// The named passes of the specialization pipeline, in the order each

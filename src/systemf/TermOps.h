@@ -1,0 +1,62 @@
+//===- systemf/TermOps.h - Shared term rewriting utilities ------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The term-level analyses and substitutions shared by the optimizer
+/// passes (Optimize.cpp) and the whole-program specializer
+/// (Specialize.cpp): purity, free variables, occurrence counting, type
+/// substitution inside terms, and capture-avoiding variable
+/// substitution.  All of them preserve sharing — a transform returns
+/// the original node when nothing changed underneath it — which is
+/// what keeps the pass pipeline free of full-term copies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SYSTEMF_TERMOPS_H
+#define FG_SYSTEMF_TERMOPS_H
+
+#include "systemf/Term.h"
+#include "systemf/Type.h"
+#include <string>
+#include <unordered_set>
+
+namespace fg {
+namespace sf {
+
+/// Pure, terminating terms: safe to duplicate, reorder, or drop.  On a
+/// *well-typed* program `nth` of a pure tuple cannot fail, so it is
+/// included; applications are not (they may diverge or error).
+bool isPureTerm(const Term *T);
+
+/// The free term variables of \p T.
+std::unordered_set<std::string> freeTermVars(const Term *T);
+
+/// Number of free occurrences of \p Name in \p T (shadowing-aware).
+unsigned countVarOccurrences(const Term *T, const std::string &Name);
+
+/// Substitutes types for type-parameter ids throughout \p T (parameter
+/// annotations, type arguments).  Binder ids are globally unique, so no
+/// renaming is ever required; this is asserted.
+const Term *substituteTermTypes(TermArena &Arena, TypeContext &Ctx,
+                                const Term *T, const TypeSubst &S);
+
+/// Substitutes \p Value for free occurrences of \p Name in \p T.
+/// \p ValueFree are the free variables of \p Value; any binder along
+/// the way that would capture one of them is alpha-renamed first, using
+/// fresh names `<base><Suffix><RenameCounter++>`.  Callers share one
+/// counter per rewrite session (and distinct suffixes per client) so
+/// fresh names never collide.
+const Term *substituteTermVar(TermArena &Arena, const Term *T,
+                              const std::string &Name, const Term *Value,
+                              const std::unordered_set<std::string> &ValueFree,
+                              unsigned &RenameCounter,
+                              const char *Suffix = "$r");
+
+} // namespace sf
+} // namespace fg
+
+#endif // FG_SYSTEMF_TERMOPS_H

@@ -258,10 +258,15 @@ std::string checkOne(const std::string &Source, unsigned Index,
   if (!Out.Success)
     return "compilation failed: " + Out.ErrorMessage;
 
-  if (Opts.ValidatePasses) {
+  {
+    // Optimize up front (at the requested specialization level) so the
+    // `optimized` backend below evaluates exactly the pipeline under
+    // test, with per-pass re-typechecking when requested.
     Validator V(FE.getSfContext(), FE.getPrelude().Types);
     sf::OptimizeOptions OptOpts;
-    OptOpts.PassHook = V.passHook(Out.SfType);
+    OptOpts.Specialize = Opts.Specialize;
+    if (Opts.ValidatePasses)
+      OptOpts.PassHook = V.passHook(Out.SfType);
     sf::OptimizeStats Stats;
     FE.optimize(Out, &Stats, OptOpts);
     if (V.failed())

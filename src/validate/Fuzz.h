@@ -23,6 +23,7 @@
 #ifndef FG_VALIDATE_FUZZ_H
 #define FG_VALIDATE_FUZZ_H
 
+#include "systemf/Specialize.h"
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -36,6 +37,10 @@ struct FuzzOptions {
   unsigned Count = 100;        ///< Number of programs to generate.
   uint64_t Seed = 42;          ///< Base seed; program i uses (Seed, i).
   bool ValidatePasses = true;  ///< Re-typecheck every optimizer pass.
+  /// Specialization level the optimizer runs at while fuzzing; the
+  /// `optimized` backend then cross-checks specialized evaluation
+  /// against every other backend.
+  sf::SpecializeLevel Specialize = sf::SpecializeLevel::Off;
   std::ostream *Log = nullptr; ///< Failure/progress log (may be null).
 };
 

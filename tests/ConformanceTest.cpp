@@ -20,6 +20,7 @@
 
 #include "Differential.h"
 #include "syntax/Frontend.h"
+#include "systemf/TypeCheck.h"
 #include <filesystem>
 #include <fstream>
 #include <gtest/gtest.h>
@@ -117,6 +118,37 @@ TEST_P(Conformance, MeetsExpectations) {
     EXPECT_EQ(interp::valueToString(D.Val), E.Value)
         << GetParam() << " (direct interpreter)";
   }
+
+  // Whole-program specialization (-O2) must preserve the outcome on
+  // every backend — value or runtime error alike — and each of its
+  // passes must keep the term well-typed at the program's type.
+  sf::OptimizeOptions SOpts;
+  SOpts.Specialize = sf::SpecializeLevel::Full;
+  SOpts.PassHook = [&](const char *PassName, const sf::Term *,
+                       const sf::Term *After) {
+    sf::TypeChecker Checker(FE.getSfContext());
+    const sf::Type *Ty = Checker.check(After, FE.getPrelude().Types);
+    EXPECT_TRUE(Ty && Ty == Out.SfType)
+        << GetParam() << ": pass `" << PassName
+        << "` broke typing: " << Checker.firstError();
+    return Ty && Ty == Out.SfType;
+  };
+  sf::OptimizeStats SStats;
+  const sf::Term *Spec = FE.optimize(Out, &SStats, SOpts);
+  ASSERT_NE(Spec, nullptr) << GetParam();
+  ASSERT_EQ(SStats.AbortedOnPass, nullptr)
+      << GetParam() << ": validator rejected pass "
+      << SStats.AbortedOnPass;
+  std::vector<fgtest::BackendOutcome> SpecOutcomes = fgtest::runAllBackends(
+      FE, fgtest::withSfTerm(Out, Spec), sf::EvalOptions(),
+      GetParam() + " (specialized)");
+  EXPECT_EQ(Outcomes.front().Ok, SpecOutcomes.front().Ok)
+      << GetParam() << ": specialization changed the outcome kind ("
+      << Outcomes.front().Rendered << " vs "
+      << SpecOutcomes.front().Rendered << ")";
+  if (Outcomes.front().Ok)
+    EXPECT_EQ(Outcomes.front().Rendered, SpecOutcomes.front().Rendered)
+        << GetParam() << ": specialization changed the program's value";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -65,6 +65,17 @@ inline const std::vector<Backend> &backends() {
   return All;
 }
 
+/// A copy of \p Out whose System F term is \p T — the hook for running
+/// the backends over a *rewritten* (specialized) term: the copy rides
+/// through runAllBackends and every engine compiles/evaluates T in
+/// place of the original translation.
+inline fg::CompileOutput withSfTerm(const fg::CompileOutput &Out,
+                                    const fg::sf::Term *T) {
+  fg::CompileOutput Copy = Out;
+  Copy.SfTerm = T;
+  return Copy;
+}
+
 /// Runs \p Out through every backend and EXPECTs pairwise-identical
 /// outcomes (success flag and rendered value/error).  Returns the
 /// outcomes, reference (tree) backend first; \p Context names the
