@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Doc lint: every ```fg fence in the docs must typecheck.
+
+Convention (docs/LANGUAGE.md top note): fenced blocks tagged `fg` are
+complete, checkable F_G programs; untagged fences are grammar sketches
+or fragments and are skipped.  This script extracts each tagged block
+and runs `fgc --check` on it, so documentation examples cannot rot.
+
+Usage: doc_lint.py <path-to-fgc> <doc.md> [<doc.md> ...]
+Exit 0 when every snippet typechecks; 1 otherwise, naming each failing
+doc/line with the compiler's diagnostics.
+"""
+
+import subprocess
+import sys
+
+
+def extract_fg_blocks(path):
+    """Yields (start_line, snippet) for every ```fg fence in *path*."""
+    blocks = []
+    lines = open(path, encoding="utf-8").read().splitlines()
+    in_block = False
+    start = 0
+    body = []
+    for i, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not in_block and stripped == "```fg":
+            in_block, start, body = True, i, []
+        elif in_block and stripped == "```":
+            in_block = False
+            blocks.append((start, "\n".join(body) + "\n"))
+        elif in_block:
+            body.append(line)
+    if in_block:
+        raise SystemExit(f"{path}:{start}: unterminated ```fg fence")
+    return blocks
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    fgc, docs = sys.argv[1], sys.argv[2:]
+    checked = failures = 0
+    for doc in docs:
+        for line, snippet in extract_fg_blocks(doc):
+            checked += 1
+            proc = subprocess.run(
+                [fgc, "--check", "-"],
+                input=snippet,
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                failures += 1
+                print(f"{doc}:{line}: snippet fails `fgc --check`:",
+                      file=sys.stderr)
+                for out in (proc.stdout, proc.stderr):
+                    if out.strip():
+                        print("  " + out.strip().replace("\n", "\n  "),
+                              file=sys.stderr)
+    print(f"doc-lint: {checked} fg snippet(s) checked, {failures} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

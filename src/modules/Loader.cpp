@@ -203,20 +203,15 @@ std::vector<std::string> ModuleLoader::topoOrder(
   return Order;
 }
 
-const Term *ModuleLoader::link(Frontend &FE, const std::string &Root,
-                               std::string &Error) const {
-  std::vector<std::string> Order = topoOrder(Root);
-  if (Order.empty()) {
-    Error = "module `" + Root + "` is not loaded";
-    return nullptr;
-  }
-
+bool ModuleLoader::parseClosure(Frontend &FE,
+                                const std::vector<std::string> &Order,
+                                std::map<std::string, const Term *> &Asts,
+                                std::string &Error) const {
   // Parse every module in dependency order.  Concepts and type aliases
   // resolve lexically at parse time, so each module's parser scopes are
   // seeded with the names its (transitive) imports declare; installing
   // them in dependency order makes later modules shadow earlier ones,
   // exactly as the spliced spine nesting will.
-  std::map<std::string, const Term *> Asts;
   std::map<std::string, std::vector<std::pair<std::string, unsigned>>>
       ConceptExports, AliasExports;
   for (const std::string &Name : Order) {
@@ -247,7 +242,7 @@ const Term *ModuleLoader::link(Frontend &FE, const std::string &Root,
     }
     if (!Ast) {
       Error = FE.getDiags().firstError();
-      return nullptr;
+      return false;
     }
     Asts[Name] = Ast;
 
@@ -259,6 +254,19 @@ const Term *ModuleLoader::link(Frontend &FE, const std::string &Root,
         AliasExports[Name].emplace_back(TA->getName(), TA->getParamId());
     }
   }
+  return true;
+}
+
+const Term *ModuleLoader::link(Frontend &FE, const std::string &Root,
+                               std::string &Error) const {
+  std::vector<std::string> Order = topoOrder(Root);
+  if (Order.empty()) {
+    Error = "module `" + Root + "` is not loaded";
+    return nullptr;
+  }
+  std::map<std::string, const Term *> Asts;
+  if (!parseClosure(FE, Order, Asts, Error))
+    return nullptr;
 
   // Splice: root innermost (keeping its tail), dependencies' spines
   // wrapped around it in reverse dependency order, their tails dropped.
@@ -266,4 +274,60 @@ const Term *ModuleLoader::link(Frontend &FE, const std::string &Root,
   for (size_t I = Order.size() - 1; I-- > 0;)
     Program = rebuildSpine(FE.getFgArena(), Asts[Order[I]], Program);
   return Program;
+}
+
+uint64_t ModuleLoader::contentHash(const std::string &Root) const {
+  std::vector<std::string> Order = topoOrder(Root);
+  if (Order.empty())
+    return 0;
+  uint64_t H = fnv1a64("fg-cone-1");
+  for (const std::string &Name : Order) {
+    const ModuleUnit &U = *find(Name);
+    H = fnv1a64(U.Name, H);
+    H = fnv1a64(std::string_view("\0", 1), H);
+    H = fnv1a64(U.Source, H);
+    H = fnv1a64(std::string_view("\0", 1), H);
+  }
+  return H;
+}
+
+/// Byte offset of 1-based (\p Line, \p Col) in \p Src.
+static size_t offsetOf(const std::string &Src, uint32_t Line, uint32_t Col) {
+  size_t Off = 0;
+  for (uint32_t L = 1; L < Line; ++L) {
+    size_t NL = Src.find('\n', Off);
+    if (NL == std::string::npos)
+      return Src.size();
+    Off = NL + 1;
+  }
+  return std::min(Src.size(), Off + (Col ? Col - 1 : 0));
+}
+
+bool ModuleLoader::spineText(Frontend &FE, const std::string &Root,
+                             std::string &Out, std::string &Error) const {
+  std::vector<std::string> Order = topoOrder(Root);
+  if (Order.empty()) {
+    Error = "module `" + Root + "` is not loaded";
+    return false;
+  }
+  std::map<std::string, const Term *> Asts;
+  if (!parseClosure(FE, Order, Asts, Error))
+    return false;
+
+  Out.clear();
+  for (const std::string &Name : Order) {
+    const ModuleUnit &U = *find(Name);
+    SpineScan S = scanSpine(Asts[Name]);
+    if (S.Nodes.empty())
+      continue; // Pure expression module: nothing to export.
+    SourceLocation Begin = S.Nodes.front()->getLoc();
+    SourceLocation TailLoc = S.Tail->getLoc();
+    size_t BeginOff = offsetOf(U.Source, Begin.Line, Begin.Column);
+    size_t EndOff = offsetOf(U.Source, TailLoc.Line, TailLoc.Column);
+    if (EndOff < BeginOff)
+      continue; // Defensive: malformed locations.
+    Out += U.Source.substr(BeginOff, EndOff - BeginOff);
+    Out += "\n";
+  }
+  return true;
 }

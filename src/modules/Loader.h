@@ -97,9 +97,37 @@ public:
   const Term *link(Frontend &FE, const std::string &Root,
                    std::string &Error) const;
 
+  /// Content hash of \p Root's whole dependency cone: FNV-1a 64 chained
+  /// over every module's (name, source text) in topoOrder.  The same
+  /// discipline as the `.fgi` interface hash — any edit anywhere in the
+  /// cone changes the value — but computed without checking anything.
+  /// The compiler server keys its shared artifact cache on this
+  /// (server/ArtifactCache.h), so daemon cache entries invalidate
+  /// exactly when a batch rebuild would recheck.  Returns 0 when
+  /// \p Root is not loaded.
+  uint64_t contentHash(const std::string &Root) const;
+
+  /// The *textual* equivalent of link(): the concatenated declaration
+  /// spines of \p Root's closure in dependency order — each module's
+  /// source from its first spine declaration up to (excluding) its tail
+  /// expression, headers dropped.  Prepending the result to any
+  /// expression gives a program observationally equivalent to
+  /// evaluating that expression inside the linked module scope; the
+  /// REPL's `:load` uses this to bring a file's (and its imports')
+  /// declarations into the session scope as plain text.  Parses every
+  /// module (into \p FE) to locate the tails.  Returns false with
+  /// \p Error set on parse errors.
+  bool spineText(Frontend &FE, const std::string &Root, std::string &Out,
+                 std::string &Error) const;
+
 private:
   bool loadFileImpl(const std::string &Path, std::vector<std::string> &Stack,
                     std::string &RootName, std::string &Error);
+  /// Parses every module of \p Order into \p FE with seeded scopes
+  /// (shared by link() and spineText()).
+  bool parseClosure(Frontend &FE, const std::vector<std::string> &Order,
+                    std::map<std::string, const Term *> &Asts,
+                    std::string &Error) const;
   /// Resolves `import Name;` appearing in \p ImporterDir.  Empty on
   /// failure, with the searched directories listed in \p Error.
   std::string resolveImport(const std::string &Name,

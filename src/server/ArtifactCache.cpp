@@ -1,0 +1,65 @@
+//===- server/ArtifactCache.cpp - Shared content-hash artifact cache ------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/ArtifactCache.h"
+#include "modules/Interface.h"
+#include "support/Stats.h"
+
+using namespace fg;
+using namespace fg::server;
+
+ArtifactPtr ArtifactCache::get(uint64_t Key) const {
+  static std::atomic<uint64_t> &Hits =
+      stats::Statistics::global().counter("server.artifact_cache.hits");
+  static std::atomic<uint64_t> &Misses =
+      stats::Statistics::global().counter("server.artifact_cache.misses");
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  ++Hits;
+  return It->second;
+}
+
+void ArtifactCache::put(uint64_t Key, ArtifactPtr A) {
+  static std::atomic<uint64_t> &Evictions =
+      stats::Statistics::global().counter("server.artifact_cache.evictions");
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Map.emplace(Key, std::move(A)).second)
+    return; // First writer won; identical artifact by construction.
+  InsertionOrder.push_back(Key);
+  while (Map.size() > MaxEntries) {
+    Map.erase(InsertionOrder.front());
+    InsertionOrder.pop_front();
+    ++Evictions;
+  }
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map.clear();
+  InsertionOrder.clear();
+}
+
+size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}
+
+uint64_t ArtifactCache::key(std::string_view Kind, std::string_view Payload,
+                            uint64_t Salt) {
+  uint64_t H = modules::fnv1a64(Kind);
+  // Separator byte: key("ab","c") must differ from key("a","bc").
+  H = modules::fnv1a64(std::string_view("\0", 1), H);
+  H = modules::fnv1a64(Payload, H);
+  char SaltBytes[8];
+  for (int I = 0; I < 8; ++I)
+    SaltBytes[I] = static_cast<char>((Salt >> (8 * I)) & 0xff);
+  return modules::fnv1a64(std::string_view(SaltBytes, 8), H);
+}

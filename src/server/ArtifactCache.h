@@ -1,0 +1,101 @@
+//===- server/ArtifactCache.h - Shared content-hash artifact cache -*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon-wide artifact cache: immutable compilation artifacts
+/// keyed by a content hash, shared by every concurrent session.
+///
+/// Keys use the same FNV-1a 64 content-hash discipline the module
+/// system introduced for `.fgi` interfaces (modules/Interface.h): the
+/// hash covers a kind tag (so `check` and `dump-bytecode` artifacts of
+/// the same source never collide), the full source text, and — for
+/// multi-file inputs — the whole import cone via
+/// ModuleLoader::contentHash.  Two sessions submitting byte-identical
+/// programs therefore share one artifact; any edit anywhere in the
+/// dependency cone changes the key and misses.
+///
+/// Values are shared_ptr<const Artifact>: plain strings, immutable
+/// after insertion, so a hit is a mutex-protected map lookup plus a
+/// refcount bump — no compilation state (Frontend arenas, interned
+/// types) ever crosses a session boundary.  That is what keeps
+/// per-session isolation trivial: sessions share *results*, never
+/// compiler internals.
+///
+/// The cache is bounded (default 4096 artifacts) with FIFO eviction —
+/// a long-lived daemon must not grow without bound; FIFO is enough
+/// because artifacts are cheap to rebuild and the working set of a
+/// check-heavy client (editor, CI) is recent by construction.
+///
+/// Observability: `server.artifact_cache.hits` / `.misses` (hit_rate
+/// derived at emission), `server.artifact_cache.evictions`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SERVER_ARTIFACTCACHE_H
+#define FG_SERVER_ARTIFACTCACHE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace fg {
+namespace server {
+
+/// One immutable compilation artifact.  Which fields are populated
+/// depends on the request kind that produced it (Kind tag in the key).
+struct Artifact {
+  bool Success = false;
+  std::string Type;        ///< Rendered F_G type (check/run/type).
+  std::string Diagnostics; ///< Rendered diagnostics when !Success.
+  std::string Value;       ///< Rendered result value (run).
+  std::string Bytecode;    ///< Disassembly (dump-bytecode).
+  std::string Error;       ///< Runtime error (run; deterministic too).
+};
+
+using ArtifactPtr = std::shared_ptr<const Artifact>;
+
+/// Thread-safe bounded map from content hash to artifact.
+class ArtifactCache {
+public:
+  explicit ArtifactCache(size_t MaxEntries = 4096)
+      : MaxEntries(MaxEntries ? MaxEntries : 1) {}
+
+  /// The artifact for \p Key, or null on a miss.  Counts
+  /// server.artifact_cache.{hits,misses}.
+  ArtifactPtr get(uint64_t Key) const;
+
+  /// Inserts \p A under \p Key (first writer wins on a race; the
+  /// artifacts are byte-identical by construction since the key covers
+  /// all inputs).  Evicts FIFO past the capacity bound.
+  void put(uint64_t Key, ArtifactPtr A);
+
+  /// Drops every entry (bench cold-cache runs and tests).
+  void clear();
+
+  size_t size() const;
+
+  /// Content-hash helper: FNV-1a 64 over a kind tag plus the payload,
+  /// matching the `.fgi` hash discipline.  \p Salt folds in anything
+  /// else that affects the artifact (option bits, import-cone hash).
+  static uint64_t key(std::string_view Kind, std::string_view Payload,
+                      uint64_t Salt = 0);
+
+private:
+  mutable std::mutex Mu;
+  size_t MaxEntries;
+  std::unordered_map<uint64_t, ArtifactPtr> Map;
+  std::deque<uint64_t> InsertionOrder;
+};
+
+} // namespace server
+} // namespace fg
+
+#endif // FG_SERVER_ARTIFACTCACHE_H

@@ -1,0 +1,238 @@
+//===- server/Protocol.cpp - The fgcd wire protocol -----------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/Json.h"
+#include "support/Stats.h"
+
+using namespace fg;
+using namespace fg::server;
+
+namespace {
+
+Json errorReply(const Json &Id, const std::string &Code,
+                const std::string &Message) {
+  stats::Statistics::global().add("server.errors." + Code);
+  Json Error = Json::object();
+  Error.set("code", Json::string(Code));
+  Error.set("message", Json::string(Message));
+  Json Reply = Json::object();
+  Reply.set("id", Id);
+  Reply.set("ok", Json::boolean(false));
+  Reply.set("error", std::move(Error));
+  return Reply;
+}
+
+Json okReply(const Json &Id, Json Result) {
+  Json Reply = Json::object();
+  Reply.set("id", Id);
+  Reply.set("ok", Json::boolean(true));
+  Reply.set("result", std::move(Result));
+  return Reply;
+}
+
+/// Renders a session Outcome as a result object.  Fields are omitted
+/// when empty; `success`/`cached` are always present.
+Json resultOf(const Outcome &O) {
+  Json R = Json::object();
+  R.set("success", Json::boolean(O.Success));
+  R.set("cached", Json::boolean(O.Cached));
+  if (!O.Type.empty())
+    R.set("type", Json::string(O.Type));
+  if (!O.Value.empty())
+    R.set("value", Json::string(O.Value));
+  if (!O.Bytecode.empty())
+    R.set("bytecode", Json::string(O.Bytecode));
+  if (!O.Diagnostics.empty())
+    R.set("diagnostics", Json::string(O.Diagnostics));
+  if (!O.Error.empty())
+    R.set("error", Json::string(O.Error));
+  if (O.IsDecl) {
+    R.set("decl", Json::boolean(true));
+    R.set("kind", Json::string(O.DeclKind));
+    if (!O.DeclName.empty())
+      R.set("name", Json::string(O.DeclName));
+  }
+  return R;
+}
+
+} // namespace
+
+Protocol::Reply Protocol::handleLine(const std::string &Line) {
+  static std::atomic<uint64_t> &Requests =
+      stats::Statistics::global().counter("server.requests");
+  ++Requests;
+  stats::ScopedTimer Timer("server.request");
+
+  Reply Out;
+  Json Request;
+  std::string ParseError;
+  if (!Json::parse(Line, Request, ParseError)) {
+    Out.Line = errorReply(Json::null(), "parse_error",
+                          "request is not valid JSON: " + ParseError)
+                   .write();
+    return Out;
+  }
+  if (!Request.isObject()) {
+    Out.Line =
+        errorReply(Json::null(), "invalid_request", "request must be a "
+                                                    "JSON object")
+            .write();
+    return Out;
+  }
+  Json Id = Request.find("id") ? *Request.find("id") : Json::null();
+  const Json *Method = Request.find("method");
+  if (!Method || !Method->isString()) {
+    Out.Line = errorReply(Id, "invalid_request",
+                          "request needs a string `method` member")
+                   .write();
+    return Out;
+  }
+  const std::string &M = Method->asString();
+  stats::Statistics::global().add("server.requests." + M);
+  Json Empty = Json::object();
+  const Json *ParamsPtr = Request.find("params");
+  if (ParamsPtr && !ParamsPtr->isObject()) {
+    Out.Line =
+        errorReply(Id, "invalid_request", "`params` must be an object")
+            .write();
+    return Out;
+  }
+  const Json &Params = ParamsPtr ? *ParamsPtr : Empty;
+
+  auto requireString = [&](const char *Key, std::string &Value) {
+    const Json *V = Params.find(Key);
+    if (!V || !V->isString())
+      return false;
+    Value = V->asString();
+    return true;
+  };
+
+  if (M == "version") {
+    Json R = Json::object();
+    R.set("protocol", Json::number(static_cast<int64_t>(ProtocolVersion)));
+    R.set("server", Json::string("fgcd"));
+    Out.Line = okReply(Id, std::move(R)).write();
+    return Out;
+  }
+
+  if (M == "check" || M == "run" || M == "dump-bytecode") {
+    std::string Source, Path;
+    bool HasSource = requireString("source", Source);
+    bool HasPath = requireString("path", Path);
+    if (HasSource == HasPath) { // Neither or both.
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`" + M + "` needs exactly one of `source` or "
+                                      "`path`")
+                     .write();
+      return Out;
+    }
+    std::string Name = Params.stringOr("name", HasPath ? Path : "<" + M + ">");
+    if (M == "check") {
+      Outcome O = HasPath ? S.checkPath(Path) : S.check(Source, Name);
+      Out.Line = okReply(Id, resultOf(O)).write();
+      return Out;
+    }
+    if (M == "dump-bytecode") {
+      if (HasPath) {
+        Out.Line = errorReply(Id, "invalid_params",
+                              "`dump-bytecode` takes `source` only")
+                       .write();
+        return Out;
+      }
+      Out.Line = okReply(Id, resultOf(S.dumpBytecode(Source, Name))).write();
+      return Out;
+    }
+    // run
+    std::string Backend = Params.stringOr("backend", "tree");
+    if (Backend != "tree" && Backend != "closure" && Backend != "vm") {
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`backend` must be tree, closure, or vm")
+                     .write();
+      return Out;
+    }
+    int64_t OptLevel = Params.intOr("optimize", 0);
+    if (OptLevel < 0 || OptLevel > 2) {
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`optimize` must be 0, 1, or 2")
+                     .write();
+      return Out;
+    }
+    Outcome O = S.run(Source, Name, Backend, static_cast<int>(OptLevel),
+                      HasPath ? Path : "");
+    Out.Line = okReply(Id, resultOf(O)).write();
+    return Out;
+  }
+
+  if (M == "type") {
+    std::string Expr;
+    if (!requireString("expr", Expr)) {
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`type` needs a string `expr` parameter")
+                     .write();
+      return Out;
+    }
+    Out.Line = okReply(Id, resultOf(S.typeOf(Expr))).write();
+    return Out;
+  }
+
+  if (M == "eval") {
+    std::string Input;
+    if (!requireString("input", Input)) {
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`eval` needs a string `input` parameter")
+                     .write();
+      return Out;
+    }
+    Out.Line = okReply(Id, resultOf(S.eval(Input))).write();
+    return Out;
+  }
+
+  if (M == "load") {
+    std::string Path;
+    if (!requireString("path", Path)) {
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`load` needs a string `path` parameter")
+                     .write();
+      return Out;
+    }
+    Out.Line = okReply(Id, resultOf(S.load(Path))).write();
+    return Out;
+  }
+
+  if (M == "reset") {
+    S.reset();
+    Json R = Json::object();
+    R.set("success", Json::boolean(true));
+    Out.Line = okReply(Id, std::move(R)).write();
+    return Out;
+  }
+
+  if (M == "stats") {
+    Json Counters = Json::object();
+    for (const auto &[Name, Value] : stats::Statistics::global().counters())
+      Counters.set(Name, Json::number(static_cast<int64_t>(Value)));
+    Json R = Json::object();
+    R.set("counters", std::move(Counters));
+    R.set("cache_entries",
+          Json::number(static_cast<int64_t>(S.cache().size())));
+    Out.Line = okReply(Id, std::move(R)).write();
+    return Out;
+  }
+
+  if (M == "shutdown") {
+    Json R = Json::object();
+    R.set("success", Json::boolean(true));
+    Out.Line = okReply(Id, std::move(R)).write();
+    Out.Shutdown = true;
+    return Out;
+  }
+
+  Out.Line =
+      errorReply(Id, "unknown_method", "unknown method `" + M + "`").write();
+  return Out;
+}

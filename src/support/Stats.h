@@ -41,6 +41,13 @@
 /// `<prefix>.hit_rate`.  That is how `--stats` reports the model-cache
 /// hit rate without the checker having to do division on the hot path.
 ///
+/// The registry is process-wide, so long-lived processes report too:
+/// the `fgcd` daemon counts requests, sessions, protocol errors, and
+/// artifact-cache traffic under `server.*` (the `stats` protocol
+/// request and `fgcd --stats` both read this registry), with
+/// `server.artifact_cache.{hits,misses}` getting the same derived
+/// hit_rate treatment as the checker caches.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef FG_SUPPORT_STATS_H

@@ -1,0 +1,519 @@
+//===- tests/ServerTest.cpp - fgcd server subsystem -----------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+//
+// The compiler-server subsystem end to end:
+//
+//   * the self-contained JSON reader/writer (server/Json.h);
+//   * the bounded shared artifact cache and its content-hash keys;
+//   * the wire protocol over serveStream — every method, the error
+//     codes, and the compile-failure-is-a-result rule (docs/PROTOCOL.md
+//     is the spec these tests pin);
+//   * session isolation: concurrent sessions share artifacts but never
+//     declaration scopes;
+//   * the real Unix-socket daemon under 16 concurrent client threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "modules/Loader.h"
+#include "server/Json.h"
+#include "server/Protocol.h"
+#include "server/Server.h"
+#include "server/Session.h"
+#include "support/Stats.h"
+#include "syntax/Frontend.h"
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace fg;
+using namespace fg::server;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+Json parseOk(const std::string &Text) {
+  Json V;
+  std::string Error;
+  EXPECT_TRUE(Json::parse(Text, V, Error)) << Text << ": " << Error;
+  return V;
+}
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_EQ(parseOk("true").asBool(), true);
+  EXPECT_EQ(parseOk("false").asBool(), false);
+  EXPECT_EQ(parseOk("42").asInt(), 42);
+  EXPECT_EQ(parseOk("-7").asInt(), -7);
+  EXPECT_DOUBLE_EQ(parseOk("2.5").asDouble(), 2.5);
+  EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+  EXPECT_EQ(Json::number(int64_t(42)).write(), "42");
+  EXPECT_EQ(Json::string("hi").write(), "\"hi\"");
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\n\\t\\\"b\\\\\"").asString(), "a\n\t\"b\\");
+  // \u escapes decode to UTF-8.
+  EXPECT_EQ(parseOk("\"\\u0041\"").asString(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").asString(), "\xc3\xa9");
+  // Control characters are re-escaped on output.
+  EXPECT_EQ(Json::string("a\nb").write(), "\"a\\nb\"");
+  EXPECT_EQ(Json::string(std::string("\x01", 1)).write(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, NestedStructuresRoundTrip) {
+  const char *Text =
+      "{\"id\":1,\"params\":{\"xs\":[1,2,3],\"flag\":true,\"s\":\"v\"}}";
+  Json V = parseOk(Text);
+  ASSERT_TRUE(V.isObject());
+  EXPECT_EQ(V.find("id")->asInt(), 1);
+  const Json *Params = V.find("params");
+  ASSERT_NE(Params, nullptr);
+  EXPECT_EQ(Params->find("xs")->elements().size(), 3u);
+  EXPECT_EQ(Params->find("xs")->elements()[2].asInt(), 3);
+  EXPECT_TRUE(Params->find("flag")->asBool());
+  // Re-serialize and re-parse: stable.
+  Json V2 = parseOk(V.write());
+  EXPECT_EQ(V2.write(), V.write());
+}
+
+TEST(JsonTest, MalformedInputsAreRejected) {
+  Json V;
+  std::string Error;
+  EXPECT_FALSE(Json::parse("", V, Error));
+  EXPECT_FALSE(Json::parse("{", V, Error));
+  EXPECT_FALSE(Json::parse("[1,]", V, Error));
+  EXPECT_FALSE(Json::parse("{\"a\":}", V, Error));
+  EXPECT_FALSE(Json::parse("\"unterminated", V, Error));
+  EXPECT_FALSE(Json::parse("nul", V, Error));
+  EXPECT_FALSE(Json::parse("1 2", V, Error)) << "trailing garbage";
+  EXPECT_FALSE(Json::parse("{\"a\":1} x", V, Error)) << "trailing garbage";
+}
+
+//===----------------------------------------------------------------------===//
+// ArtifactCache
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCacheTest, PutGetAndKinds) {
+  ArtifactCache C(16);
+  auto A = std::make_shared<Artifact>();
+  A->Success = true;
+  A->Type = "int";
+  uint64_t K1 = ArtifactCache::key("check:v1", "iadd(1,2)");
+  uint64_t K2 = ArtifactCache::key("bytecode:v1", "iadd(1,2)");
+  EXPECT_NE(K1, K2) << "kind tag must separate artifact spaces";
+  EXPECT_NE(K1, ArtifactCache::key("check:v1", "iadd(1,3)"));
+  EXPECT_NE(K1, ArtifactCache::key("check:v1", "iadd(1,2)", 1))
+      << "salt must affect the key";
+  EXPECT_EQ(C.get(K1), nullptr);
+  C.put(K1, A);
+  ASSERT_NE(C.get(K1), nullptr);
+  EXPECT_EQ(C.get(K1)->Type, "int");
+  EXPECT_EQ(C.get(K2), nullptr);
+}
+
+TEST(ArtifactCacheTest, BoundedFifoEviction) {
+  ArtifactCache C(4);
+  for (uint64_t I = 0; I < 8; ++I)
+    C.put(I, std::make_shared<Artifact>());
+  EXPECT_EQ(C.size(), 4u);
+  // The oldest four are gone, the newest four remain.
+  for (uint64_t I = 0; I < 4; ++I)
+    EXPECT_EQ(C.get(I), nullptr) << I;
+  for (uint64_t I = 4; I < 8; ++I)
+    EXPECT_NE(C.get(I), nullptr) << I;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol over serveStream
+//===----------------------------------------------------------------------===//
+
+/// Feeds request lines to a fresh session and parses each reply line.
+std::vector<Json> roundTrip(const std::vector<std::string> &Requests,
+                            bool *Shutdown = nullptr) {
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session S(Cache);
+  std::stringstream In, Out;
+  for (const std::string &R : Requests)
+    In << R << "\n";
+  bool SD = serveStream(S, In, Out);
+  if (Shutdown)
+    *Shutdown = SD;
+  std::vector<Json> Replies;
+  std::string Line;
+  while (std::getline(Out, Line))
+    Replies.push_back(parseOk(Line));
+  EXPECT_EQ(Replies.size(), Requests.size());
+  return Replies;
+}
+
+const Json &resultOf(const Json &Reply) {
+  EXPECT_TRUE(Reply.find("ok") && Reply.find("ok")->asBool())
+      << Reply.write();
+  const Json *R = Reply.find("result");
+  EXPECT_NE(R, nullptr);
+  return *R;
+}
+
+std::string errorCode(const Json &Reply) {
+  EXPECT_TRUE(Reply.find("ok") && !Reply.find("ok")->asBool())
+      << Reply.write();
+  const Json *E = Reply.find("error");
+  if (!E || !E->find("code"))
+    return "";
+  return E->find("code")->asString();
+}
+
+TEST(ProtocolTest, VersionHandshake) {
+  std::vector<Json> R = roundTrip({"{\"id\":1,\"method\":\"version\"}"});
+  EXPECT_EQ(resultOf(R[0]).find("protocol")->asInt(), ProtocolVersion);
+  EXPECT_EQ(R[0].find("id")->asInt(), 1);
+}
+
+TEST(ProtocolTest, CheckReportsTypeAndCacheHit) {
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"check\",\"params\":{\"source\":\"iadd(1,2)\"}}",
+      "{\"id\":2,\"method\":\"check\",\"params\":{\"source\":\"iadd(1,2)\"}}",
+  });
+  EXPECT_TRUE(resultOf(R[0]).find("success")->asBool());
+  EXPECT_EQ(resultOf(R[0]).find("type")->asString(), "int");
+  EXPECT_FALSE(resultOf(R[0]).find("cached")->asBool());
+  EXPECT_TRUE(resultOf(R[1]).find("cached")->asBool())
+      << "byte-identical re-check must hit the artifact cache";
+  EXPECT_EQ(resultOf(R[1]).find("type")->asString(), "int");
+}
+
+TEST(ProtocolTest, CompileFailureIsAResultNotAProtocolError) {
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"check\",\"params\":"
+      "{\"source\":\"iadd(true,2)\"}}",
+  });
+  const Json &Res = resultOf(R[0]); // ok:true even though it failed.
+  EXPECT_FALSE(Res.find("success")->asBool());
+  EXPECT_NE(Res.find("diagnostics")->asString().find("error"),
+            std::string::npos);
+}
+
+TEST(ProtocolTest, RunEvaluatesOnEachBackend) {
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"run\",\"params\":{\"source\":\"iadd(1,2)\"}}",
+      "{\"id\":2,\"method\":\"run\",\"params\":"
+      "{\"source\":\"iadd(1,2)\",\"backend\":\"vm\"}}",
+      "{\"id\":3,\"method\":\"run\",\"params\":"
+      "{\"source\":\"iadd(1,2)\",\"backend\":\"closure\"}}",
+      "{\"id\":4,\"method\":\"run\",\"params\":"
+      "{\"source\":\"iadd(1,2)\",\"optimize\":2}}",
+  });
+  for (const Json &Reply : R) {
+    EXPECT_TRUE(resultOf(Reply).find("success")->asBool()) << Reply.write();
+    EXPECT_EQ(resultOf(Reply).find("value")->asString(), "3")
+        << Reply.write();
+  }
+  // Different backends are distinct cache entries: none of these were
+  // served from another backend's artifact.
+  EXPECT_FALSE(resultOf(R[1]).find("cached")->asBool());
+  EXPECT_FALSE(resultOf(R[3]).find("cached")->asBool());
+}
+
+TEST(ProtocolTest, TypeAndEvalShareTheSessionScope) {
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"eval\",\"params\":{\"input\":\"let x = 7\"}}",
+      "{\"id\":2,\"method\":\"eval\",\"params\":{\"input\":\"iadd(x,1)\"}}",
+      "{\"id\":3,\"method\":\"type\",\"params\":{\"expr\":\"x\"}}",
+      "{\"id\":4,\"method\":\"reset\"}",
+      "{\"id\":5,\"method\":\"type\",\"params\":{\"expr\":\"x\"}}",
+  });
+  EXPECT_TRUE(resultOf(R[0]).find("decl")->asBool());
+  EXPECT_EQ(resultOf(R[0]).find("kind")->asString(), "let");
+  EXPECT_EQ(resultOf(R[0]).find("name")->asString(), "x");
+  EXPECT_EQ(resultOf(R[1]).find("value")->asString(), "8");
+  EXPECT_EQ(resultOf(R[2]).find("type")->asString(), "int");
+  EXPECT_TRUE(resultOf(R[3]).find("success")->asBool());
+  EXPECT_FALSE(resultOf(R[4]).find("success")->asBool())
+      << "reset must drop the scope";
+}
+
+TEST(ProtocolTest, DumpBytecodeDisassembles) {
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"dump-bytecode\",\"params\":"
+      "{\"source\":\"iadd(1,2)\"}}",
+  });
+  const std::string &BC = resultOf(R[0]).find("bytecode")->asString();
+  EXPECT_NE(BC.find("proto 0"), std::string::npos) << BC;
+  EXPECT_NE(BC.find("iadd"), std::string::npos) << BC;
+}
+
+TEST(ProtocolTest, ErrorCodes) {
+  std::vector<Json> R = roundTrip({
+      "this is not json",
+      "[1,2,3]",
+      "{\"id\":1}",
+      "{\"id\":2,\"method\":\"frobnicate\"}",
+      "{\"id\":3,\"method\":\"check\"}",
+      "{\"id\":4,\"method\":\"check\",\"params\":"
+      "{\"source\":\"1\",\"path\":\"x.fg\"}}",
+      "{\"id\":5,\"method\":\"type\",\"params\":{}}",
+      "{\"id\":6,\"method\":\"run\",\"params\":"
+      "{\"source\":\"1\",\"backend\":\"jit\"}}",
+      "{\"id\":7,\"method\":\"run\",\"params\":"
+      "{\"source\":\"1\",\"optimize\":3}}",
+  });
+  EXPECT_EQ(errorCode(R[0]), "parse_error");
+  EXPECT_TRUE(R[0].find("id")->isNull());
+  EXPECT_EQ(errorCode(R[1]), "invalid_request");
+  EXPECT_EQ(errorCode(R[2]), "invalid_request");
+  EXPECT_EQ(errorCode(R[3]), "unknown_method");
+  EXPECT_EQ(errorCode(R[4]), "invalid_params") << "source xor path";
+  EXPECT_EQ(errorCode(R[5]), "invalid_params") << "both source and path";
+  EXPECT_EQ(errorCode(R[6]), "invalid_params") << "missing expr";
+  EXPECT_EQ(errorCode(R[7]), "invalid_params") << "bad backend";
+  EXPECT_EQ(errorCode(R[8]), "invalid_params") << "bad optimize level";
+  // Error replies echo the request id.
+  EXPECT_EQ(R[3].find("id")->asInt(), 2);
+}
+
+TEST(ProtocolTest, ShutdownEndsTheStream) {
+  bool Shutdown = false;
+  std::vector<Json> R = roundTrip(
+      {"{\"id\":1,\"method\":\"shutdown\"}"}, &Shutdown);
+  EXPECT_TRUE(Shutdown);
+  EXPECT_TRUE(resultOf(R[0]).find("success")->asBool());
+}
+
+TEST(ProtocolTest, StatsExposesCacheCounters) {
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"check\",\"params\":{\"source\":\"iadd(1,2)\"}}",
+      "{\"id\":2,\"method\":\"check\",\"params\":{\"source\":\"iadd(1,2)\"}}",
+      "{\"id\":3,\"method\":\"stats\"}",
+  });
+  const Json &Res = resultOf(R[2]);
+  const Json *Counters = Res.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("server.artifact_cache.hits"), nullptr);
+  EXPECT_GE(Counters->find("server.artifact_cache.hits")->asInt(), 1);
+  EXPECT_GE(Res.find("cache_entries")->asInt(), 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Session isolation and sharing
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, SessionsShareArtifactsButNotScopes) {
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session A(Cache), B(Cache);
+  // A's declarations are invisible to B.
+  EXPECT_TRUE(A.eval("let x = 1").Success);
+  EXPECT_FALSE(B.typeOf("x").Success);
+  EXPECT_TRUE(B.eval("let x = 2").Success);
+  EXPECT_EQ(A.eval("x").Value, "1");
+  EXPECT_EQ(B.eval("x").Value, "2");
+  // But byte-identical checks hit across sessions.
+  EXPECT_FALSE(A.check("iadd(3,4)").Cached);
+  EXPECT_TRUE(B.check("iadd(3,4)").Cached);
+}
+
+TEST(SessionTest, ModelRedefinitionIsInnermostWins) {
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session S(Cache);
+  EXPECT_TRUE(
+      S.eval("concept Id<t> { v : t; }").Success);
+  EXPECT_TRUE(S.eval("model Id<int> { v = 1; }").Success);
+  EXPECT_EQ(S.eval("Id<int>.v").Value, "1");
+  // Re-declaring the model nests a new innermost scope.
+  EXPECT_TRUE(S.eval("model Id<int> { v = 2; }").Success);
+  EXPECT_EQ(S.eval("Id<int>.v").Value, "2");
+}
+
+TEST(SessionTest, FailedDeclarationDoesNotPolluteTheScope) {
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session S(Cache);
+  Outcome Bad = S.eval("let y = iadd(true, 1)");
+  EXPECT_FALSE(Bad.Success);
+  EXPECT_TRUE(S.decls().empty());
+  EXPECT_TRUE(S.eval("iadd(1, 1)").Success)
+      << "scope must still be usable after a rejected declaration";
+}
+
+//===----------------------------------------------------------------------===//
+// Module content hashes (cache keys for path requests)
+//===----------------------------------------------------------------------===//
+
+struct TempDir {
+  std::filesystem::path Path;
+  TempDir() {
+    Path = std::filesystem::temp_directory_path() /
+           ("fgservertest-" + std::to_string(::getpid()));
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+  std::string write(const std::string &Name, const std::string &Text) {
+    std::string P = (Path / Name).string();
+    std::ofstream(P) << Text;
+    return P;
+  }
+};
+
+TEST(ContentHashTest, CoversTheWholeImportCone) {
+  TempDir Dir;
+  Dir.write("dep.fg", "module dep;\nlet base = 10 in 0\n");
+  std::string Main =
+      Dir.write("main.fg", "module main;\nimport dep;\niadd(base, 1)\n");
+
+  modules::ModuleLoader::Options LO;
+  modules::ModuleLoader L1(LO);
+  std::string Root, Error;
+  ASSERT_TRUE(L1.loadFile(Main, Root, Error)) << Error;
+  uint64_t H1 = L1.contentHash(Root);
+  ASSERT_NE(H1, 0u);
+
+  // Reloading identical sources gives the identical hash.
+  modules::ModuleLoader L2(LO);
+  ASSERT_TRUE(L2.loadFile(Main, Root, Error)) << Error;
+  EXPECT_EQ(L2.contentHash(Root), H1);
+
+  // Editing the *dependency* changes the root's hash.
+  Dir.write("dep.fg", "module dep;\nlet base = 11 in 0\n");
+  modules::ModuleLoader L3(LO);
+  ASSERT_TRUE(L3.loadFile(Main, Root, Error)) << Error;
+  EXPECT_NE(L3.contentHash(Root), H1);
+}
+
+TEST(SessionTest, CheckPathCachesOnTheImportCone) {
+  TempDir Dir;
+  Dir.write("dep.fg", "module dep;\nlet base = 10 in 0\n");
+  std::string Main =
+      Dir.write("main.fg", "module main;\nimport dep;\niadd(base, 1)\n");
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session S(Cache);
+  Outcome First = S.checkPath(Main);
+  EXPECT_TRUE(First.Success) << First.Error << First.Diagnostics;
+  EXPECT_EQ(First.Type, "int");
+  EXPECT_FALSE(First.Cached);
+  EXPECT_TRUE(S.checkPath(Main).Cached);
+  // Editing the dependency invalidates the path artifact.
+  Dir.write("dep.fg", "module dep;\nlet base = true in 0\n");
+  Outcome Third = S.checkPath(Main);
+  EXPECT_FALSE(Third.Cached);
+  EXPECT_FALSE(Third.Success);
+}
+
+//===----------------------------------------------------------------------===//
+// The real daemon: 16 concurrent socket sessions
+//===----------------------------------------------------------------------===//
+
+/// A minimal blocking protocol client for one Unix-socket connection.
+struct Client {
+  int Fd = -1;
+  std::string Buffer;
+
+  bool connect(const std::string &Path) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+    return ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)) == 0;
+  }
+
+  Json request(const std::string &Line) {
+    std::string Out = Line + "\n";
+    size_t Sent = 0;
+    while (Sent < Out.size()) {
+      ssize_t W = ::send(Fd, Out.data() + Sent, Out.size() - Sent, 0);
+      if (W <= 0)
+        return Json::null();
+      Sent += static_cast<size_t>(W);
+    }
+    char Chunk[4096];
+    size_t NL;
+    while ((NL = Buffer.find('\n')) == std::string::npos) {
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return Json::null();
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+    std::string Reply = Buffer.substr(0, NL);
+    Buffer.erase(0, NL + 1);
+    Json V;
+    std::string Error;
+    EXPECT_TRUE(Json::parse(Reply, V, Error)) << Reply;
+    return V;
+  }
+
+  ~Client() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+};
+
+TEST(ServerTest, SixteenConcurrentIsolatedSessions) {
+  ServerOptions Opts;
+  Opts.SocketPath = (std::filesystem::temp_directory_path() /
+                     ("fgcd-test-" + std::to_string(::getpid()) + ".sock"))
+                        .string();
+  Opts.Threads = 16;
+  Server Srv(Opts);
+  std::string Error;
+  ASSERT_TRUE(Srv.start(Error)) << Error;
+
+  constexpr int N = 16;
+  std::vector<std::string> Values(N);
+  std::vector<int> CacheHits(N, 0);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Client C;
+      ASSERT_TRUE(C.connect(Srv.socketPath()));
+      // Each session declares its own `x`; isolation means each later
+      // reads back its *own* value, never a neighbor's.
+      Json D = C.request("{\"id\":1,\"method\":\"eval\",\"params\":"
+                         "{\"input\":\"let x = " +
+                         std::to_string(I) + "\"}}");
+      ASSERT_TRUE(D.find("ok") && D.find("ok")->asBool()) << D.write();
+      Json E = C.request("{\"id\":2,\"method\":\"eval\",\"params\":"
+                         "{\"input\":\"iadd(x, 100)\"}}");
+      const Json *R = E.find("result");
+      ASSERT_NE(R, nullptr) << E.write();
+      Values[I] = R->find("value") ? R->find("value")->asString() : "";
+      // Identical source from every session: at most one compile.
+      Json K = C.request("{\"id\":3,\"method\":\"check\",\"params\":"
+                         "{\"source\":\"iadd(40,2)\"}}");
+      const Json *KR = K.find("result");
+      ASSERT_NE(KR, nullptr) << K.write();
+      CacheHits[I] = KR->find("cached")->asBool() ? 1 : 0;
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Values[I], std::to_string(I + 100)) << "session " << I;
+  int Hits = 0;
+  for (int H : CacheHits)
+    Hits += H;
+  EXPECT_GE(Hits, N - 1)
+      << "all but the first identical check must hit the shared cache";
+
+  // A shutdown request stops the daemon; wait() returns.
+  Client C;
+  ASSERT_TRUE(C.connect(Srv.socketPath()));
+  Json R = C.request("{\"id\":9,\"method\":\"shutdown\"}");
+  EXPECT_TRUE(R.find("ok") && R.find("ok")->asBool()) << R.write();
+  Srv.wait();
+  Srv.stop();
+}
+
+} // namespace
