@@ -12,28 +12,39 @@
 using namespace fg;
 using namespace fg::server;
 
-ArtifactPtr ArtifactCache::get(uint64_t Key) const {
+ArtifactPtr ArtifactCache::get(const CacheKey &Key) const {
   static std::atomic<uint64_t> &Hits =
       stats::Statistics::global().counter("server.artifact_cache.hits");
   static std::atomic<uint64_t> &Misses =
       stats::Statistics::global().counter("server.artifact_cache.misses");
+  static std::atomic<uint64_t> &Collisions =
+      stats::Statistics::global().counter("server.artifact_cache.collisions");
   std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Map.find(Key);
+  auto It = Map.find(Key.Hash);
   if (It == Map.end()) {
     ++Misses;
     return nullptr;
   }
+  const CacheKey &Stored = It->second.Key;
+  if (Stored.Kind != Key.Kind || Stored.Payload != Key.Payload ||
+      Stored.Salt != Key.Salt) {
+    // FNV-1a hash collision with a different program: serving the
+    // stored artifact would be wrong, so treat it as a miss.
+    ++Collisions;
+    ++Misses;
+    return nullptr;
+  }
   ++Hits;
-  return It->second;
+  return It->second.A;
 }
 
-void ArtifactCache::put(uint64_t Key, ArtifactPtr A) {
+void ArtifactCache::put(const CacheKey &Key, ArtifactPtr A) {
   static std::atomic<uint64_t> &Evictions =
       stats::Statistics::global().counter("server.artifact_cache.evictions");
   std::lock_guard<std::mutex> Lock(Mu);
-  if (!Map.emplace(Key, std::move(A)).second)
-    return; // First writer won; identical artifact by construction.
-  InsertionOrder.push_back(Key);
+  if (!Map.emplace(Key.Hash, Entry{Key, std::move(A)}).second)
+    return; // First writer won (or a colliding key lost the slot).
+  InsertionOrder.push_back(Key.Hash);
   while (Map.size() > MaxEntries) {
     Map.erase(InsertionOrder.front());
     InsertionOrder.pop_front();
@@ -52,7 +63,7 @@ size_t ArtifactCache::size() const {
   return Map.size();
 }
 
-uint64_t ArtifactCache::key(std::string_view Kind, std::string_view Payload,
+CacheKey ArtifactCache::key(std::string_view Kind, std::string_view Payload,
                             uint64_t Salt) {
   uint64_t H = modules::fnv1a64(Kind);
   // Separator byte: key("ab","c") must differ from key("a","bc").
@@ -61,5 +72,6 @@ uint64_t ArtifactCache::key(std::string_view Kind, std::string_view Payload,
   char SaltBytes[8];
   for (int I = 0; I < 8; ++I)
     SaltBytes[I] = static_cast<char>((Salt >> (8 * I)) & 0xff);
-  return modules::fnv1a64(std::string_view(SaltBytes, 8), H);
+  H = modules::fnv1a64(std::string_view(SaltBytes, 8), H);
+  return CacheKey{std::string(Kind), std::string(Payload), Salt, H};
 }

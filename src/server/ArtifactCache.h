@@ -16,7 +16,10 @@
 /// multi-file inputs — the whole import cone via
 /// ModuleLoader::contentHash.  Two sessions submitting byte-identical
 /// programs therefore share one artifact; any edit anywhere in the
-/// dependency cone changes the key and misses.
+/// dependency cone changes the key and misses.  Because FNV-1a is not
+/// collision-resistant, each entry also stores the kind/payload/salt
+/// it was keyed from and get() verifies them on a hash hit, so a
+/// collision is a miss rather than a wrong answer.
 ///
 /// Values are shared_ptr<const Artifact>: plain strings, immutable
 /// after insertion, so a hit is a mutex-protected map lookup plus a
@@ -62,20 +65,33 @@ struct Artifact {
 
 using ArtifactPtr = std::shared_ptr<const Artifact>;
 
+/// A cache key: the FNV-1a 64 hash used for the map lookup plus the
+/// exact inputs it was derived from.  FNV-1a is fast but not
+/// collision-resistant, so a hit is only trusted after get() compares
+/// Kind/Payload/Salt byte-for-byte — a hash collision degrades to a
+/// miss instead of silently serving another program's artifact.
+struct CacheKey {
+  std::string Kind;
+  std::string Payload;
+  uint64_t Salt = 0;
+  uint64_t Hash = 0;
+};
+
 /// Thread-safe bounded map from content hash to artifact.
 class ArtifactCache {
 public:
   explicit ArtifactCache(size_t MaxEntries = 4096)
       : MaxEntries(MaxEntries ? MaxEntries : 1) {}
 
-  /// The artifact for \p Key, or null on a miss.  Counts
-  /// server.artifact_cache.{hits,misses}.
-  ArtifactPtr get(uint64_t Key) const;
+  /// The artifact for \p Key, or null on a miss.  An entry whose hash
+  /// matches but whose kind/payload/salt differ (FNV collision) counts
+  /// as a miss.  Counts server.artifact_cache.{hits,misses}.
+  ArtifactPtr get(const CacheKey &Key) const;
 
   /// Inserts \p A under \p Key (first writer wins on a race; the
   /// artifacts are byte-identical by construction since the key covers
   /// all inputs).  Evicts FIFO past the capacity bound.
-  void put(uint64_t Key, ArtifactPtr A);
+  void put(const CacheKey &Key, ArtifactPtr A);
 
   /// Drops every entry (bench cold-cache runs and tests).
   void clear();
@@ -85,13 +101,19 @@ public:
   /// Content-hash helper: FNV-1a 64 over a kind tag plus the payload,
   /// matching the `.fgi` hash discipline.  \p Salt folds in anything
   /// else that affects the artifact (option bits, import-cone hash).
-  static uint64_t key(std::string_view Kind, std::string_view Payload,
+  /// The returned key keeps the inputs for get()'s collision check.
+  static CacheKey key(std::string_view Kind, std::string_view Payload,
                       uint64_t Salt = 0);
 
 private:
+  struct Entry {
+    CacheKey Key;
+    ArtifactPtr A;
+  };
+
   mutable std::mutex Mu;
   size_t MaxEntries;
-  std::unordered_map<uint64_t, ArtifactPtr> Map;
+  std::unordered_map<uint64_t, Entry> Map;
   std::deque<uint64_t> InsertionOrder;
 };
 

@@ -114,6 +114,13 @@ struct JsonParser {
   const char *Pos;
   const char *End;
   std::string Error;
+  int Depth = 0;
+
+  /// parseValue recurses once per container nesting level, and request
+  /// lines come from untrusted clients: without a bound, a line of a
+  /// few thousand `[`s overflows the stack and kills the daemon.  The
+  /// protocol nests a handful of levels deep; 128 is generous.
+  static constexpr int MaxDepth = 128;
 
   void skipWs() {
     while (Pos != End && (*Pos == ' ' || *Pos == '\t' || *Pos == '\n' ||
@@ -243,11 +250,15 @@ struct JsonParser {
       return true;
     }
     case '[': {
+      if (Depth >= MaxDepth)
+        return fail("nesting too deep");
+      ++Depth;
       ++Pos;
       Out = Json::array();
       skipWs();
       if (Pos != End && *Pos == ']') {
         ++Pos;
+        --Depth;
         return true;
       }
       while (true) {
@@ -264,17 +275,22 @@ struct JsonParser {
         }
         if (*Pos == ']') {
           ++Pos;
+          --Depth;
           return true;
         }
         return fail("expected `,` or `]`");
       }
     }
     case '{': {
+      if (Depth >= MaxDepth)
+        return fail("nesting too deep");
+      ++Depth;
       ++Pos;
       Out = Json::object();
       skipWs();
       if (Pos != End && *Pos == '}') {
         ++Pos;
+        --Depth;
         return true;
       }
       while (true) {
@@ -299,6 +315,7 @@ struct JsonParser {
         }
         if (*Pos == '}') {
           ++Pos;
+          --Depth;
           return true;
         }
         return fail("expected `,` or `}`");

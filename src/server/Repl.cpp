@@ -142,15 +142,19 @@ int fg::server::runRepl(Session &S, std::istream &In, std::ostream &Out,
         continue;
       }
       Outcome O = S.load(Arg);
-      if (O.Success)
-        Out << "loaded " << Arg;
-      if (O.Success && !O.Value.empty())
-        Out << " — value " << O.Value
-            << (O.Type.empty() ? "" : " : " + O.Type);
-      if (O.Success)
-        Out << "\n";
-      else
+      if (!O.Success) {
         printOutcome(Out, O);
+      } else {
+        Out << "loaded " << Arg;
+        if (!O.Value.empty())
+          Out << " — value " << O.Value
+              << (O.Type.empty() ? "" : " : " + O.Type);
+        Out << "\n";
+        // The declarations loaded, but evaluating the file hit a
+        // runtime error — surface it instead of swallowing it.
+        if (!O.Error.empty())
+          Out << "error: " << O.Error << "\n";
+      }
     } else if (Cmd == ":decls") {
       if (S.decls().empty())
         Out << "(no declarations)\n";

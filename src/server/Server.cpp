@@ -84,8 +84,13 @@ bool Server::start(std::string &Error) {
 }
 
 void Server::acceptLoop() {
+  // Snapshot the fd: start() wrote it before spawning this thread, and
+  // requestStop() only shutdown()s it — stop() close()s it after this
+  // thread has been joined, so the descriptor number cannot be recycled
+  // for an unrelated file while accept() still references it.
+  const int AcceptFd = ListenFd;
   while (true) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    int Fd = ::accept(AcceptFd, nullptr, nullptr);
     if (Fd < 0) {
       if (errno == EINTR)
         continue;
@@ -173,11 +178,10 @@ void Server::requestStop() {
       ::close(Fd);
     Pending.clear();
     if (ListenFd >= 0) {
-      // shutdown() unblocks the acceptor's accept(); close alone does
-      // not reliably on Linux.
+      // shutdown() unblocks the acceptor's accept() without releasing
+      // the descriptor number; stop() close()s it only after joining
+      // the acceptor, so accept() can never race a recycled fd.
       ::shutdown(ListenFd, SHUT_RDWR);
-      ::close(ListenFd);
-      ListenFd = -1;
     }
   }
   StopCv.notify_all();
@@ -196,6 +200,10 @@ void Server::stop() {
   if (Acceptor.joinable())
     Acceptor.join();
   std::lock_guard<std::mutex> Lock(Mu);
+  if (ListenFd >= 0) {
+    ::close(ListenFd); // Safe now: the acceptor has been joined.
+    ListenFd = -1;
+  }
   if (Started)
     ::unlink(Opts.SocketPath.c_str());
   Started = false;

@@ -11,6 +11,7 @@
 #include "syntax/Frontend.h"
 #include "vm/Disasm.h"
 #include "vm/Emit.h"
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -115,7 +116,7 @@ Session::Session(std::shared_ptr<ArtifactCache> Cache, Options Opts)
 
 Outcome Session::checkImpl(const std::string &Source, const std::string &Name,
                            const std::string &KeyKind, uint64_t Salt) {
-  uint64_t Key = ArtifactCache::key(KeyKind, Source, Salt);
+  CacheKey Key = ArtifactCache::key(KeyKind, Source, Salt);
   if (ArtifactPtr A = Cache->get(Key))
     return fromArtifact(A);
 
@@ -150,7 +151,7 @@ Outcome Session::checkPath(const std::string &Path) {
 
   // The key covers the entire import cone, so an edit in any imported
   // file invalidates — the same discipline as `.fgi` interface hashes.
-  uint64_t Key =
+  CacheKey Key =
       ArtifactCache::key("check-path:v1", "", Loader.contentHash(Root));
   if (ArtifactPtr A = Cache->get(Key))
     return fromArtifact(A);
@@ -180,7 +181,7 @@ Outcome Session::run(const std::string &Source, const std::string &Name,
                      const std::string &Path) {
   Outcome O;
   std::string KeyKind = "run:v1:" + Backend + ":" + std::to_string(OptLevel);
-  uint64_t Key;
+  CacheKey Key;
   modules::ModuleLoader::Options LO;
   LO.SearchPaths = Opts.SearchPaths;
   modules::ModuleLoader Loader(LO);
@@ -253,7 +254,7 @@ Outcome Session::dumpBytecode(const std::string &Source,
   Outcome Rejected;
   if (!rejectModuleHeader(Source, Name, Rejected))
     return Rejected;
-  uint64_t Key = ArtifactCache::key("bytecode:v1", Source, 0);
+  CacheKey Key = ArtifactCache::key("bytecode:v1", Source, 0);
   if (ArtifactPtr A = Cache->get(Key))
     return fromArtifact(A);
 
@@ -378,7 +379,10 @@ Outcome Session::load(const std::string &Path) {
   Frontend SpineFE;
   std::string Spine;
   if (!Loader.spineText(SpineFE, Root, Spine, Error)) {
-    O.Error = Error;
+    // The file ran but its declarations could not be spliced into the
+    // session scope — report failure, not a half-loaded success.
+    O.Success = false;
+    O.Error = "declarations not loaded: " + Error;
     return O;
   }
   Decls += Spine;

@@ -102,6 +102,25 @@ TEST(JsonTest, MalformedInputsAreRejected) {
   EXPECT_FALSE(Json::parse("{\"a\":1} x", V, Error)) << "trailing garbage";
 }
 
+TEST(JsonTest, NestingDepthIsBounded) {
+  // A deeply nested container from an untrusted client must be
+  // rejected gracefully, not recurse until the stack overflows.
+  Json V;
+  std::string Error;
+  std::string Bomb(100000, '[');
+  EXPECT_FALSE(Json::parse(Bomb, V, Error));
+  EXPECT_EQ(Error, "nesting too deep");
+
+  std::string ObjBomb;
+  for (int I = 0; I < 100000; ++I)
+    ObjBomb += "{\"a\":";
+  EXPECT_FALSE(Json::parse(ObjBomb, V, Error));
+
+  // Reasonable nesting still parses.
+  std::string Ok = std::string(64, '[') + "1" + std::string(64, ']');
+  EXPECT_TRUE(Json::parse(Ok, V, Error)) << Error;
+}
+
 //===----------------------------------------------------------------------===//
 // ArtifactCache
 //===----------------------------------------------------------------------===//
@@ -111,11 +130,11 @@ TEST(ArtifactCacheTest, PutGetAndKinds) {
   auto A = std::make_shared<Artifact>();
   A->Success = true;
   A->Type = "int";
-  uint64_t K1 = ArtifactCache::key("check:v1", "iadd(1,2)");
-  uint64_t K2 = ArtifactCache::key("bytecode:v1", "iadd(1,2)");
-  EXPECT_NE(K1, K2) << "kind tag must separate artifact spaces";
-  EXPECT_NE(K1, ArtifactCache::key("check:v1", "iadd(1,3)"));
-  EXPECT_NE(K1, ArtifactCache::key("check:v1", "iadd(1,2)", 1))
+  CacheKey K1 = ArtifactCache::key("check:v1", "iadd(1,2)");
+  CacheKey K2 = ArtifactCache::key("bytecode:v1", "iadd(1,2)");
+  EXPECT_NE(K1.Hash, K2.Hash) << "kind tag must separate artifact spaces";
+  EXPECT_NE(K1.Hash, ArtifactCache::key("check:v1", "iadd(1,3)").Hash);
+  EXPECT_NE(K1.Hash, ArtifactCache::key("check:v1", "iadd(1,2)", 1).Hash)
       << "salt must affect the key";
   EXPECT_EQ(C.get(K1), nullptr);
   C.put(K1, A);
@@ -124,16 +143,39 @@ TEST(ArtifactCacheTest, PutGetAndKinds) {
   EXPECT_EQ(C.get(K2), nullptr);
 }
 
+TEST(ArtifactCacheTest, HashCollisionIsAMissNotAWrongAnswer) {
+  // FNV-1a is not collision-resistant: simulate two different programs
+  // whose keys land on the same 64-bit hash.  The second program must
+  // see a miss, never the first program's artifact.
+  ArtifactCache C(16);
+  CacheKey Real = ArtifactCache::key("check:v1", "iadd(1,2)");
+  CacheKey Colliding = ArtifactCache::key("check:v1", "iadd(9,9)");
+  Colliding.Hash = Real.Hash;
+  auto A = std::make_shared<Artifact>();
+  A->Type = "int";
+  C.put(Real, A);
+  EXPECT_NE(C.get(Real), nullptr);
+  EXPECT_EQ(C.get(Colliding), nullptr)
+      << "a colliding key must not serve another program's artifact";
+  // The colliding program also cannot overwrite the original entry.
+  C.put(Colliding, std::make_shared<Artifact>());
+  ASSERT_NE(C.get(Real), nullptr);
+  EXPECT_EQ(C.get(Real)->Type, "int");
+}
+
 TEST(ArtifactCacheTest, BoundedFifoEviction) {
   ArtifactCache C(4);
+  auto Key = [](uint64_t I) {
+    return ArtifactCache::key("t", std::to_string(I));
+  };
   for (uint64_t I = 0; I < 8; ++I)
-    C.put(I, std::make_shared<Artifact>());
+    C.put(Key(I), std::make_shared<Artifact>());
   EXPECT_EQ(C.size(), 4u);
   // The oldest four are gone, the newest four remain.
   for (uint64_t I = 0; I < 4; ++I)
-    EXPECT_EQ(C.get(I), nullptr) << I;
+    EXPECT_EQ(C.get(Key(I)), nullptr) << I;
   for (uint64_t I = 4; I < 8; ++I)
-    EXPECT_NE(C.get(I), nullptr) << I;
+    EXPECT_NE(C.get(Key(I)), nullptr) << I;
 }
 
 //===----------------------------------------------------------------------===//
