@@ -1,0 +1,156 @@
+//===- aot/Aot.cpp - The AOT execution backend ----------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "aot/Aot.h"
+#include "aot/CppEmitter.h"
+#include "support/Stats.h"
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+using namespace fg;
+using namespace fg::aot;
+using namespace fg::sf;
+
+namespace {
+
+/// Recursive-descent parser over valueToString's grammar:
+///   value := int | "true" | "false" | "(" [value {", " value}] ")"
+///          | "[" [value {", " value}] "]" | "<closure>" | "<tyclosure>"
+///          | "<fix>" | "<builtin " name ">"
+struct ValueParser {
+  const std::string &S;
+  size_t Pos = 0;
+
+  explicit ValueParser(const std::string &S) : S(S) {}
+
+  bool literal(const char *Lit) {
+    size_t N = std::strlen(Lit);
+    if (S.compare(Pos, N, Lit) != 0)
+      return false;
+    Pos += N;
+    return true;
+  }
+
+  ValuePtr parse() {
+    if (Pos >= S.size())
+      return nullptr;
+    char C = S[Pos];
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C))) {
+      size_t End = Pos + 1;
+      while (End < S.size() && std::isdigit(static_cast<unsigned char>(S[End])))
+        ++End;
+      if (C == '-' && End == Pos + 1)
+        return nullptr;
+      int64_t V = std::strtoll(S.substr(Pos, End - Pos).c_str(), nullptr, 10);
+      Pos = End;
+      return std::make_shared<IntValue>(V);
+    }
+    if (literal("true"))
+      return std::make_shared<BoolValue>(true);
+    if (literal("false"))
+      return std::make_shared<BoolValue>(false);
+    if (literal("<closure>"))
+      return std::make_shared<ClosureValue>(nullptr, nullptr);
+    if (literal("<tyclosure>"))
+      return std::make_shared<TyClosureValue>(nullptr, nullptr);
+    if (literal("<fix>"))
+      return std::make_shared<FixValue>(nullptr);
+    if (literal("<builtin ")) {
+      size_t End = S.find('>', Pos);
+      if (End == std::string::npos)
+        return nullptr;
+      std::string Name = S.substr(Pos, End - Pos);
+      Pos = End + 1;
+      return std::make_shared<BuiltinValue>(Name, 0, nullptr);
+    }
+    if (C == '(') {
+      ++Pos;
+      std::vector<ValuePtr> Elems;
+      if (!elements(')', Elems))
+        return nullptr;
+      return std::make_shared<TupleValue>(std::move(Elems));
+    }
+    if (C == '[') {
+      ++Pos;
+      std::vector<ValuePtr> Elems;
+      if (!elements(']', Elems))
+        return nullptr;
+      return makeListValue(Elems);
+    }
+    return nullptr;
+  }
+
+  bool elements(char Close, std::vector<ValuePtr> &Out) {
+    if (Pos < S.size() && S[Pos] == Close) {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      ValuePtr V = parse();
+      if (!V)
+        return false;
+      Out.push_back(std::move(V));
+      if (Pos < S.size() && S[Pos] == Close) {
+        ++Pos;
+        return true;
+      }
+      if (!literal(", "))
+        return false;
+    }
+  }
+};
+
+} // namespace
+
+ValuePtr fg::aot::parseRenderedValue(const std::string &Text) {
+  ValueParser P(Text);
+  ValuePtr V = P.parse();
+  if (!V || P.Pos != Text.size())
+    return nullptr;
+  return V;
+}
+
+EvalResult fg::aot::runAot(const sf::Term *T, const Prelude &Prelude,
+                           const EvalOptions &Opts,
+                           const ToolchainOptions &Toolchain, RunInfo *Info,
+                           long long Repeat) {
+  static std::atomic<uint64_t> &Runs =
+      stats::Statistics::global().counter("aot.runs");
+  ++Runs;
+
+  EmittedProgram Emitted;
+  {
+    stats::ScopedTimer Timer("aot.emit");
+    Emitted = emitCpp(T, Prelude);
+  }
+  if (!Emitted.ok())
+    return EvalResult::failure(Emitted.Error);
+
+  CompiledProgram Compiled = compileProgram(Emitted.Cpp, Toolchain);
+  if (!Compiled.ok())
+    return EvalResult::failure(Compiled.Error);
+  if (Info) {
+    Info->CacheHit = Compiled.CacheHit;
+    Info->ExePath = Compiled.ExePath;
+    Info->CppPath = Compiled.CppPath;
+  }
+
+  RunOutput Out = runProgram(Compiled.ExePath, Opts, Repeat);
+  if (!Out.ok())
+    return EvalResult::failure(Out.Error);
+  if (Info)
+    Info->BenchNsPerRun = Out.BenchNsPerRun;
+  if (Out.ExitCode == 3)
+    return EvalResult::failure(Out.Payload);
+
+  ValuePtr V = parseRenderedValue(Out.Payload);
+  if (!V)
+    return EvalResult::failure("aot: unparseable program output `" +
+                               Out.Payload + "`");
+  return EvalResult::success(std::move(V));
+}

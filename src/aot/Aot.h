@@ -1,0 +1,57 @@
+//===- aot/Aot.h - The AOT execution backend --------------------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--backend=aot` entry point: emit a System F term as C++
+/// (CppEmitter.h), compile it with the host toolchain under the build
+/// cache (Toolchain.h), run the binary, and fold the outcome back into
+/// the sf::EvalResult shape every other engine produces — the printed
+/// value is parsed back into an sf::Value so the differential harness
+/// compares all backends through the identical valueToString path, and
+/// a runtime abort comes back as the byte-identical error string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_AOT_AOT_H
+#define FG_AOT_AOT_H
+
+#include "aot/Toolchain.h"
+#include "systemf/Builtins.h"
+#include "systemf/Eval.h"
+#include "systemf/Value.h"
+
+namespace fg {
+namespace aot {
+
+/// Side-channel facts about one AOT run, for the driver's stats and
+/// the bench harness.
+struct RunInfo {
+  bool CacheHit = false;
+  std::string ExePath;
+  std::string CppPath;         ///< Non-empty when KeepCpp was set.
+  long long BenchNsPerRun = 0; ///< Filled when Repeat > 1.
+};
+
+/// Runs \p T ahead-of-time: emit, compile (cached), execute.  Returns
+/// success with the (re-parsed) value, or failure carrying either the
+/// program's runtime diagnostic or an `aot:`-prefixed toolchain error.
+/// \p Repeat > 1 re-runs the program in-process for benchmarking.
+sf::EvalResult runAot(const sf::Term *T, const sf::Prelude &Prelude,
+                      const sf::EvalOptions &Opts = sf::EvalOptions(),
+                      const ToolchainOptions &Toolchain = ToolchainOptions(),
+                      RunInfo *Info = nullptr, long long Repeat = 1);
+
+/// Parses a value rendered by sf::valueToString (which the generated
+/// runtime reproduces byte-for-byte) back into an sf::Value.
+/// Function-like values come back as placeholder closures that render
+/// identically.  Returns null when \p Text is not a rendered value.
+sf::ValuePtr parseRenderedValue(const std::string &Text);
+
+} // namespace aot
+} // namespace fg
+
+#endif // FG_AOT_AOT_H

@@ -1,0 +1,1116 @@
+//===- aot/CppEmitter.cpp - System F to C++17 transpiler ------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+//
+// Code shape
+// ----------
+// The program becomes one translation unit:
+//
+//   * a runtime prelude (tagged Value with an intrusive refcount, the
+//     builtin table, apply/tyapply, a renderer matching valueToString),
+//   * one `static Value fn_K(State&, const Value *C, const Value *A)`
+//     per Abs/TyAbs, where C is the flat capture array and A the
+//     argument array — closures are just {fn pointer, captures},
+//   * `static Value fg_program(State&)` for the top-level term,
+//   * a main() that parses --max-steps/--max-depth/--repeat, runs the
+//     program on a 512 MiB pthread stack (deep recursion), prints the
+//     rendered value (exit 0) or the runtime error (exit 3).
+//
+// Statements are emitted flat — one fresh `Value vN` per term node at
+// the current block level, never a nested block per node — because a
+// 1000-deep cons chain would otherwise exceed the host compiler's
+// bracket-nesting limit.  Only `if` opens blocks (its branches really
+// are conditionally evaluated).
+//
+// Abort parity
+// ------------
+// Every emitted node charges the evaluator's budget exactly like
+// Eval.cpp does: S.enter() is `++Steps > MaxSteps` then
+// `Depth >= MaxDepth` then ++Depth, paired with S.leave() where the
+// tree-walker's DepthGuard would release.  applyImpl's frame lives in
+// rt::apply; a TyApp instantiation evaluates the body inside the TyApp
+// frame with no apply frame, exactly like the tree-walker.  This is
+// what makes abort diagnostics byte-identical across backends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aot/CppEmitter.h"
+#include <cstdint>
+#include <set>
+#include <vector>
+
+using namespace fg;
+using namespace fg::sf;
+
+const unsigned fg::aot::EmitterVersion = 1;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Builtin table
+//===----------------------------------------------------------------------===//
+
+// Must match the `Builtins[]` table in the runtime prelude below, in
+// order.  `nil` is not here: it is a plain value, not a function.
+struct BuiltinRow {
+  const char *Name;
+  unsigned Arity;
+};
+const BuiltinRow BuiltinTable[] = {
+    {"iadd", 2}, {"isub", 2}, {"imult", 2}, {"imax", 2}, {"imin", 2},
+    {"idiv", 2}, {"imod", 2}, {"ineg", 1},  {"ieq", 2},  {"ine", 2},
+    {"ilt", 2},  {"ile", 2},  {"igt", 2},   {"ige", 2},  {"band", 2},
+    {"bor", 2},  {"bnot", 1}, {"cons", 2},  {"car", 1},  {"cdr", 1},
+    {"null", 1},
+};
+const int NumBuiltins = sizeof(BuiltinTable) / sizeof(BuiltinTable[0]);
+
+int builtinId(const std::string &Name) {
+  for (int I = 0; I != NumBuiltins; ++I)
+    if (Name == BuiltinTable[I].Name)
+      return I;
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime prelude
+//===----------------------------------------------------------------------===//
+
+const char *RuntimePrelude = R"RT(#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+#include <pthread.h>
+
+namespace rt {
+
+// Abort diagnostics; byte-identical to systemf/Eval.cpp.
+struct Err {
+  std::string Msg;
+};
+
+[[noreturn]] inline void fail(std::string Msg) { throw Err{std::move(Msg)}; }
+
+// The evaluation budget.  enter()/leave() mirror the tree-walking
+// evaluator's per-frame accounting (steps check, then depth check,
+// then DepthGuard) so limit aborts happen at the identical frame.
+struct State {
+  uint64_t Steps = 0;
+  uint64_t Depth = 0;
+  uint64_t MaxSteps = 200000000ULL;
+  uint64_t MaxDepth = 100000ULL;
+
+  void enter() {
+    if (++Steps > MaxSteps)
+      fail("evaluation exceeded the step limit");
+    if (Depth >= MaxDepth)
+      fail("evaluation exceeded the recursion depth limit");
+    ++Depth;
+  }
+  void leave() { --Depth; }
+};
+
+enum class Tag : uint8_t {
+  Int,
+  Bool,
+  Builtin,
+  Nil,
+  // Heap tags from here on.
+  Tuple,
+  Cons,
+  Closure,
+  TyClosure,
+  Fix,
+};
+
+inline bool heapTag(Tag T) { return T >= Tag::Tuple; }
+
+// Values are immutable and acyclic, so a plain (non-atomic: the
+// program is single-threaded) intrusive refcount reclaims everything —
+// the generated binaries run leak-clean under LeakSanitizer in CI.
+struct Obj {
+  uint32_t RC = 1;
+};
+
+struct State;
+struct Value;
+using Fn = Value (*)(State &, const Value *C, const Value *A);
+
+void destroy(Obj *O, Tag T);
+
+struct Value {
+  Tag T = Tag::Int;
+  int64_t I = 0;
+  Obj *O = nullptr;
+
+  Value() = default;
+  Value(const Value &V) : T(V.T), I(V.I), O(V.O) {
+    if (O && heapTag(T))
+      ++O->RC;
+  }
+  Value(Value &&V) noexcept : T(V.T), I(V.I), O(V.O) {
+    V.T = Tag::Int;
+    V.O = nullptr;
+  }
+  ~Value() { release(); }
+  Value &operator=(const Value &V) {
+    Value Tmp(V);
+    return *this = static_cast<Value &&>(Tmp);
+  }
+  Value &operator=(Value &&V) noexcept {
+    if (this != &V) {
+      release();
+      T = V.T;
+      I = V.I;
+      O = V.O;
+      V.T = Tag::Int;
+      V.O = nullptr;
+    }
+    return *this;
+  }
+  void release() {
+    if (O && heapTag(T) && --O->RC == 0)
+      destroy(O, T);
+    O = nullptr;
+  }
+};
+
+struct TupleO : Obj {
+  std::vector<Value> Elems;
+};
+struct ConsO : Obj {
+  Value Head;
+  Value Tail; // Nil or Cons.
+};
+struct ClosureO : Obj {
+  Fn F;
+  uint32_t Arity;
+  std::vector<Value> Caps;
+};
+struct TyClosureO : Obj {
+  Fn F;
+  std::vector<Value> Caps;
+};
+struct FixO : Obj {
+  Value F;
+};
+
+// Long lists must not be reclaimed by recursive ~Value chaining; walk
+// the spine iteratively, neutralizing each tail before deleting.
+inline void destroyList(ConsO *C) {
+  while (C) {
+    ConsO *Next = nullptr;
+    if (C->Tail.T == Tag::Cons) {
+      if (--C->Tail.O->RC == 0)
+        Next = static_cast<ConsO *>(C->Tail.O);
+      C->Tail.T = Tag::Int;
+      C->Tail.O = nullptr;
+    }
+    delete C;
+    C = Next;
+  }
+}
+
+inline void destroy(Obj *O, Tag T) {
+  switch (T) {
+  case Tag::Tuple:
+    delete static_cast<TupleO *>(O);
+    break;
+  case Tag::Cons:
+    destroyList(static_cast<ConsO *>(O));
+    break;
+  case Tag::Closure:
+    delete static_cast<ClosureO *>(O);
+    break;
+  case Tag::TyClosure:
+    delete static_cast<TyClosureO *>(O);
+    break;
+  case Tag::Fix:
+    delete static_cast<FixO *>(O);
+    break;
+  default:
+    break;
+  }
+}
+
+inline Value mkInt(int64_t I) {
+  Value V;
+  V.T = Tag::Int;
+  V.I = I;
+  return V;
+}
+inline Value mkBool(bool B) {
+  Value V;
+  V.T = Tag::Bool;
+  V.I = B;
+  return V;
+}
+inline Value mkBuiltin(int64_t Id) {
+  Value V;
+  V.T = Tag::Builtin;
+  V.I = Id;
+  return V;
+}
+inline Value mkNil() {
+  Value V;
+  V.T = Tag::Nil;
+  return V;
+}
+inline Value mkHeap(Tag T, Obj *O) {
+  Value V;
+  V.T = T;
+  V.O = O;
+  return V;
+}
+inline Value mkTuple(std::vector<Value> Elems) {
+  TupleO *O = new TupleO;
+  O->Elems = std::move(Elems);
+  return mkHeap(Tag::Tuple, O);
+}
+inline Value mkCons(Value Head, Value Tail) {
+  ConsO *O = new ConsO;
+  O->Head = std::move(Head);
+  O->Tail = std::move(Tail);
+  return mkHeap(Tag::Cons, O);
+}
+inline Value mkClosure(Fn F, uint32_t Arity, std::vector<Value> Caps) {
+  ClosureO *O = new ClosureO;
+  O->F = F;
+  O->Arity = Arity;
+  O->Caps = std::move(Caps);
+  return mkHeap(Tag::Closure, O);
+}
+inline Value mkTyClosure(Fn F, std::vector<Value> Caps) {
+  TyClosureO *O = new TyClosureO;
+  O->F = F;
+  O->Caps = std::move(Caps);
+  return mkHeap(Tag::TyClosure, O);
+}
+inline Value mkFix(Value F) {
+  FixO *O = new FixO;
+  O->F = std::move(F);
+  return mkHeap(Tag::Fix, O);
+}
+
+const char *builtinName(int64_t Id);
+
+// Rendering; byte-identical to sf::valueToString.
+inline std::string render(const Value &V) {
+  switch (V.T) {
+  case Tag::Int:
+    return std::to_string(V.I);
+  case Tag::Bool:
+    return V.I ? "true" : "false";
+  case Tag::Builtin:
+    return std::string("<builtin ") + builtinName(V.I) + ">";
+  case Tag::Nil:
+  case Tag::Cons: {
+    std::string S = "[";
+    const Value *L = &V;
+    bool First = true;
+    while (L->T == Tag::Cons) {
+      const ConsO *C = static_cast<const ConsO *>(L->O);
+      if (!First)
+        S += ", ";
+      First = false;
+      S += render(C->Head);
+      L = &C->Tail;
+    }
+    return S + "]";
+  }
+  case Tag::Tuple: {
+    std::string S = "(";
+    const TupleO *O = static_cast<const TupleO *>(V.O);
+    for (size_t I = 0; I != O->Elems.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += render(O->Elems[I]);
+    }
+    return S + ")";
+  }
+  case Tag::Closure:
+    return "<closure>";
+  case Tag::TyClosure:
+    return "<tyclosure>";
+  case Tag::Fix:
+    return "<fix>";
+  }
+  return "<unknown-value>";
+}
+
+// Builtins; error strings byte-identical to systemf/Builtins.cpp.
+[[noreturn]] inline void wrongKind(const char *Name) {
+  fail(std::string("builtin `") + Name + "` applied to a value of the wrong kind");
+}
+inline bool isList(const Value &V) { return V.T == Tag::Nil || V.T == Tag::Cons; }
+inline bool bothInt(const Value &A, const Value &B) {
+  return A.T == Tag::Int && B.T == Tag::Int;
+}
+inline bool bothBool(const Value &A, const Value &B) {
+  return A.T == Tag::Bool && B.T == Tag::Bool;
+}
+
+inline Value b_iadd(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("iadd");
+  return mkInt((int64_t)((uint64_t)A.I + (uint64_t)B.I));
+}
+inline Value b_isub(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("isub");
+  return mkInt((int64_t)((uint64_t)A.I - (uint64_t)B.I));
+}
+inline Value b_imult(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("imult");
+  return mkInt((int64_t)((uint64_t)A.I * (uint64_t)B.I));
+}
+inline Value b_imax(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("imax");
+  return mkInt(A.I > B.I ? A.I : B.I);
+}
+inline Value b_imin(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("imin");
+  return mkInt(A.I < B.I ? A.I : B.I);
+}
+inline Value b_idiv(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("idiv");
+  if (B.I == 0)
+    fail("division by zero");
+  return mkInt(A.I / B.I);
+}
+inline Value b_imod(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("imod");
+  if (B.I == 0)
+    fail("modulus by zero");
+  return mkInt(A.I % B.I);
+}
+inline Value b_ineg(const Value &A) {
+  if (A.T != Tag::Int)
+    wrongKind("ineg");
+  return mkInt((int64_t)(0 - (uint64_t)A.I));
+}
+inline Value b_ieq(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("ieq");
+  return mkBool(A.I == B.I);
+}
+inline Value b_ine(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("ine");
+  return mkBool(A.I != B.I);
+}
+inline Value b_ilt(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("ilt");
+  return mkBool(A.I < B.I);
+}
+inline Value b_ile(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("ile");
+  return mkBool(A.I <= B.I);
+}
+inline Value b_igt(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("igt");
+  return mkBool(A.I > B.I);
+}
+inline Value b_ige(const Value &A, const Value &B) {
+  if (!bothInt(A, B))
+    wrongKind("ige");
+  return mkBool(A.I >= B.I);
+}
+inline Value b_band(const Value &A, const Value &B) {
+  if (!bothBool(A, B))
+    wrongKind("band");
+  return mkBool(A.I && B.I);
+}
+inline Value b_bor(const Value &A, const Value &B) {
+  if (!bothBool(A, B))
+    wrongKind("bor");
+  return mkBool(A.I || B.I);
+}
+inline Value b_bnot(const Value &A) {
+  if (A.T != Tag::Bool)
+    wrongKind("bnot");
+  return mkBool(!A.I);
+}
+inline Value b_cons(const Value &A, const Value &B) {
+  if (!isList(B))
+    wrongKind("cons");
+  return mkCons(A, B);
+}
+inline Value b_car(const Value &A) {
+  if (!isList(A))
+    wrongKind("car");
+  if (A.T == Tag::Nil)
+    fail("`car` of the empty list");
+  return static_cast<const ConsO *>(A.O)->Head;
+}
+inline Value b_cdr(const Value &A) {
+  if (!isList(A))
+    wrongKind("cdr");
+  if (A.T == Tag::Nil)
+    fail("`cdr` of the empty list");
+  return static_cast<const ConsO *>(A.O)->Tail;
+}
+inline Value b_null(const Value &A) {
+  if (!isList(A))
+    wrongKind("null");
+  return mkBool(A.T == Tag::Nil);
+}
+
+inline Value d_iadd(const Value *A) { return b_iadd(A[0], A[1]); }
+inline Value d_isub(const Value *A) { return b_isub(A[0], A[1]); }
+inline Value d_imult(const Value *A) { return b_imult(A[0], A[1]); }
+inline Value d_imax(const Value *A) { return b_imax(A[0], A[1]); }
+inline Value d_imin(const Value *A) { return b_imin(A[0], A[1]); }
+inline Value d_idiv(const Value *A) { return b_idiv(A[0], A[1]); }
+inline Value d_imod(const Value *A) { return b_imod(A[0], A[1]); }
+inline Value d_ineg(const Value *A) { return b_ineg(A[0]); }
+inline Value d_ieq(const Value *A) { return b_ieq(A[0], A[1]); }
+inline Value d_ine(const Value *A) { return b_ine(A[0], A[1]); }
+inline Value d_ilt(const Value *A) { return b_ilt(A[0], A[1]); }
+inline Value d_ile(const Value *A) { return b_ile(A[0], A[1]); }
+inline Value d_igt(const Value *A) { return b_igt(A[0], A[1]); }
+inline Value d_ige(const Value *A) { return b_ige(A[0], A[1]); }
+inline Value d_band(const Value *A) { return b_band(A[0], A[1]); }
+inline Value d_bor(const Value *A) { return b_bor(A[0], A[1]); }
+inline Value d_bnot(const Value *A) { return b_bnot(A[0]); }
+inline Value d_cons(const Value *A) { return b_cons(A[0], A[1]); }
+inline Value d_car(const Value *A) { return b_car(A[0]); }
+inline Value d_cdr(const Value *A) { return b_cdr(A[0]); }
+inline Value d_null(const Value *A) { return b_null(A[0]); }
+
+struct BuiltinDesc {
+  const char *Name;
+  uint32_t Arity;
+  Value (*F)(const Value *);
+};
+const BuiltinDesc Builtins[] = {
+    {"iadd", 2, d_iadd}, {"isub", 2, d_isub}, {"imult", 2, d_imult},
+    {"imax", 2, d_imax}, {"imin", 2, d_imin}, {"idiv", 2, d_idiv},
+    {"imod", 2, d_imod}, {"ineg", 1, d_ineg}, {"ieq", 2, d_ieq},
+    {"ine", 2, d_ine},   {"ilt", 2, d_ilt},   {"ile", 2, d_ile},
+    {"igt", 2, d_igt},   {"ige", 2, d_ige},   {"band", 2, d_band},
+    {"bor", 2, d_bor},   {"bnot", 1, d_bnot}, {"cons", 2, d_cons},
+    {"car", 1, d_car},   {"cdr", 1, d_cdr},   {"null", 1, d_null},
+};
+
+const char *builtinName(int64_t Id) { return Builtins[Id].Name; }
+
+// applyImpl, with `fix` trampolined: `(fix f)(v...)` unrolls to
+// `(f (fix f))(v...)` in a loop — each unroll holds its applyImpl
+// frame open (like the tree-walker's recursion) but consumes constant
+// native stack, so fix chains cannot overflow independently of the
+// program's own recursion.
+inline Value apply(State &S, Value F, const Value *Args, uint32_t N) {
+  uint64_t Held = 0;
+  while (F.T == Tag::Fix) {
+    S.enter();
+    ++Held;
+    Value Self = F;
+    F = apply(S, static_cast<const FixO *>(Self.O)->F, &Self, 1);
+  }
+  S.enter();
+  Value R;
+  switch (F.T) {
+  case Tag::Closure: {
+    const ClosureO *C = static_cast<const ClosureO *>(F.O);
+    if (C->Arity != N)
+      fail("function called with wrong arity");
+    R = C->F(S, C->Caps.data(), Args);
+    break;
+  }
+  case Tag::Builtin: {
+    const BuiltinDesc &B = Builtins[F.I];
+    if (B.Arity != N)
+      fail(std::string("builtin `") + B.Name + "` called with wrong arity");
+    R = B.F(Args);
+    break;
+  }
+  default:
+    fail("attempt to call a non-function value `" + render(F) + "`");
+  }
+  S.leave();
+  while (Held--)
+    S.leave();
+  return R;
+}
+
+// Type application: instantiating a type abstraction evaluates its
+// body inside the TyApp frame (no apply frame — tree-walker parity);
+// all other values (builtins like `nil`) pass through.
+inline Value tyapply(State &S, const Value &F) {
+  if (F.T == Tag::TyClosure) {
+    const TyClosureO *C = static_cast<const TyClosureO *>(F.O);
+    return C->F(S, C->Caps.data(), nullptr);
+  }
+  return F;
+}
+
+inline Value proj(const Value &V, uint32_t Idx) {
+  if (V.T != Tag::Tuple)
+    fail("`nth` applied to a non-tuple value");
+  const TupleO *O = static_cast<const TupleO *>(V.O);
+  if (Idx >= O->Elems.size())
+    fail("tuple index out of range at runtime");
+  return O->Elems[Idx];
+}
+
+inline bool truth(const Value &V) {
+  if (V.T != Tag::Bool)
+    fail("`if` condition evaluated to a non-boolean");
+  return V.I != 0;
+}
+
+} // namespace rt
+)RT";
+
+// main() and the thread harness; appended after the program functions.
+const char *RuntimeMain = R"RT(
+namespace rt {
+
+struct RunArgs {
+  uint64_t MaxSteps = 200000000ULL;
+  uint64_t MaxDepth = 100000ULL;
+  long long Repeat = 1;
+  int Exit = 0;
+  std::string Out;
+  long long NsPerRun = 0;
+};
+
+static void *runProgram(void *P) {
+  RunArgs *A = static_cast<RunArgs *>(P);
+  try {
+    std::string Rendered;
+    struct timespec T0, T1;
+    clock_gettime(CLOCK_MONOTONIC, &T0);
+    for (long long I = 0; I < A->Repeat; ++I) {
+      State S;
+      S.MaxSteps = A->MaxSteps;
+      S.MaxDepth = A->MaxDepth;
+      Value V = fg_program(S);
+      if (I + 1 == A->Repeat)
+        Rendered = render(V);
+    }
+    clock_gettime(CLOCK_MONOTONIC, &T1);
+    A->NsPerRun = ((T1.tv_sec - T0.tv_sec) * 1000000000LL +
+                   (T1.tv_nsec - T0.tv_nsec)) /
+                  A->Repeat;
+    A->Out = Rendered;
+    A->Exit = 0;
+  } catch (const Err &E) {
+    A->Out = E.Msg;
+    A->Exit = 3;
+  }
+  return nullptr;
+}
+
+} // namespace rt
+
+int main(int argc, char **argv) {
+  rt::RunArgs A;
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (!strncmp(Arg, "--max-steps=", 12))
+      A.MaxSteps = strtoull(Arg + 12, nullptr, 10);
+    else if (!strncmp(Arg, "--max-depth=", 12))
+      A.MaxDepth = strtoull(Arg + 12, nullptr, 10);
+    else if (!strncmp(Arg, "--repeat=", 9))
+      A.Repeat = strtoll(Arg + 9, nullptr, 10);
+    else {
+      fprintf(stderr, "usage: %s [--max-steps=N] [--max-depth=N] [--repeat=N]\n",
+              argv[0]);
+      return 2;
+    }
+  }
+  if (A.Repeat < 1)
+    A.Repeat = 1;
+  // Run on a dedicated 512 MiB stack: deep program recursion (60k+
+  // frames, like the VM supports) must not overflow the default stack.
+  pthread_attr_t Attr;
+  pthread_t Tid;
+  bool Threaded = pthread_attr_init(&Attr) == 0 &&
+                  pthread_attr_setstacksize(&Attr, 512ULL << 20) == 0 &&
+                  pthread_create(&Tid, &Attr, rt::runProgram, &A) == 0;
+  if (Threaded)
+    pthread_join(Tid, nullptr);
+  else
+    rt::runProgram(&A);
+  printf("%s\n", A.Out.c_str());
+  if (A.Exit == 0 && A.Repeat > 1)
+    printf("bench_ns_per_run=%lld\n", A.NsPerRun);
+  return A.Exit;
+}
+)RT";
+
+//===----------------------------------------------------------------------===//
+// Free-variable analysis
+//===----------------------------------------------------------------------===//
+
+/// Appends the free term variables of \p T (in first-use order, for
+/// deterministic emission) to \p Out.
+void collectFreeVars(const Term *T, std::vector<std::string> &Bound,
+                     std::vector<std::string> &Out,
+                     std::set<std::string> &Seen) {
+  switch (T->getKind()) {
+  case TermKind::IntLit:
+  case TermKind::BoolLit:
+    return;
+  case TermKind::Var: {
+    const std::string &Name = cast<VarTerm>(T)->getName();
+    for (size_t I = Bound.size(); I != 0; --I)
+      if (Bound[I - 1] == Name)
+        return;
+    if (Seen.insert(Name).second)
+      Out.push_back(Name);
+    return;
+  }
+  case TermKind::Abs: {
+    const auto *A = cast<AbsTerm>(T);
+    size_t Mark = Bound.size();
+    for (const ParamBinding &P : A->getParams())
+      Bound.push_back(P.Name);
+    collectFreeVars(A->getBody(), Bound, Out, Seen);
+    Bound.resize(Mark);
+    return;
+  }
+  case TermKind::TyAbs:
+    collectFreeVars(cast<TyAbsTerm>(T)->getBody(), Bound, Out, Seen);
+    return;
+  case TermKind::App: {
+    const auto *A = cast<AppTerm>(T);
+    collectFreeVars(A->getFn(), Bound, Out, Seen);
+    for (const Term *Arg : A->getArgs())
+      collectFreeVars(Arg, Bound, Out, Seen);
+    return;
+  }
+  case TermKind::TyApp:
+    collectFreeVars(cast<TyAppTerm>(T)->getFn(), Bound, Out, Seen);
+    return;
+  case TermKind::Let: {
+    const auto *L = cast<LetTerm>(T);
+    collectFreeVars(L->getInit(), Bound, Out, Seen);
+    Bound.push_back(L->getName());
+    collectFreeVars(L->getBody(), Bound, Out, Seen);
+    Bound.pop_back();
+    return;
+  }
+  case TermKind::Tuple:
+    for (const Term *E : cast<TupleTerm>(T)->getElements())
+      collectFreeVars(E, Bound, Out, Seen);
+    return;
+  case TermKind::Nth:
+    collectFreeVars(cast<NthTerm>(T)->getTuple(), Bound, Out, Seen);
+    return;
+  case TermKind::If: {
+    const auto *I = cast<IfTerm>(T);
+    collectFreeVars(I->getCond(), Bound, Out, Seen);
+    collectFreeVars(I->getThen(), Bound, Out, Seen);
+    collectFreeVars(I->getElse(), Bound, Out, Seen);
+    return;
+  }
+  case TermKind::Fix:
+    collectFreeVars(cast<FixTerm>(T)->getOperand(), Bound, Out, Seen);
+    return;
+  }
+}
+
+std::vector<std::string> freeVars(const Term *T) {
+  std::vector<std::string> Bound, Out;
+  std::set<std::string> Seen;
+  collectFreeVars(T, Bound, Out, Seen);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Emitter
+//===----------------------------------------------------------------------===//
+
+class Emitter {
+public:
+  explicit Emitter(const sf::Prelude &P) {
+    for (const auto &E : P.Entries)
+      PreludeNames.insert(E.Name);
+  }
+
+  aot::EmittedProgram emit(const Term *T);
+
+private:
+  /// One function being emitted.  Scope maps a System F name to the
+  /// C++ expression that reads it in this function (`A[i]` argument,
+  /// `C[j]` capture, or a `vN` local); shadowing resolves back-to-front.
+  struct FnCtx {
+    std::vector<std::pair<std::string, std::string>> Scope;
+    std::string Body;
+    std::string Indent = "  ";
+  };
+
+  std::set<std::string> PreludeNames;
+  std::vector<std::string> Funcs; ///< Completed function definitions.
+  unsigned NumFns = 0;
+  unsigned NumVars = 0;
+  std::string Error;
+
+  std::string freshVar() { return "v" + std::to_string(NumVars++); }
+
+  void line(FnCtx &F, const std::string &S) {
+    F.Body += F.Indent + S + "\n";
+  }
+
+  /// The C++ expression for \p Name, or "" if it is not in scope and
+  /// not a lowerable builtin.
+  std::string resolve(const FnCtx &F, const std::string &Name) {
+    for (size_t I = F.Scope.size(); I != 0; --I)
+      if (F.Scope[I - 1].first == Name)
+        return F.Scope[I - 1].second;
+    if (PreludeNames.count(Name)) {
+      if (Name == "nil")
+        return "rt::mkNil()";
+      int Id = builtinId(Name);
+      if (Id >= 0)
+        return "rt::mkBuiltin(" + std::to_string(Id) + ")";
+      Error = "aot: builtin `" + Name + "` has no C++ lowering";
+      return std::string();
+    }
+    Error = "aot: unbound variable `" + Name + "` at emit time";
+    return std::string();
+  }
+
+  /// When \p Fn is an (possibly type-applied) unshadowed builtin
+  /// function reference, returns its id and the number of TyApp
+  /// wrappers; id -1 otherwise.  Such calls lower to a direct C++ call.
+  int directBuiltin(const FnCtx &F, const Term *Fn, unsigned &TyWraps) {
+    TyWraps = 0;
+    while (const auto *TA = dyn_cast<TyAppTerm>(Fn)) {
+      Fn = TA->getFn();
+      ++TyWraps;
+    }
+    const auto *V = dyn_cast<VarTerm>(Fn);
+    if (!V)
+      return -1;
+    for (size_t I = F.Scope.size(); I != 0; --I)
+      if (F.Scope[I - 1].first == V->getName())
+        return -1; // Shadowed: a local, not the builtin.
+    if (!PreludeNames.count(V->getName()))
+      return -1;
+    return builtinId(V->getName());
+  }
+
+  /// Emits \p T into \p F; returns the name of the `Value` local
+  /// holding the result (empty after an error).  Statements are flat:
+  /// the local stays visible for the rest of the enclosing block.
+  std::string emitTerm(const Term *T, FnCtx &F);
+
+  /// Emits a new function for body \p Body with \p Params bound to the
+  /// argument array and \p Caps to the capture array; returns its name.
+  std::string emitFunction(const Term *Body,
+                           const std::vector<std::string> &Params,
+                           const std::vector<std::string> &Caps);
+};
+
+std::string Emitter::emitFunction(const Term *Body,
+                                  const std::vector<std::string> &Params,
+                                  const std::vector<std::string> &Caps) {
+  std::string Name = "fn_" + std::to_string(NumFns++);
+  FnCtx F;
+  for (size_t I = 0; I != Caps.size(); ++I)
+    F.Scope.emplace_back(Caps[I], "C[" + std::to_string(I) + "]");
+  for (size_t I = 0; I != Params.size(); ++I)
+    F.Scope.emplace_back(Params[I], "A[" + std::to_string(I) + "]");
+  std::string R = emitTerm(Body, F);
+  if (!Error.empty())
+    return Name;
+  std::string Def = "static rt::Value " + Name +
+                    "(rt::State &S, const rt::Value *C, const rt::Value *A) "
+                    "{\n  (void)C;\n  (void)A;\n";
+  Def += F.Body;
+  Def += "  return " + R + ";\n}\n";
+  Funcs.push_back(std::move(Def));
+  return Name;
+}
+
+std::string Emitter::emitTerm(const Term *T, FnCtx &F) {
+  if (!Error.empty())
+    return std::string();
+  std::string V = freshVar();
+  switch (T->getKind()) {
+  case TermKind::IntLit: {
+    int64_t I = cast<IntLit>(T)->getValue();
+    std::string Lit = I == INT64_MIN
+                          ? std::string("(-INT64_C(9223372036854775807) - 1)")
+                          : "INT64_C(" + std::to_string(I) + ")";
+    line(F, "S.enter();");
+    line(F, "rt::Value " + V + " = rt::mkInt(" + Lit + ");");
+    line(F, "S.leave();");
+    return V;
+  }
+  case TermKind::BoolLit:
+    line(F, "S.enter();");
+    line(F, "rt::Value " + V + " = rt::mkBool(" +
+                (cast<BoolLit>(T)->getValue() ? "true" : "false") + ");");
+    line(F, "S.leave();");
+    return V;
+
+  case TermKind::Var: {
+    std::string E = resolve(F, cast<VarTerm>(T)->getName());
+    if (!Error.empty())
+      return std::string();
+    line(F, "S.enter();");
+    line(F, "rt::Value " + V + " = " + E + ";");
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::Abs: {
+    const auto *A = cast<AbsTerm>(T);
+    std::vector<std::string> Params;
+    for (const ParamBinding &P : A->getParams())
+      Params.push_back(P.Name);
+    // Captures: every free variable of the lambda that is bound in the
+    // enclosing scope.  Builtins resolve globally and need no slot.
+    std::vector<std::string> Caps, CapExprs;
+    for (const std::string &FV : freeVars(T)) {
+      for (size_t I = F.Scope.size(); I != 0; --I)
+        if (F.Scope[I - 1].first == FV) {
+          Caps.push_back(FV);
+          CapExprs.push_back(F.Scope[I - 1].second);
+          break;
+        }
+    }
+    std::string Fn = emitFunction(A->getBody(), Params, Caps);
+    if (!Error.empty())
+      return std::string();
+    std::string CapList;
+    for (const std::string &E : CapExprs)
+      CapList += (CapList.empty() ? "" : ", ") + E;
+    line(F, "S.enter();");
+    line(F, "rt::Value " + V + " = rt::mkClosure(&" + Fn + ", " +
+                std::to_string(Params.size()) + ", std::vector<rt::Value>{" +
+                CapList + "});");
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::TyAbs: {
+    const auto *A = cast<TyAbsTerm>(T);
+    std::vector<std::string> Caps, CapExprs;
+    for (const std::string &FV : freeVars(T)) {
+      for (size_t I = F.Scope.size(); I != 0; --I)
+        if (F.Scope[I - 1].first == FV) {
+          Caps.push_back(FV);
+          CapExprs.push_back(F.Scope[I - 1].second);
+          break;
+        }
+    }
+    std::string Fn = emitFunction(A->getBody(), {}, Caps);
+    if (!Error.empty())
+      return std::string();
+    std::string CapList;
+    for (const std::string &E : CapExprs)
+      CapList += (CapList.empty() ? "" : ", ") + E;
+    line(F, "S.enter();");
+    line(F, "rt::Value " + V + " = rt::mkTyClosure(&" + Fn +
+                ", std::vector<rt::Value>{" + CapList + "});");
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::App: {
+    const auto *A = cast<AppTerm>(T);
+    unsigned TyWraps = 0;
+    int Direct = directBuiltin(F, A->getFn(), TyWraps);
+    if (Direct >= 0 &&
+        BuiltinTable[Direct].Arity == A->getArgs().size()) {
+      // Statically-resolved builtin: direct call, with the charge
+      // sequence the tree-walker would make (App frame, one frame per
+      // TyApp wrapper, the Var frame, then the applyImpl frame).
+      line(F, "S.enter();");
+      for (unsigned I = 0; I != TyWraps; ++I)
+        line(F, "S.enter();");
+      line(F, "S.enter();");
+      line(F, "S.leave();");
+      for (unsigned I = 0; I != TyWraps; ++I)
+        line(F, "S.leave();");
+      std::vector<std::string> Args;
+      for (const Term *Arg : A->getArgs())
+        Args.push_back(emitTerm(Arg, F));
+      if (!Error.empty())
+        return std::string();
+      std::string ArgList;
+      for (const std::string &Arg : Args)
+        ArgList += (ArgList.empty() ? "" : ", ") + Arg;
+      line(F, "S.enter();");
+      line(F, "rt::Value " + V + " = rt::b_" +
+                  std::string(BuiltinTable[Direct].Name) + "(" + ArgList +
+                  ");");
+      line(F, "S.leave();");
+      line(F, "S.leave();");
+      return V;
+    }
+
+    line(F, "S.enter();");
+    std::string Fn = emitTerm(A->getFn(), F);
+    std::vector<std::string> Args;
+    for (const Term *Arg : A->getArgs())
+      Args.push_back(emitTerm(Arg, F));
+    if (!Error.empty())
+      return std::string();
+    line(F, "rt::Value " + V + ";");
+    if (Args.empty()) {
+      line(F, V + " = rt::apply(S, " + Fn + ", nullptr, 0);");
+    } else {
+      std::string ArgList;
+      for (const std::string &Arg : Args)
+        ArgList += (ArgList.empty() ? "" : ", ") + Arg;
+      line(F, "{");
+      line(F, "  rt::Value Ar[] = {" + ArgList + "};");
+      line(F, "  " + V + " = rt::apply(S, " + Fn + ", Ar, " +
+                  std::to_string(Args.size()) + ");");
+      line(F, "}");
+    }
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::TyApp: {
+    const auto *A = cast<TyAppTerm>(T);
+    line(F, "S.enter();");
+    std::string Fn = emitTerm(A->getFn(), F);
+    if (!Error.empty())
+      return std::string();
+    line(F, "rt::Value " + V + " = rt::tyapply(S, " + Fn + ");");
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::Let: {
+    const auto *L = cast<LetTerm>(T);
+    line(F, "S.enter();");
+    std::string Init = emitTerm(L->getInit(), F);
+    if (!Error.empty())
+      return std::string();
+    F.Scope.emplace_back(L->getName(), Init);
+    std::string Body = emitTerm(L->getBody(), F);
+    F.Scope.pop_back();
+    if (!Error.empty())
+      return std::string();
+    line(F, "S.leave();");
+    return Body;
+  }
+
+  case TermKind::Tuple: {
+    const auto *Tu = cast<TupleTerm>(T);
+    line(F, "S.enter();");
+    std::vector<std::string> Elems;
+    for (const Term *E : Tu->getElements())
+      Elems.push_back(emitTerm(E, F));
+    if (!Error.empty())
+      return std::string();
+    std::string List;
+    for (const std::string &E : Elems)
+      List += (List.empty() ? "" : ", ") + E;
+    line(F, "rt::Value " + V + " = rt::mkTuple(std::vector<rt::Value>{" +
+                List + "});");
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::Nth: {
+    const auto *N = cast<NthTerm>(T);
+    line(F, "S.enter();");
+    std::string Tu = emitTerm(N->getTuple(), F);
+    if (!Error.empty())
+      return std::string();
+    line(F, "rt::Value " + V + " = rt::proj(" + Tu + ", " +
+                std::to_string(N->getIndex()) + ");");
+    line(F, "S.leave();");
+    return V;
+  }
+
+  case TermKind::If: {
+    const auto *I = cast<IfTerm>(T);
+    line(F, "S.enter();");
+    std::string Cond = emitTerm(I->getCond(), F);
+    if (!Error.empty())
+      return std::string();
+    line(F, "rt::Value " + V + ";");
+    line(F, "if (rt::truth(" + Cond + ")) {");
+    std::string Saved = F.Indent;
+    F.Indent += "  ";
+    std::string Then = emitTerm(I->getThen(), F);
+    if (Error.empty())
+      line(F, V + " = " + Then + ";");
+    F.Indent = Saved;
+    line(F, "} else {");
+    F.Indent += "  ";
+    std::string Else = emitTerm(I->getElse(), F);
+    if (Error.empty())
+      line(F, V + " = " + Else + ";");
+    F.Indent = Saved;
+    line(F, "}");
+    line(F, "S.leave();");
+    if (!Error.empty())
+      return std::string();
+    return V;
+  }
+
+  case TermKind::Fix: {
+    const auto *Fx = cast<FixTerm>(T);
+    line(F, "S.enter();");
+    std::string Op = emitTerm(Fx->getOperand(), F);
+    if (!Error.empty())
+      return std::string();
+    line(F, "rt::Value " + V + " = rt::mkFix(" + Op + ");");
+    line(F, "S.leave();");
+    return V;
+  }
+  }
+  Error = "aot: unknown term kind";
+  return std::string();
+}
+
+aot::EmittedProgram Emitter::emit(const Term *T) {
+  FnCtx Main;
+  std::string R = emitTerm(T, Main);
+  aot::EmittedProgram P;
+  if (!Error.empty()) {
+    P.Error = Error;
+    return P;
+  }
+  std::string Out = "// Generated by fgc --backend=aot (emitter version " +
+                    std::to_string(aot::EmitterVersion) + "). Do not edit.\n";
+  Out += RuntimePrelude;
+  Out += "\nnamespace rt {\n\nstatic Value fg_program(State &S);\n";
+  for (unsigned I = 0; I != NumFns; ++I)
+    Out += "static Value fn_" + std::to_string(I) +
+           "(State &S, const Value *C, const Value *A);\n";
+  Out += "\n} // namespace rt\n\nnamespace rt {\n\n";
+  for (const std::string &Def : Funcs)
+    Out += Def + "\n";
+  Out += "static Value fg_program(State &S) {\n";
+  Out += Main.Body;
+  Out += "  return " + R + ";\n}\n\n} // namespace rt\n";
+  Out += RuntimeMain;
+  P.Cpp = std::move(Out);
+  return P;
+}
+
+} // namespace
+
+aot::EmittedProgram fg::aot::emitCpp(const sf::Term *T,
+                                     const sf::Prelude &Prelude) {
+  Emitter E(Prelude);
+  return E.emit(T);
+}

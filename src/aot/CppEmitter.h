@@ -1,0 +1,54 @@
+//===- aot/CppEmitter.h - System F to C++17 transpiler ----------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a (typically `-O2`-specialized) System F term to one
+/// self-contained C++17 translation unit: a tagged-value runtime
+/// header, one C++ function per lambda / type abstraction with flat
+/// capture arrays, direct calls for statically-resolved builtins, and
+/// `fix` as a trampolined unroll loop.  The generated program renders
+/// its value exactly like sf::valueToString and aborts with the exact
+/// diagnostics of the tree-walking evaluator (systemf/Eval.cpp) — the
+/// emitted step/depth accounting mirrors evalTerm/applyImpl frame for
+/// frame, which is what lets the AOT backend join the differential
+/// contract in tests/Differential.h on values *and* abort messages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_AOT_CPPEMITTER_H
+#define FG_AOT_CPPEMITTER_H
+
+#include "systemf/Builtins.h"
+#include "systemf/Term.h"
+#include <string>
+
+namespace fg {
+namespace aot {
+
+/// Bumped whenever the emitted runtime or code shape changes in any
+/// observable way; salted into the build-cache key so artifacts from an
+/// older emitter are never reused (Toolchain.h).
+extern const unsigned EmitterVersion;
+
+/// Result of emission: a complete C++ translation unit, or an error.
+struct EmittedProgram {
+  std::string Cpp;
+  std::string Error; ///< Empty on success.
+  bool ok() const { return Error.empty(); }
+};
+
+/// Emits \p T as a self-contained C++17 program.  \p Prelude supplies
+/// the builtin names the term may reference; a name the emitter does
+/// not know how to lower is reported as an error, never miscompiled.
+/// Emission is deterministic: the same term yields byte-identical C++,
+/// which is what makes the content-hash build cache effective.
+EmittedProgram emitCpp(const sf::Term *T, const sf::Prelude &Prelude);
+
+} // namespace aot
+} // namespace fg
+
+#endif // FG_AOT_CPPEMITTER_H

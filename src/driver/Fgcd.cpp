@@ -23,6 +23,7 @@
 
 #include "server/Repl.h"
 #include "server/Server.h"
+#include "support/Backends.h"
 #include "support/Stats.h"
 #include <csignal>
 #include <cstdlib>
@@ -48,6 +49,10 @@ void printUsage(std::ostream &OS) {
         "  --repl                 interactive read-eval-print loop with\n"
         "                         incremental declarations (docs/REPL.md)\n"
         "\n"
+        "backends (the protocol's `backend` parameter; see fgc\n"
+        "--backend=):\n"
+     << backendHelpTable("  ")
+     << "\n"
         "options:\n"
         "  --threads <n>          socket worker pool size; up to <n>\n"
         "                         sessions compile concurrently\n"

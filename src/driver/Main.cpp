@@ -47,10 +47,22 @@
 ///                  whole-program specialization level on top of the
 ///                  baseline passes (systemf/Specialize.h); `-O2` is
 ///                  shorthand for `--optimize --specialize=full`
-///   --backend=<tree|closure|vm>
+///   --backend=<tree|closure|vm|aot>
 ///                  execution engine for the translation: the
 ///                  tree-walking evaluator (default), the
-///                  closure-compiling engine, or the bytecode VM
+///                  closure-compiling engine, the bytecode VM, or the
+///                  ahead-of-time C++ transpiler (aot/Aot.h; the term
+///                  is `-O2`-specialized first unless --specialize
+///                  was given explicitly).  The registry of names
+///                  lives in support/Backends.h.
+///   --aot-cxx=<path>
+///                  host C++ compiler for --backend=aot (overrides
+///                  the $FGC_AOT_CXX/$CXX/PATH discovery ladder)
+///   --aot-cache=<dir>
+///                  AOT build cache directory (default
+///                  ./.fgc.aot-cache, or $FGC_AOT_CACHE)
+///   --aot-keep-cpp keep the generated C++ in the cache dir and print
+///                  its path
 ///   --dump-bytecode
 ///                  print the VM bytecode for the translation
 ///                  (vm/Disasm.h) and continue
@@ -75,6 +87,7 @@
 
 #include "modules/Batch.h"
 #include "modules/Loader.h"
+#include "support/Backends.h"
 #include "support/Stats.h"
 #include "syntax/Frontend.h"
 #include "validate/Fuzz.h"
@@ -123,8 +136,13 @@ void printUsage(std::ostream &OS) {
         "                         --specialize means `full`\n"
         "  -O2                    shorthand for --optimize\n"
         "                         --specialize=full\n"
-        "  --backend=<name>       run the translation on `tree` (default),\n"
-        "                         `closure`, or the bytecode `vm`\n"
+        "  --backend=<name>       execution engine for the translation;\n"
+        "                         one of:\n"
+     << backendHelpTable("                           ")
+     << "  --aot-cxx=<path>       host C++ compiler for --backend=aot\n"
+        "  --aot-cache=<dir>      AOT build cache directory (default\n"
+        "                         ./.fgc.aot-cache or $FGC_AOT_CACHE)\n"
+        "  --aot-keep-cpp         keep the generated C++ in the cache dir\n"
         "  --dump-bytecode        print the translation's VM bytecode\n"
         "  --batch                separately check modules (.fgi output)\n"
         "  -j <n>                 batch worker threads (0 = all cores)\n"
@@ -257,7 +275,9 @@ int main(int Argc, char **Argv) {
   bool Direct = false, Optimize = false, Batch = false, UseCache = true;
   bool DumpBytecode = false;
   sf::SpecializeLevel SpecLevel = sf::SpecializeLevel::Off;
+  bool SpecSet = false;
   std::string Backend = "tree";
+  aot::ToolchainOptions AotToolchain;
   unsigned Jobs = 1;
   unsigned FuzzCount = 0;
   uint64_t FuzzSeed = 42;
@@ -289,9 +309,11 @@ int main(int Argc, char **Argv) {
     else if (Arg == "-O2") {
       Optimize = true;
       SpecLevel = sf::SpecializeLevel::Full;
+      SpecSet = true;
     } else if (Arg == "--specialize") {
       Optimize = true;
       SpecLevel = sf::SpecializeLevel::Full;
+      SpecSet = true;
     } else if (Arg.rfind("--specialize=", 0) == 0) {
       std::string Value = Arg.substr(std::string("--specialize=").size());
       if (!sf::parseSpecializeLevel(Value, SpecLevel)) {
@@ -299,6 +321,7 @@ int main(int Argc, char **Argv) {
                      "dicts, full\n";
         return usageError();
       }
+      SpecSet = true;
       Optimize |= SpecLevel != sf::SpecializeLevel::Off;
     } else if (Arg == "--batch")
       Batch = true;
@@ -308,12 +331,25 @@ int main(int Argc, char **Argv) {
       DumpBytecode = true;
     else if (Arg.rfind("--backend=", 0) == 0) {
       Backend = Arg.substr(std::string("--backend=").size());
-      if (Backend != "tree" && Backend != "closure" && Backend != "vm") {
-        std::cerr << "fgc: error: --backend must be one of tree, closure, "
-                     "vm\n";
+      if (!isBackendName(Backend)) {
+        std::cerr << "fgc: error: --backend must be one of "
+                  << backendNameList() << "\n";
         return usageError();
       }
-    }
+    } else if (Arg.rfind("--aot-cxx=", 0) == 0) {
+      AotToolchain.Cxx = Arg.substr(std::string("--aot-cxx=").size());
+      if (AotToolchain.Cxx.empty()) {
+        std::cerr << "fgc: error: --aot-cxx= requires a compiler path\n";
+        return usageError();
+      }
+    } else if (Arg.rfind("--aot-cache=", 0) == 0) {
+      AotToolchain.CacheDir = Arg.substr(std::string("--aot-cache=").size());
+      if (AotToolchain.CacheDir.empty()) {
+        std::cerr << "fgc: error: --aot-cache= requires a directory\n";
+        return usageError();
+      }
+    } else if (Arg == "--aot-keep-cpp")
+      AotToolchain.KeepCpp = true;
     else if (Arg == "--no-verify") {
       VMode = validate::Mode::Off;
       VModeSet = true;
@@ -412,6 +448,19 @@ int main(int Argc, char **Argv) {
     FO.ValidatePasses = !VModeSet || VMode == validate::Mode::Passes;
     FO.Specialize = SpecLevel;
     FO.Log = &std::cerr;
+    if (Backend == "aot") {
+      // Fuzzing the AOT backend is opt-in (each program costs a host
+      // compile); degrade to a notice when no toolchain exists.
+      std::string WhyNot;
+      if (aot::toolchainAvailable(AotToolchain, &WhyNot)) {
+        FO.IncludeAot = true;
+        FO.AotToolchain = AotToolchain;
+      } else {
+        std::cerr << "fgc: note: skipping the aot backend in the fuzz "
+                     "sweep: "
+                  << WhyNot << "\n";
+      }
+    }
     validate::FuzzResult FR = validate::runFuzz(FO);
     std::cout << "fuzz: " << FR.Generated << " programs, "
               << FR.Failures.size() << " failures (seed " << FuzzSeed
@@ -513,9 +562,38 @@ int main(int Argc, char **Argv) {
   if (CheckOnly)
     return 0;
 
-  sf::EvalResult R = Backend == "vm"        ? FE.runVm(Out)
-                     : Backend == "closure" ? FE.runCompiled(Out)
-                                            : FE.run(Out);
+  sf::EvalResult R;
+  if (Backend == "aot") {
+    std::string WhyNot;
+    if (!aot::toolchainAvailable(AotToolchain, &WhyNot)) {
+      std::cerr << "fgc: error: --backend=aot is unavailable: " << WhyNot
+                << "\n";
+      return 2;
+    }
+    // The AOT backend exists to measure the paper's zero-overhead
+    // claim, so it emits from the -O2-specialized term unless the user
+    // pinned a specialization level explicitly.  The Stats argument
+    // forces re-specialization at this level even if an earlier
+    // validation pass populated Out.SfOptimized at another one.
+    sf::OptimizeOptions SOpts;
+    SOpts.Specialize = SpecSet ? SpecLevel : sf::SpecializeLevel::Full;
+    sf::OptimizeStats AotStats;
+    const sf::Term *T = FE.optimize(Out, &AotStats, SOpts);
+    if (!T) {
+      std::cerr << "fgc: error: optimization failed\n";
+      return 1;
+    }
+    aot::RunInfo Info;
+    R = aot::runAot(T, FE.getPrelude(), sf::EvalOptions(), AotToolchain,
+                    &Info);
+    if (!Info.CppPath.empty())
+      std::cerr << "fgc: note: kept generated C++ at " << Info.CppPath
+                << "\n";
+  } else {
+    R = Backend == "vm"        ? FE.runVm(Out)
+        : Backend == "closure" ? FE.runCompiled(Out)
+                               : FE.run(Out);
+  }
   if (!R.ok()) {
     std::cerr << "runtime error: " << R.Error << "\n";
     return 1;

@@ -7,6 +7,7 @@
 
 #include "server/Protocol.h"
 #include "server/Json.h"
+#include "support/Backends.h"
 #include "support/Stats.h"
 
 using namespace fg;
@@ -33,6 +34,16 @@ Json okReply(const Json &Id, Json Result) {
   Reply.set("ok", Json::boolean(true));
   Reply.set("result", std::move(Result));
   return Reply;
+}
+
+/// The requested backend exists but cannot run here (AOT without a
+/// host compiler): a structured error, distinct from `invalid_params`
+/// (an unknown backend name), so clients can tell "fix your request"
+/// from "fix your environment".  See docs/PROTOCOL.md.
+Json backendUnavailableReply(const Json &Id, const std::string &Backend,
+                             const Outcome &O) {
+  return errorReply(Id, "backend_unavailable",
+                    "backend `" + Backend + "` is unavailable: " + O.Error);
 }
 
 /// Renders a session Outcome as a result object.  Fields are omitted
@@ -149,9 +160,9 @@ Protocol::Reply Protocol::handleLine(const std::string &Line) {
     }
     // run
     std::string Backend = Params.stringOr("backend", "tree");
-    if (Backend != "tree" && Backend != "closure" && Backend != "vm") {
+    if (!isBackendName(Backend)) {
       Out.Line = errorReply(Id, "invalid_params",
-                            "`backend` must be tree, closure, or vm")
+                            "`backend` must be one of: " + backendNameList())
                      .write();
       return Out;
     }
@@ -164,7 +175,9 @@ Protocol::Reply Protocol::handleLine(const std::string &Line) {
     }
     Outcome O = S.run(Source, Name, Backend, static_cast<int>(OptLevel),
                       HasPath ? Path : "");
-    Out.Line = okReply(Id, resultOf(O)).write();
+    Out.Line = O.BackendUnavailable
+                   ? backendUnavailableReply(Id, Backend, O).write()
+                   : okReply(Id, resultOf(O)).write();
     return Out;
   }
 
@@ -188,7 +201,17 @@ Protocol::Reply Protocol::handleLine(const std::string &Line) {
                      .write();
       return Out;
     }
-    Out.Line = okReply(Id, resultOf(S.eval(Input))).write();
+    std::string Backend = Params.stringOr("backend", "tree");
+    if (!isBackendName(Backend)) {
+      Out.Line = errorReply(Id, "invalid_params",
+                            "`backend` must be one of: " + backendNameList())
+                     .write();
+      return Out;
+    }
+    Outcome O = S.eval(Input, Backend);
+    Out.Line = O.BackendUnavailable
+                   ? backendUnavailableReply(Id, Backend, O).write()
+                   : okReply(Id, resultOf(O)).write();
     return Out;
   }
 

@@ -224,7 +224,22 @@ Outcome Session::run(const std::string &Source, const std::string &Name,
   O.Type = typeToString(Out.FgType);
 
   sf::EvalResult R;
-  if (OptLevel > 0) {
+  if (Backend == "aot") {
+    std::string WhyNot;
+    if (!aot::toolchainAvailable(aot::ToolchainOptions(), &WhyNot)) {
+      O.BackendUnavailable = true;
+      O.Error = WhyNot;
+      return O; // Deliberately uncached; see Outcome::BackendUnavailable.
+    }
+    // Match the driver: the AOT backend always compiles the fully
+    // specialized term — that is the artifact whose zero-overhead
+    // claim the backend exists to measure.
+    sf::OptimizeStats Stats;
+    sf::OptimizeOptions OO;
+    OO.Specialize = sf::SpecializeLevel::Full;
+    const sf::Term *T = FE.optimize(Out, &Stats, OO);
+    R = aot::runAot(T, FE.getPrelude());
+  } else if (OptLevel > 0) {
     sf::OptimizeOptions OO;
     OO.Specialize = OptLevel >= 2 ? sf::SpecializeLevel::Full
                                   : sf::SpecializeLevel::Off;
@@ -284,7 +299,8 @@ Outcome Session::dumpBytecode(const std::string &Source,
   return O;
 }
 
-Outcome Session::eval(const std::string &RawInput) {
+Outcome Session::eval(const std::string &RawInput,
+                      const std::string &Backend) {
   stats::ScopedTimer Timer("server.eval");
   std::string Input = trim(RawInput);
   Outcome O;
@@ -303,7 +319,22 @@ Outcome Session::eval(const std::string &RawInput) {
     if (Out.Success) {
       O.Success = true;
       O.Type = typeToString(Out.FgType);
-      sf::EvalResult R = FE.run(Out);
+      sf::EvalResult R;
+      if (Backend == "aot") {
+        std::string WhyNot;
+        if (!aot::toolchainAvailable(aot::ToolchainOptions(), &WhyNot)) {
+          O.BackendUnavailable = true;
+          O.Error = WhyNot;
+          return O;
+        }
+        R = FE.runAot(Out);
+      } else if (Backend == "vm") {
+        R = FE.runVm(Out);
+      } else if (Backend == "closure") {
+        R = FE.runCompiled(Out);
+      } else {
+        R = FE.run(Out);
+      }
       if (!R.ok())
         O.Error = R.Error;
       else

@@ -62,6 +62,12 @@ struct Outcome {
   std::string Bytecode;     ///< VM disassembly (dump-bytecode).
   std::string Diagnostics;  ///< Rendered compile diagnostics.
   std::string Error;        ///< Runtime / I-O error, empty otherwise.
+  /// The requested backend cannot run in this environment (the AOT
+  /// backend without a host C++ compiler).  Error carries the one-line
+  /// reason; the protocol layer turns this into a structured
+  /// `backend_unavailable` error, and the outcome is never cached —
+  /// installing a compiler must take effect without a server restart.
+  bool BackendUnavailable = false;
   bool IsDecl = false;      ///< REPL eval consumed a declaration.
   std::string DeclKind;     ///< let/concept/model/type/use for IsDecl.
   std::string DeclName;     ///< Declared name when recoverable.
@@ -88,11 +94,13 @@ public:
   /// of the entire import cone.
   Outcome checkPath(const std::string &Path);
 
-  /// Compiles and evaluates.  \p Backend is tree/closure/vm;
-  /// \p OptLevel 0, 1 (-O1) or 2 (-O2; 1 and 2 evaluate the optimized
-  /// term on the tree engine).  Cached (evaluation is deterministic —
-  /// F_G is pure).  With \p Path nonempty the program is loaded from
-  /// disk with imports resolved and \p Source is ignored.
+  /// Compiles and evaluates.  \p Backend is any registered backend
+  /// (tree/closure/vm/aot); \p OptLevel 0, 1 (-O1) or 2 (-O2; for the
+  /// in-process engines, 1 and 2 evaluate the optimized term on the
+  /// tree engine; aot always compiles the -O2-specialized term, like
+  /// the driver).  Cached (evaluation is deterministic — F_G is pure).
+  /// With \p Path nonempty the program is loaded from disk with
+  /// imports resolved and \p Source is ignored.
   Outcome run(const std::string &Source, const std::string &Name,
               const std::string &Backend = "tree", int OptLevel = 0,
               const std::string &Path = "");
@@ -106,9 +114,10 @@ public:
 
   /// One REPL input: a top-level declaration (`let x = 5`,
   /// `model Eq<int> { ... }`, `use name`, ...) extends the session
-  /// scope; anything else is evaluated as an expression in that scope.
-  /// See docs/REPL.md for the classification rule.
-  Outcome eval(const std::string &Input);
+  /// scope; anything else is evaluated as an expression in that scope
+  /// on \p Backend (any registered backend).  See docs/REPL.md for the
+  /// classification rule.
+  Outcome eval(const std::string &Input, const std::string &Backend = "tree");
 
   /// `:load`: evaluates the file (imports resolved) and splices its —
   /// and its imports' — declaration spines into the session scope.

@@ -1,0 +1,54 @@
+//===- support/Backends.cpp - Execution backend registry ------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Backends.h"
+
+#include <algorithm>
+
+namespace fg {
+
+const std::vector<BackendInfo> &backendRegistry() {
+  static const std::vector<BackendInfo> Registry = {
+      {"tree", "reference tree-walking evaluator (default)"},
+      {"closure", "closure-compiling evaluator"},
+      {"vm", "bytecode virtual machine"},
+      {"aot", "ahead-of-time C++ transpiler (host toolchain required)"},
+  };
+  return Registry;
+}
+
+bool isBackendName(const std::string &Name) {
+  for (const BackendInfo &B : backendRegistry())
+    if (Name == B.Name)
+      return true;
+  return false;
+}
+
+std::string backendNameList() {
+  std::string Out;
+  for (const BackendInfo &B : backendRegistry()) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += B.Name;
+  }
+  return Out;
+}
+
+std::string backendHelpTable(const std::string &Indent) {
+  size_t Width = 0;
+  for (const BackendInfo &B : backendRegistry())
+    Width = std::max(Width, std::string(B.Name).size());
+  std::string Out;
+  for (const BackendInfo &B : backendRegistry()) {
+    std::string Name = B.Name;
+    Out += Indent + Name + std::string(Width - Name.size() + 2, ' ') +
+           B.Description + "\n";
+  }
+  return Out;
+}
+
+} // namespace fg

@@ -1,0 +1,47 @@
+//===- support/Backends.h - Execution backend registry ----------*- C++ -*-===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single registry of System F execution backends.  Everything that
+/// names backends — `fgc --backend=`, the `fgcd` help text, the wire
+/// protocol's `backend` parameter, and the error messages all three
+/// print — derives from this table, so adding an engine means adding
+/// one row here (plus the engine itself); DriverCliTest fails if a
+/// registered backend is missing from either binary's `--help`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef FG_SUPPORT_BACKENDS_H
+#define FG_SUPPORT_BACKENDS_H
+
+#include <string>
+#include <vector>
+
+namespace fg {
+
+/// One execution backend, as the user-facing surfaces see it.
+struct BackendInfo {
+  const char *Name;        ///< The `--backend=` / protocol value.
+  const char *Description; ///< One line for the generated help table.
+};
+
+/// Every registered backend, in presentation order (the default first).
+const std::vector<BackendInfo> &backendRegistry();
+
+/// True when \p Name names a registered backend.
+bool isBackendName(const std::string &Name);
+
+/// `tree, closure, vm, aot` — for error messages.
+std::string backendNameList();
+
+/// The generated `--backend=` help table: one aligned
+/// `<indent><name>  <description>` line per backend.
+std::string backendHelpTable(const std::string &Indent);
+
+} // namespace fg
+
+#endif // FG_SUPPORT_BACKENDS_H

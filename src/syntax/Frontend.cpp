@@ -172,3 +172,12 @@ sf::EvalResult Frontend::runVm(const CompileOutput &Out,
     return sf::EvalResult::failure("cannot run a failed compilation");
   return vm::runTerm(Out.SfTerm, ThePrelude, Opts);
 }
+
+sf::EvalResult Frontend::runAot(const CompileOutput &Out,
+                                const sf::EvalOptions &Opts,
+                                const aot::ToolchainOptions &Toolchain,
+                                aot::RunInfo *Info) {
+  if (!Out.Success)
+    return sf::EvalResult::failure("cannot run a failed compilation");
+  return aot::runAot(Out.SfTerm, ThePrelude, Opts, Toolchain, Info);
+}

@@ -26,6 +26,7 @@
 #ifndef FG_SYNTAX_FRONTEND_H
 #define FG_SYNTAX_FRONTEND_H
 
+#include "aot/Aot.h"
 #include "core/Builtins.h"
 #include "core/Check.h"
 #include "core/Interp.h"
@@ -149,6 +150,17 @@ public:
   /// equivalent to run(); the `--backend=vm` driver path.
   sf::EvalResult runVm(const CompileOutput &Out,
                        const sf::EvalOptions &Opts = sf::EvalOptions());
+
+  /// Evaluates ahead-of-time (aot/Aot.h): transpiles the translation
+  /// to C++, compiles it with the host toolchain under the build
+  /// cache, and runs the binary.  Observationally equivalent to run();
+  /// the `--backend=aot` driver path.  Fails with an `aot:`-prefixed
+  /// message when no host compiler is available.
+  sf::EvalResult runAot(const CompileOutput &Out,
+                        const sf::EvalOptions &Opts = sf::EvalOptions(),
+                        const aot::ToolchainOptions &Toolchain =
+                            aot::ToolchainOptions(),
+                        aot::RunInfo *Info = nullptr);
 
   SourceManager &getSourceManager() { return SM; }
   DiagnosticEngine &getDiags() { return Diags; }

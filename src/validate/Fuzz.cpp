@@ -287,6 +287,8 @@ std::string checkOne(const std::string &Source, unsigned Index,
   addSf("closure", FE.runCompiled(Out));
   addSf("vm", FE.runVm(Out));
   addSf("optimized", FE.runOptimized(Out));
+  if (Opts.IncludeAot)
+    addSf("aot", FE.runAot(Out, sf::EvalOptions(), Opts.AotToolchain));
   interp::EvalResult Direct = FE.runDirect(Out);
   Results.push_back({"direct", Direct.ok(),
                      Direct.ok() ? interp::valueToString(Direct.Val)

@@ -23,6 +23,7 @@
 #ifndef FG_VALIDATE_FUZZ_H
 #define FG_VALIDATE_FUZZ_H
 
+#include "aot/Toolchain.h"
 #include "systemf/Specialize.h"
 #include <cstdint>
 #include <iosfwd>
@@ -41,6 +42,12 @@ struct FuzzOptions {
   /// `optimized` backend then cross-checks specialized evaluation
   /// against every other backend.
   sf::SpecializeLevel Specialize = sf::SpecializeLevel::Off;
+  /// Also run every program through the AOT backend (aot/Aot.h) and
+  /// hold it to the same identical-outcome contract.  Opt-in (driver
+  /// `--fuzz N --backend=aot`): each program costs a host-compiler
+  /// invocation, amortized by the AOT build cache.
+  bool IncludeAot = false;
+  aot::ToolchainOptions AotToolchain; ///< Toolchain for IncludeAot.
   std::ostream *Log = nullptr; ///< Failure/progress log (may be null).
 };
 

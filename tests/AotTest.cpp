@@ -1,0 +1,264 @@
+//===- tests/AotTest.cpp - AOT backend tests ------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+// Covers the aot/ subsystem on three levels:
+//
+//  * value transport — parseRenderedValue must round-trip every shape
+//    sf::valueToString can print (the channel the differential harness
+//    compares backends through);
+//  * build-cache hygiene — the second compilation of a byte-identical
+//    program is a hit, a fresh `--aot-cache=` dir starts cold, and a
+//    bumped emitter version changes the artifact key;
+//  * execution semantics the in-process engines cannot reach — 60k-deep
+//    recursion on the child's big stack — plus abort-diagnostic parity
+//    with the tree evaluator and graceful degradation without a host
+//    compiler.
+//
+// Every test that needs the host toolchain skips (not fails) when none
+// is available, mirroring Differential.h.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aot/Aot.h"
+#include "aot/CppEmitter.h"
+#include "support/Stats.h"
+#include "syntax/Frontend.h"
+#include <cstdlib>
+#include <gtest/gtest.h>
+#include <string>
+#include <unistd.h>
+
+using namespace fg;
+
+namespace {
+
+bool haveToolchain() {
+  static bool Available = aot::toolchainAvailable();
+  return Available;
+}
+
+#define SKIP_WITHOUT_TOOLCHAIN()                                             \
+  do {                                                                       \
+    if (!haveToolchain())                                                    \
+      GTEST_SKIP() << "no host C++ compiler available";                      \
+  } while (0)
+
+/// A per-process temp cache dir, so repeated ctest runs start cold and
+/// concurrent test binaries never collide.
+std::string freshCacheDir(const std::string &Tag) {
+  return ::testing::TempDir() + "fgc-aot-test-" + Tag + "-" +
+         std::to_string(::getpid());
+}
+
+uint64_t counter(const char *Name) {
+  return stats::Statistics::global().counter(Name).load();
+}
+
+/// Compiles \p Source and runs it on the AOT backend.
+sf::EvalResult runAotSource(Frontend &FE, const std::string &Source,
+                            const sf::EvalOptions &Opts,
+                            const aot::ToolchainOptions &Toolchain,
+                            aot::RunInfo *Info = nullptr) {
+  CompileOutput Out = FE.compile("aot-test.fg", Source);
+  EXPECT_TRUE(Out.Success) << Out.ErrorMessage;
+  if (!Out.Success)
+    return sf::EvalResult::failure(Out.ErrorMessage);
+  return FE.runAot(Out, Opts, Toolchain, Info);
+}
+
+TEST(AotValueTest, RenderedValuesRoundTrip) {
+  // Everything valueToString can print, including the function-value
+  // placeholders the child renders for first-class functions.
+  const char *Cases[] = {
+      "0",    "42",        "-7",          "9223372036854775807",
+      "-9223372036854775808", "true",    "false",
+      "[]",   "[1, 2, 3]", "[[1], [], [2, 3]]",
+      "(1, true)", "(1, (true, [3]))", "([], (0, false))",
+      "<closure>", "<tyclosure>", "<fix>", "<builtin iadd>",
+      "[<closure>, <builtin cons>]",
+  };
+  for (const char *Text : Cases) {
+    sf::ValuePtr V = aot::parseRenderedValue(Text);
+    ASSERT_NE(V, nullptr) << Text;
+    EXPECT_EQ(sf::valueToString(V), Text);
+  }
+}
+
+TEST(AotValueTest, MalformedRenderingsAreRejected) {
+  const char *Cases[] = {"", "forty-two", "1 2", "(1,true)", "[1,2]",
+                         "(1, )", "[1, ", "<gizmo>", "truely", "--1"};
+  for (const char *Text : Cases)
+    EXPECT_EQ(aot::parseRenderedValue(Text), nullptr) << Text;
+}
+
+TEST(AotCacheTest, SecondRunOfIdenticalProgramHits) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  aot::ToolchainOptions TO;
+  TO.CacheDir = freshCacheDir("hits");
+  Frontend FE;
+  uint64_t Hits0 = counter("aot.cache.hits");
+  uint64_t Misses0 = counter("aot.cache.misses");
+
+  aot::RunInfo First;
+  sf::EvalResult R1 =
+      runAotSource(FE, "imult(6, 7)", sf::EvalOptions(), TO, &First);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  EXPECT_EQ(sf::valueToString(R1.Val), "42");
+  EXPECT_FALSE(First.CacheHit);
+  EXPECT_EQ(counter("aot.cache.misses"), Misses0 + 1);
+
+  aot::RunInfo Second;
+  sf::EvalResult R2 =
+      runAotSource(FE, "imult(6, 7)", sf::EvalOptions(), TO, &Second);
+  ASSERT_TRUE(R2.ok()) << R2.Error;
+  EXPECT_EQ(sf::valueToString(R2.Val), "42");
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(counter("aot.cache.hits"), Hits0 + 1);
+  EXPECT_EQ(First.ExePath, Second.ExePath);
+}
+
+TEST(AotCacheTest, FreshCacheDirStartsCold) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  Frontend FE;
+  aot::ToolchainOptions Warm;
+  Warm.CacheDir = freshCacheDir("cold-a");
+  aot::RunInfo First;
+  ASSERT_TRUE(
+      runAotSource(FE, "iadd(40, 2)", sf::EvalOptions(), Warm, &First).ok());
+
+  // The same program pointed at a different --aot-cache= dir must
+  // recompile: artifacts do not leak across caches.
+  aot::ToolchainOptions Cold = Warm;
+  Cold.CacheDir = freshCacheDir("cold-b");
+  aot::RunInfo Second;
+  ASSERT_TRUE(
+      runAotSource(FE, "iadd(40, 2)", sf::EvalOptions(), Cold, &Second).ok());
+  EXPECT_FALSE(Second.CacheHit);
+  EXPECT_NE(First.ExePath, Second.ExePath);
+}
+
+TEST(AotCacheTest, EmitterVersionSaltsTheArtifactKey) {
+  // A new emitter must never serve an old emitter's binaries: the
+  // version participates in the content hash, so bumping it moves
+  // every key.
+  std::string Cpp = "int main() { return 0; }\n";
+  std::string Now =
+      aot::artifactKey(Cpp, "/usr/bin/c++", "-O2", aot::EmitterVersion);
+  std::string Next =
+      aot::artifactKey(Cpp, "/usr/bin/c++", "-O2", aot::EmitterVersion + 1);
+  EXPECT_NE(Now, Next);
+  // The other key inputs are load-bearing too.
+  EXPECT_NE(Now, aot::artifactKey(Cpp + " ", "/usr/bin/c++", "-O2",
+                                  aot::EmitterVersion));
+  EXPECT_NE(Now, aot::artifactKey(Cpp, "/usr/bin/g++", "-O2",
+                                  aot::EmitterVersion));
+  EXPECT_NE(Now, aot::artifactKey(Cpp, "/usr/bin/c++", "-O3",
+                                  aot::EmitterVersion));
+}
+
+TEST(AotCacheTest, KeepCppLeavesTheGeneratedSource) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  aot::ToolchainOptions TO;
+  TO.CacheDir = freshCacheDir("keep");
+  TO.KeepCpp = true;
+  Frontend FE;
+  aot::RunInfo Info;
+  ASSERT_TRUE(
+      runAotSource(FE, "iadd(1, 1)", sf::EvalOptions(), TO, &Info).ok());
+  ASSERT_FALSE(Info.CppPath.empty());
+  EXPECT_EQ(::access(Info.CppPath.c_str(), R_OK), 0) << Info.CppPath;
+}
+
+TEST(AotExecTest, SixtyThousandDeepRecursionWorks) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // The in-process engines recurse on the host stack and cannot go this
+  // deep; the compiled program runs on a 512 MiB thread and must.
+  Frontend FE;
+  sf::EvalOptions Opts;
+  Opts.MaxDepth = 1u << 30;
+  sf::EvalResult R = runAotSource(
+      FE,
+      "let count = fix (fun(go : fn(int) -> int).\n"
+      "  fun(n : int). if ieq(n, 0) then 0 else iadd(1, go(isub(n, 1)))) in\n"
+      "count(60000)",
+      Opts, aot::ToolchainOptions());
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(sf::valueToString(R.Val), "60000");
+}
+
+TEST(AotExecTest, StepLimitAbortMatchesTreeByteForByte) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const std::string Diverge =
+      "let loop = fix (fun(f : fn(int) -> int). fun(n : int). f(n)) in\n"
+      "loop(0)";
+  sf::EvalOptions Opts;
+  Opts.MaxSteps = 1'000;
+  Opts.MaxDepth = 1u << 30;
+  Frontend FE;
+  CompileOutput Out = FE.compile("aot-test.fg", Diverge);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult Tree = FE.run(Out, Opts);
+  sf::EvalResult Aot = FE.runAot(Out, Opts);
+  ASSERT_FALSE(Tree.ok());
+  ASSERT_FALSE(Aot.ok());
+  EXPECT_EQ(Tree.Error, Aot.Error);
+  EXPECT_NE(Aot.Error.find("step limit"), std::string::npos) << Aot.Error;
+}
+
+TEST(AotExecTest, DepthLimitAbortMatchesTreeByteForByte) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const std::string Diverge =
+      "let loop = fix (fun(f : fn(int) -> int). fun(n : int). f(n)) in\n"
+      "loop(0)";
+  sf::EvalOptions Opts;
+  Opts.MaxDepth = 100;
+  Frontend FE;
+  CompileOutput Out = FE.compile("aot-test.fg", Diverge);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult Tree = FE.run(Out, Opts);
+  sf::EvalResult Aot = FE.runAot(Out, Opts);
+  ASSERT_FALSE(Tree.ok());
+  ASSERT_FALSE(Aot.ok());
+  EXPECT_EQ(Tree.Error, Aot.Error);
+  EXPECT_NE(Aot.Error.find("depth limit"), std::string::npos) << Aot.Error;
+}
+
+TEST(AotExecTest, MissingCompilerFailsWithActionableError) {
+  Frontend FE;
+  aot::ToolchainOptions TO;
+  TO.Cxx = "/nonexistent/cxx";
+  sf::EvalResult R = runAotSource(FE, "1", sf::EvalOptions(), TO);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("aot:"), std::string::npos) << R.Error;
+  EXPECT_NE(R.Error.find("/nonexistent/cxx"), std::string::npos) << R.Error;
+}
+
+TEST(AotExecTest, SpecializedTermRunsIdentically) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // The driver path: -O2-specialized term through the emitter.  The
+  // accumulate example exercises concepts, models and generic calls.
+  const std::string Source =
+      "concept Monoid<t> { identity : t; op : fn(t,t) -> t; } in\n"
+      "model Monoid<int> { identity = 0; op = iadd; } in\n"
+      "let fold3 = (forall t where Monoid<t>.\n"
+      "  fun(x : t, y : t, z : t). Monoid<t>.op(Monoid<t>.op(x, y), z)) in\n"
+      "fold3[int](10, 20, 12)";
+  Frontend FE;
+  CompileOutput Out = FE.compile("aot-test.fg", Source);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult Tree = FE.run(Out);
+  ASSERT_TRUE(Tree.ok()) << Tree.Error;
+
+  sf::OptimizeOptions OO;
+  OO.Specialize = sf::SpecializeLevel::Full;
+  sf::OptimizeStats Stats;
+  const sf::Term *T = FE.optimize(Out, &Stats, OO);
+  ASSERT_NE(T, nullptr);
+  sf::EvalResult Aot = aot::runAot(T, FE.getPrelude());
+  ASSERT_TRUE(Aot.ok()) << Aot.Error;
+  EXPECT_EQ(sf::valueToString(Tree.Val), sf::valueToString(Aot.Val));
+}
+
+} // namespace

@@ -23,7 +23,9 @@
 #ifndef FG_TESTS_DIFFERENTIAL_H
 #define FG_TESTS_DIFFERENTIAL_H
 
+#include "aot/Toolchain.h"
 #include "syntax/Frontend.h"
+#include <cstdio>
 #include <functional>
 #include <gtest/gtest.h>
 #include <string>
@@ -47,21 +49,38 @@ struct Backend {
 };
 
 /// Every System F execution backend.  New engines join the differential
-/// contract by being added here.
+/// contract by being added here.  The AOT backend needs a host C++
+/// compiler; when none is available it is skipped with a one-time
+/// notice rather than failing the whole suite (CI without a toolchain
+/// still verifies the in-process engines).
 inline const std::vector<Backend> &backends() {
-  static const std::vector<Backend> All = {
-      {"tree",
-       [](fg::Frontend &FE, const fg::CompileOutput &Out,
-          const fg::sf::EvalOptions &Opts) { return FE.run(Out, Opts); }},
-      {"closure",
-       [](fg::Frontend &FE, const fg::CompileOutput &Out,
-          const fg::sf::EvalOptions &Opts) {
-         return FE.runCompiled(Out, Opts);
-       }},
-      {"vm",
-       [](fg::Frontend &FE, const fg::CompileOutput &Out,
-          const fg::sf::EvalOptions &Opts) { return FE.runVm(Out, Opts); }},
-  };
+  static const std::vector<Backend> All = [] {
+    std::vector<Backend> Engines = {
+        {"tree",
+         [](fg::Frontend &FE, const fg::CompileOutput &Out,
+            const fg::sf::EvalOptions &Opts) { return FE.run(Out, Opts); }},
+        {"closure",
+         [](fg::Frontend &FE, const fg::CompileOutput &Out,
+            const fg::sf::EvalOptions &Opts) {
+           return FE.runCompiled(Out, Opts);
+         }},
+        {"vm",
+         [](fg::Frontend &FE, const fg::CompileOutput &Out,
+            const fg::sf::EvalOptions &Opts) { return FE.runVm(Out, Opts); }},
+    };
+    std::string WhyNot;
+    if (fg::aot::toolchainAvailable(fg::aot::ToolchainOptions(), &WhyNot))
+      Engines.push_back(
+          {"aot", [](fg::Frontend &FE, const fg::CompileOutput &Out,
+                     const fg::sf::EvalOptions &Opts) {
+             return FE.runAot(Out, Opts);
+           }});
+    else
+      std::fprintf(stderr,
+                   "differential: skipping the aot backend: %s\n",
+                   WhyNot.c_str());
+    return Engines;
+  }();
   return All;
 }
 

@@ -10,10 +10,16 @@
 //
 //   * `--help` / `-h` print the usage text to *stdout* and exit 0;
 //   * a bad invocation (no input, unknown flag, malformed option)
-//     prints the usage text to *stderr* and exits 2.
+//     prints the usage text to *stderr* and exits 2;
+//   * both binaries' `--help` backend tables are generated from the
+//     one registry (support/Backends.h), so registering an engine
+//     without surfacing it in the help is a test failure;
+//   * `--backend=aot` without a usable host compiler degrades
+//     gracefully: exit 2 with a one-line actionable diagnostic.
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Backends.h"
 #include <cstdio>
 #include <gtest/gtest.h>
 #include <string>
@@ -98,6 +104,57 @@ TEST(DriverCliTest, StdinProgramStillWorks) {
                      Out);
   EXPECT_EQ(Code, 0);
   EXPECT_NE(Out.find("value: 21"), std::string::npos) << Out;
+}
+
+// Every registered backend (and its description) must appear in the
+// generated `--help` table of *both* binaries.  This is the guard the
+// registry comment promises: adding an engine without documenting it
+// fails here.
+TEST(DriverCliTest, FgcHelpListsEveryRegisteredBackend) {
+  RunResult R = runFgc("--help");
+  ASSERT_EQ(R.ExitCode, 0);
+  for (const fg::BackendInfo &B : fg::backendRegistry()) {
+    EXPECT_NE(R.Stdout.find(B.Name), std::string::npos)
+        << "backend `" << B.Name << "` missing from fgc --help";
+    EXPECT_NE(R.Stdout.find(B.Description), std::string::npos)
+        << "description of `" << B.Name << "` missing from fgc --help";
+  }
+}
+
+TEST(DriverCliTest, FgcdHelpListsEveryRegisteredBackend) {
+  std::string Out;
+  int Code = capture(std::string(FG_FGCD_PATH) + " --help 2>/dev/null", Out);
+  ASSERT_EQ(Code, 0);
+  for (const fg::BackendInfo &B : fg::backendRegistry()) {
+    EXPECT_NE(Out.find(B.Name), std::string::npos)
+        << "backend `" << B.Name << "` missing from fgcd --help";
+    EXPECT_NE(Out.find(B.Description), std::string::npos)
+        << "description of `" << B.Name << "` missing from fgcd --help";
+  }
+}
+
+TEST(DriverCliTest, UnknownBackendNamesTheRegistry) {
+  std::string Err;
+  int Code = capture("echo 1 | " + std::string(FG_FGC_PATH) +
+                         " --backend=bogus - 2>&1 1>/dev/null",
+                     Err);
+  EXPECT_EQ(Code, 2);
+  EXPECT_NE(Err.find(fg::backendNameList()), std::string::npos) << Err;
+}
+
+// Graceful degradation: no usable host compiler is not a crash and not
+// a silent fallback — it is exit 2 with a one-line diagnostic naming
+// the way out.
+TEST(DriverCliTest, AotWithoutHostCompilerIsActionableExit2) {
+  std::string Err;
+  int Code = capture("echo 1 | " + std::string(FG_FGC_PATH) +
+                         " --backend=aot --aot-cxx=/nonexistent/cxx - "
+                         "2>&1 1>/dev/null",
+                     Err);
+  EXPECT_EQ(Code, 2);
+  EXPECT_NE(Err.find("--backend=aot is unavailable"), std::string::npos)
+      << Err;
+  EXPECT_NE(Err.find("/nonexistent/cxx"), std::string::npos) << Err;
 }
 
 } // namespace

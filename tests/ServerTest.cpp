@@ -269,6 +269,67 @@ TEST(ProtocolTest, RunEvaluatesOnEachBackend) {
   EXPECT_FALSE(resultOf(R[3]).find("cached")->asBool());
 }
 
+TEST(ProtocolTest, RunAndEvalOnTheAotBackend) {
+  if (!fg::aot::toolchainAvailable())
+    GTEST_SKIP() << "no host C++ compiler available";
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"run\",\"params\":"
+      "{\"source\":\"iadd(1,2)\",\"backend\":\"aot\"}}",
+      "{\"id\":2,\"method\":\"run\",\"params\":"
+      "{\"source\":\"iadd(1,2)\",\"backend\":\"aot\"}}",
+      "{\"id\":3,\"method\":\"eval\",\"params\":"
+      "{\"input\":\"imult(6,7)\",\"backend\":\"aot\"}}",
+  });
+  EXPECT_TRUE(resultOf(R[0]).find("success")->asBool()) << R[0].write();
+  EXPECT_EQ(resultOf(R[0]).find("value")->asString(), "3");
+  EXPECT_FALSE(resultOf(R[0]).find("cached")->asBool());
+  // A byte-identical aot run is served from the artifact cache — the
+  // server never even re-hashes the generated C++.
+  EXPECT_TRUE(resultOf(R[1]).find("cached")->asBool());
+  EXPECT_EQ(resultOf(R[1]).find("value")->asString(), "3");
+  EXPECT_EQ(resultOf(R[2]).find("value")->asString(), "42");
+}
+
+TEST(ProtocolTest, AotUnavailabilityIsStructuredAndUncached) {
+  // Force the discovery ladder to fail: an explicit $FGC_AOT_CXX that
+  // does not resolve is an error, not a fall-through.
+  ::setenv("FGC_AOT_CXX", "/nonexistent/cxx", 1);
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"run\",\"params\":"
+      "{\"source\":\"iadd(20,22)\",\"backend\":\"aot\"}}",
+      "{\"id\":2,\"method\":\"eval\",\"params\":"
+      "{\"input\":\"iadd(20,22)\",\"backend\":\"aot\"}}",
+  });
+  ::unsetenv("FGC_AOT_CXX");
+  EXPECT_EQ(errorCode(R[0]), "backend_unavailable");
+  EXPECT_NE(R[0].find("error")->find("message")->asString().find(
+                "/nonexistent/cxx"),
+            std::string::npos);
+  EXPECT_EQ(errorCode(R[1]), "backend_unavailable");
+}
+
+TEST(SessionTest, AotUnavailabilityIsNeverCached) {
+  if (!fg::aot::toolchainAvailable())
+    GTEST_SKIP() << "no host C++ compiler available";
+  // One shared cache across both requests: if the unavailable outcome
+  // were cached, the second request would replay the error even after
+  // the user installs a compiler.
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session S(Cache);
+  ::setenv("FGC_AOT_CXX", "/nonexistent/cxx", 1);
+  Outcome Down = S.run("iadd(20,22)", "<aot>", "aot");
+  ::unsetenv("FGC_AOT_CXX");
+  EXPECT_TRUE(Down.BackendUnavailable);
+  EXPECT_FALSE(Down.Error.empty());
+
+  Outcome Up = S.run("iadd(20,22)", "<aot>", "aot");
+  EXPECT_FALSE(Up.BackendUnavailable);
+  EXPECT_TRUE(Up.Success);
+  EXPECT_FALSE(Up.Cached) << "the unavailable outcome must not have "
+                             "populated the cache";
+  EXPECT_EQ(Up.Value, "42");
+}
+
 TEST(ProtocolTest, TypeAndEvalShareTheSessionScope) {
   std::vector<Json> R = roundTrip({
       "{\"id\":1,\"method\":\"eval\",\"params\":{\"input\":\"let x = 7\"}}",

@@ -67,8 +67,11 @@ protected:
     return A.makeApp(Loop, {A.makeIntLit(0)});
   }
 
-  /// Runs \p T on all three System F engines with \p O and EXPECTs one
-  /// identical failure message containing \p ExpectedSubstr.
+  /// Runs \p T on every System F engine with \p O and EXPECTs one
+  /// identical failure message containing \p ExpectedSubstr.  The AOT
+  /// backend joins whenever a host compiler is available: the compiled
+  /// program must re-raise the exact step/depth diagnostics at the
+  /// exact same charge points.
   void expectUniformAbort(const Term *T, const EvalOptions &O,
                           const std::string &ExpectedSubstr) {
     Evaluator Tree(O);
@@ -89,6 +92,11 @@ protected:
     Check("vm", RV);
     EXPECT_EQ(RT.Error, RC.Error);
     EXPECT_EQ(RT.Error, RV.Error);
+    if (fg::aot::toolchainAvailable()) {
+      EvalResult RA = fg::aot::runAot(T, ThePrelude, O);
+      Check("aot", RA);
+      EXPECT_EQ(RT.Error, RA.Error);
+    }
   }
 
   TypeContext Ctx;
