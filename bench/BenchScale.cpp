@@ -1,0 +1,200 @@
+//===- bench/BenchScale.cpp - Experiment P7 -------------------------------===//
+//
+// Part of the fgc project: a reproduction of "Essential Language Support
+// for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment P7: separate compilation at corpus scale.  The synthetic
+/// corpus generator (corpus/Corpus.h) produces a 1000-module layered
+/// graph — the same generator, seed and shape the CI scale job uses —
+/// and the headline summary records, as counters in BENCH_scale.json:
+///
+///   * scale.modules, scale.jobs_n — workload size and worker count;
+///   * scale.gen_ms — generating the corpus (pure, no I/O);
+///   * scale.cold_j1_ms / scale.cold_jn_ms — batch-checking with an
+///     empty interface cache, one worker vs all hardware threads;
+///   * scale.warm_j1_ms / scale.warm_jn_ms — the all-hits rebuild;
+///   * scale.parallel_speedup_pct — 100 * cold_j1 / cold_jn (≈100 on a
+///     single-core host: the wavefront cannot beat one worker there,
+///     and the two series then bound the scheduler's overhead);
+///   * scale.warm_speedup_pct — 100 * cold_j1 / warm_j1, the paper's
+///     separate-compilation payoff at scale.
+///
+/// The registered google-benchmark entries re-measure the same
+/// pipeline at smaller sizes so the timing trajectory stays cheap
+/// enough to iterate on; batch.wavefront.max_width and the
+/// modules.cache.* counters aggregate into the same JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "modules/Batch.h"
+#include "modules/Loader.h"
+#include "BenchMain.h"
+#include <benchmark/benchmark.h>
+#include <chrono>
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <thread>
+
+using namespace fg;
+using namespace fg::modules;
+namespace fs = std::filesystem;
+
+namespace {
+
+corpus::CorpusOptions scaleOptions(unsigned Modules) {
+  corpus::CorpusOptions Opts;
+  Opts.Modules = Modules;
+  Opts.Seed = 42;
+  Opts.GraphShape = corpus::Shape::Layered;
+  return Opts;
+}
+
+/// A generated corpus on disk plus its loaded graph, shared across
+/// iterations of one size.
+struct Workload {
+  fs::path Dir;
+  ModuleLoader Loader;
+  std::string Root;
+
+  explicit Workload(unsigned Modules) {
+    Dir = fs::temp_directory_path() /
+          ("fgc_bench_scale_" + std::to_string(Modules));
+    fs::remove_all(Dir);
+    std::vector<corpus::GeneratedModule> Mods =
+        corpus::generate(scaleOptions(Modules));
+    std::string Error;
+    if (!corpus::writeCorpus(Mods, Dir.string(), Error)) {
+      std::cerr << "bench: corpus write failed: " << Error << "\n";
+      std::abort();
+    }
+    std::string RootPath =
+        (Dir / (Mods.back().Name + ".fg")).string();
+    if (!Loader.loadFile(RootPath, Root, Error)) {
+      std::cerr << "bench: corpus failed to load: " << Error << "\n";
+      std::abort();
+    }
+  }
+  ~Workload() { fs::remove_all(Dir); }
+};
+
+Workload &workload(unsigned Modules) {
+  static std::map<unsigned, std::unique_ptr<Workload>> Cache;
+  auto &W = Cache[Modules];
+  if (!W)
+    W = std::make_unique<Workload>(Modules);
+  return *W;
+}
+
+double runBatchOnce(Workload &W, unsigned Jobs, bool FreshCache) {
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheDir = (W.Dir / "cache").string();
+  if (FreshCache) {
+    fs::remove_all(Opts.CacheDir);
+    fs::create_directories(Opts.CacheDir);
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  BatchResult BR = runBatch(W.Loader, {W.Root}, Opts);
+  double Ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - T0)
+                  .count();
+  if (!BR.Success) {
+    std::cerr << "bench: scale batch failed\n";
+    std::abort();
+  }
+  return Ms;
+}
+
+/// The headline numbers: one 1000-module corpus, cold and warm, -j1
+/// and -j<hardware>, recorded as integer counters for BENCH_scale.json.
+void recordScaleSummary() {
+  constexpr unsigned Modules = 1000;
+  unsigned JobsN = std::max(1u, std::thread::hardware_concurrency());
+
+  auto G0 = std::chrono::steady_clock::now();
+  std::vector<corpus::GeneratedModule> Mods =
+      corpus::generate(scaleOptions(Modules));
+  double GenMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - G0)
+                     .count();
+  benchmark::DoNotOptimize(Mods.data());
+
+  Workload &W = workload(Modules);
+  double ColdJ1 = runBatchOnce(W, 1, /*FreshCache=*/true);
+  double WarmJ1 = runBatchOnce(W, 1, /*FreshCache=*/false);
+  double ColdJn = runBatchOnce(W, JobsN, /*FreshCache=*/true);
+  double WarmJn = runBatchOnce(W, JobsN, /*FreshCache=*/false);
+
+  auto &Stats = stats::Statistics::global();
+  Stats.counter("scale.modules") = Modules;
+  Stats.counter("scale.jobs_n") = JobsN;
+  Stats.counter("scale.gen_ms") = uint64_t(GenMs);
+  Stats.counter("scale.cold_j1_ms") = uint64_t(ColdJ1);
+  Stats.counter("scale.cold_jn_ms") = uint64_t(ColdJn);
+  Stats.counter("scale.warm_j1_ms") = uint64_t(WarmJ1);
+  Stats.counter("scale.warm_jn_ms") = uint64_t(WarmJn);
+  if (ColdJn > 0)
+    Stats.counter("scale.parallel_speedup_pct") =
+        uint64_t(100.0 * ColdJ1 / ColdJn);
+  if (WarmJ1 > 0)
+    Stats.counter("scale.warm_speedup_pct") =
+        uint64_t(100.0 * ColdJ1 / WarmJ1);
+}
+
+void runScaleBench(benchmark::State &State, unsigned Jobs, bool Warm) {
+  Workload &W = workload(static_cast<unsigned>(State.range(0)));
+  if (Warm)
+    (void)runBatchOnce(W, Jobs, /*FreshCache=*/true); // Prime.
+  for (auto _ : State) {
+    double Ms = runBatchOnce(W, Jobs, /*FreshCache=*/!Warm);
+    benchmark::DoNotOptimize(Ms);
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+
+} // namespace
+
+/// Pure generation cost: the corpus generator itself must stay cheap
+/// enough that corpus setup never dominates a scale measurement.
+static void BM_GenerateCorpus(benchmark::State &State) {
+  corpus::CorpusOptions Opts =
+      scaleOptions(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State) {
+    std::vector<corpus::GeneratedModule> Mods = corpus::generate(Opts);
+    benchmark::DoNotOptimize(Mods.data());
+  }
+  State.SetItemsProcessed(State.iterations() * State.range(0));
+}
+BENCHMARK(BM_GenerateCorpus)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Cold corpus check, one worker.
+static void BM_ScaleColdSerial(benchmark::State &State) {
+  runScaleBench(State, /*Jobs=*/1, /*Warm=*/false);
+}
+BENCHMARK(BM_ScaleColdSerial)->Arg(128)->Unit(benchmark::kMillisecond);
+
+/// Cold corpus check, all hardware threads.
+static void BM_ScaleColdParallel(benchmark::State &State) {
+  runScaleBench(State, /*Jobs=*/0, /*Warm=*/false);
+}
+BENCHMARK(BM_ScaleColdParallel)->Arg(128)->Unit(benchmark::kMillisecond);
+
+/// Warm rebuild: every module an interface-cache hit.
+static void BM_ScaleWarm(benchmark::State &State) {
+  runScaleBench(State, /*Jobs=*/1, /*Warm=*/true);
+}
+BENCHMARK(BM_ScaleWarm)->Arg(128)->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char **argv) {
+  fg::stats::Statistics::global().enable(true);
+  recordScaleSummary();
+  return fg::bench::runAndEmitStats(argc, argv);
+}

@@ -38,7 +38,7 @@
 ///   --fuzz <n>     generate <n> seeded well-typed programs and drive
 ///                  the full validation surface with them (no input
 ///                  file is read; see validate/Fuzz.h)
-///   --seed <n>     base seed for --fuzz (default 42)
+///   --seed <n>     base seed for --fuzz / --gen-corpus (default 42)
 ///   --direct       evaluate with the direct F_G interpreter instead of
 ///                  the System F translation (and cross-check the two)
 ///   --optimize     also specialize the translation (dictionary
@@ -67,6 +67,20 @@
 ///                  print the VM bytecode for the translation
 ///                  (vm/Disasm.h) and continue
 ///   --batch        separately check modules; write `.fgi` interfaces
+///   --gen-corpus <n>
+///                  generate a seeded, deterministic corpus of <n>
+///                  well-typed modules into --out (corpus/Corpus.h);
+///                  same seed and knobs => byte-identical files
+///   --out <dir>    output directory for --gen-corpus
+///   --corpus-shape=<layered|chain|fanin>
+///                  dependency-graph silhouette (default layered)
+///   --corpus-layers=<n>
+///                  layer count for the layered shape (0 = auto)
+///   --corpus-max-imports=<n>
+///                  max direct imports per module (layered shape)
+///   --corpus-diamond=<pct>
+///                  share of import edges reaching past the previous
+///                  layer, which is what creates diamonds
 ///   -j <n>         batch worker threads (0 = all hardware threads)
 ///   -I <dir>       add a module search path (repeatable)
 ///   --module-cache=<dir>
@@ -85,6 +99,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "corpus/Corpus.h"
 #include "modules/Batch.h"
 #include "modules/Loader.h"
 #include "support/Backends.h"
@@ -96,6 +111,9 @@
 #include "vm/Emit.h"
 #include <algorithm>
 #include <cstdio>
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#endif
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -124,7 +142,8 @@ void printUsage(std::ostream &OS) {
         "                         release builds\n"
         "  --fuzz <n>             validate <n> generated well-typed\n"
         "                         programs across all backends\n"
-        "  --seed <n>             base seed for --fuzz (default 42)\n"
+        "  --seed <n>             base seed for --fuzz / --gen-corpus\n"
+        "                         (default 42)\n"
         "  --direct               cross-check with the direct interpreter\n"
         "  --optimize, -O1        optimize and cross-check the result\n"
         "  --specialize[=<lvl>]   whole-program specialization level on\n"
@@ -145,6 +164,16 @@ void printUsage(std::ostream &OS) {
         "  --aot-keep-cpp         keep the generated C++ in the cache dir\n"
         "  --dump-bytecode        print the translation's VM bytecode\n"
         "  --batch                separately check modules (.fgi output)\n"
+        "  --gen-corpus <n>       write a deterministic corpus of <n>\n"
+        "                         well-typed modules into --out\n"
+        "  --out <dir>            output directory for --gen-corpus\n"
+        "  --corpus-shape=<s>     corpus graph shape: layered (default),\n"
+        "                         chain, or fanin\n"
+        "  --corpus-layers=<n>    layered-shape layer count (0 = auto)\n"
+        "  --corpus-max-imports=<n>\n"
+        "                         max direct imports per corpus module\n"
+        "  --corpus-diamond=<p>   percent of corpus import edges that\n"
+        "                         skip layers (diamond density)\n"
         "  -j <n>                 batch worker threads (0 = all cores)\n"
         "  -I <dir>               add a module search path\n"
         "  --module-cache=<dir>   directory for .fgi interface files\n"
@@ -250,27 +279,75 @@ int runBatchMode(const std::vector<std::string> &PathArgs,
   BO.EnableModelCache = Opts.EnableModelCache;
   modules::BatchResult BR = modules::runBatch(Loader, Roots, BO);
 
+  // Aggregate deterministically: runBatch already returns results in
+  // dependency order (independent of worker scheduling), and failures
+  // are re-sorted by module name so the diagnostic summary is stable
+  // run over run and readable at corpus scale.
   unsigned Checked = 0, Cached = 0;
+  std::vector<const modules::ModuleBuildResult *> Failed, Skipped;
   for (const modules::ModuleBuildResult &R : BR.Results) {
-    if (R.Success) {
-      std::cout << "module " << R.Module << ": "
-                << (R.CacheHit ? "cached" : "checked") << "\n";
+    if (R.Success)
       ++(R.CacheHit ? Cached : Checked);
-    } else if (R.Skipped) {
-      std::cerr << "module " << R.Module << ": skipped (" << R.Error
-                << ")\n";
-    } else {
-      std::cerr << "module " << R.Module << ": error: " << R.Error << "\n";
-    }
+    else if (R.Skipped)
+      Skipped.push_back(&R);
+    else
+      Failed.push_back(&R);
   }
+
+  // Per-module progress lines are useful at example scale and an
+  // unreadable flood over a generated corpus; the summary line and the
+  // sorted failure digest carry the signal either way.
+  if (BR.Results.size() <= 32)
+    for (const modules::ModuleBuildResult &R : BR.Results)
+      if (R.Success)
+        std::cout << "module " << R.Module << ": "
+                  << (R.CacheHit ? "cached" : "checked") << "\n";
+
+  auto ByName = [](const modules::ModuleBuildResult *A,
+                   const modules::ModuleBuildResult *B) {
+    return A->Module < B->Module;
+  };
+  std::sort(Failed.begin(), Failed.end(), ByName);
+  std::sort(Skipped.begin(), Skipped.end(), ByName);
+  const size_t MaxShown = 20;
+  for (size_t I = 0; I < Failed.size() && I < MaxShown; ++I)
+    std::cerr << "module " << Failed[I]->Module << ": error: "
+              << Failed[I]->Error << "\n";
+  if (Failed.size() > MaxShown)
+    std::cerr << "... and " << Failed.size() - MaxShown
+              << " more failed modules\n";
+  for (size_t I = 0; I < Skipped.size() && I < MaxShown; ++I)
+    std::cerr << "module " << Skipped[I]->Module << ": skipped ("
+              << Skipped[I]->Error << ")\n";
+  if (Skipped.size() > MaxShown)
+    std::cerr << "... and " << Skipped.size() - MaxShown
+              << " more skipped modules\n";
+
   std::cout << "batch: " << BR.Results.size() << " modules, " << Checked
-            << " checked, " << Cached << " cached\n";
+            << " checked, " << Cached << " cached";
+  if (!Failed.empty() || !Skipped.empty())
+    std::cout << ", " << Failed.size() << " failed, " << Skipped.size()
+              << " skipped";
+  std::cout << "\n";
   return BR.Success ? 0 : 1;
 }
 
-} // namespace
+int runGenCorpus(const corpus::CorpusOptions &Opts,
+                 const std::string &OutDir) {
+  std::vector<corpus::GeneratedModule> Mods = corpus::generate(Opts);
+  std::string Error;
+  if (!corpus::writeCorpus(Mods, OutDir, Error)) {
+    std::cerr << "fgc: error: " << Error << "\n";
+    return 1;
+  }
+  std::cout << "corpus: " << Mods.size() << " modules -> " << OutDir
+            << " (seed " << Opts.Seed << ", shape "
+            << corpus::shapeName(Opts.GraphShape) << ", root "
+            << Mods.back().Name << ")\n";
+  return 0;
+}
 
-int main(int Argc, char **Argv) {
+int fgcMain(int Argc, char **Argv) {
   bool CheckOnly = false, PrintTranslation = false, PrintAst = false;
   bool Direct = false, Optimize = false, Batch = false, UseCache = true;
   bool DumpBytecode = false;
@@ -291,6 +368,9 @@ int main(int Argc, char **Argv) {
   bool VModeSet = false;
   std::vector<std::string> SearchPaths, Paths;
   std::string CacheDir;
+  corpus::CorpusOptions CorpusOpts;
+  unsigned GenCorpus = 0;
+  std::string CorpusOut;
   CompileOptions Opts;
   StatsReporter Reporter;
 
@@ -387,7 +467,64 @@ int main(int Argc, char **Argv) {
       }
       FuzzSeed = N;
     }
-    else if (Arg == "--stats")
+    else if (Arg == "--gen-corpus" || Arg.rfind("--gen-corpus=", 0) == 0) {
+      std::string Value =
+          Arg == "--gen-corpus"
+              ? (I + 1 < Argc ? Argv[++I] : "")
+              : Arg.substr(std::string("--gen-corpus=").size());
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0' || N == 0) {
+        std::cerr << "fgc: error: --gen-corpus requires a positive "
+                     "module count\n";
+        return usageError();
+      }
+      GenCorpus = static_cast<unsigned>(N);
+    } else if (Arg == "--out" || Arg.rfind("--out=", 0) == 0) {
+      CorpusOut = Arg == "--out" ? (I + 1 < Argc ? Argv[++I] : "")
+                                 : Arg.substr(std::string("--out=").size());
+      if (CorpusOut.empty()) {
+        std::cerr << "fgc: error: --out requires a directory\n";
+        return usageError();
+      }
+    } else if (Arg.rfind("--corpus-shape=", 0) == 0) {
+      std::string Value = Arg.substr(std::string("--corpus-shape=").size());
+      if (!corpus::parseShape(Value, CorpusOpts.GraphShape)) {
+        std::cerr << "fgc: error: --corpus-shape must be one of layered, "
+                     "chain, fanin\n";
+        return usageError();
+      }
+    } else if (Arg.rfind("--corpus-layers=", 0) == 0) {
+      std::string Value = Arg.substr(std::string("--corpus-layers=").size());
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0') {
+        std::cerr << "fgc: error: --corpus-layers requires a number\n";
+        return usageError();
+      }
+      CorpusOpts.Layers = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--corpus-max-imports=", 0) == 0) {
+      std::string Value =
+          Arg.substr(std::string("--corpus-max-imports=").size());
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0' || N == 0) {
+        std::cerr << "fgc: error: --corpus-max-imports requires a "
+                     "positive number\n";
+        return usageError();
+      }
+      CorpusOpts.MaxImports = static_cast<unsigned>(N);
+    } else if (Arg.rfind("--corpus-diamond=", 0) == 0) {
+      std::string Value = Arg.substr(std::string("--corpus-diamond=").size());
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (Value.empty() || !End || *End != '\0' || N > 100) {
+        std::cerr << "fgc: error: --corpus-diamond requires a percentage "
+                     "(0-100)\n";
+        return usageError();
+      }
+      CorpusOpts.DiamondPct = static_cast<unsigned>(N);
+    } else if (Arg == "--stats")
       Reporter.Human = true;
     else if (Arg.rfind("--stats-json=", 0) == 0) {
       Reporter.JsonPath = Arg.substr(std::string("--stats-json=").size());
@@ -430,12 +567,24 @@ int main(int Argc, char **Argv) {
       Paths.push_back(Arg);
   }
   Opts.VerifyTranslation = VMode != validate::Mode::Off;
-  if (Paths.empty() && FuzzCount == 0)
+  if (Paths.empty() && FuzzCount == 0 && GenCorpus == 0)
     return usageError();
   if (!Batch && Paths.size() > 1)
     return usageError();
   if (Reporter.Human || !Reporter.JsonPath.empty())
     stats::Statistics::global().enable(true);
+
+  if (GenCorpus != 0) {
+    if (!Paths.empty() || Batch || FuzzCount != 0)
+      return usageError();
+    if (CorpusOut.empty()) {
+      std::cerr << "fgc: error: --gen-corpus requires --out <dir>\n";
+      return usageError();
+    }
+    CorpusOpts.Modules = GenCorpus;
+    CorpusOpts.Seed = FuzzSeed;
+    return runGenCorpus(CorpusOpts, CorpusOut);
+  }
 
   if (FuzzCount != 0) {
     if (!Paths.empty() || Batch)
@@ -651,4 +800,41 @@ int main(int Argc, char **Argv) {
     }
   }
   return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+#if defined(__unix__) || defined(__APPLE__)
+  // Corpus-scale inputs recurse proportionally to program depth: a
+  // 10k-module import chain links into a let spine tens of thousands
+  // of levels deep, and the parser, checker, translator and
+  // tree-walking evaluator all walk it recursively.  The default 8 MiB
+  // main-thread stack overflows around that scale, so the driver runs
+  // on a thread with a deep (lazily committed) stack instead.
+  pthread_attr_t Attr;
+  if (pthread_attr_init(&Attr) == 0) {
+    struct Args {
+      int Argc;
+      char **Argv;
+      int Ret;
+    } A{Argc, Argv, 1};
+    pthread_t Tid;
+    if (pthread_attr_setstacksize(&Attr, size_t(512) << 20) == 0 &&
+        pthread_create(
+            &Tid, &Attr,
+            [](void *P) -> void * {
+              Args *A = static_cast<Args *>(P);
+              A->Ret = fgcMain(A->Argc, A->Argv);
+              return nullptr;
+            },
+            &A) == 0) {
+      pthread_join(Tid, nullptr);
+      pthread_attr_destroy(&Attr);
+      return A.Ret;
+    }
+    pthread_attr_destroy(&Attr);
+  }
+#endif
+  return fgcMain(Argc, Argv);
 }

@@ -75,18 +75,30 @@ void buildModule(const ModuleUnit &U,
   if (Opts.UseCache) {
     std::string Text;
     uint64_t Stored;
-    if (readFile(CachePath, Text) && peekInterfaceHash(Text, Stored) &&
-        Stored == Expected) {
-      S.add("modules.interface_cache.hits");
-      Out.Ok = true;
-      Out.Hash = Expected;
-      Out.InterfaceText = std::move(Text);
-      R.Success = true;
-      R.CacheHit = true;
-      return;
+    if (readFile(CachePath, Text) && peekInterfaceHash(Text, Stored)) {
+      if (Stored == Expected) {
+        S.add("modules.cache.hits");
+        Out.Ok = true;
+        Out.Hash = Expected;
+        Out.InterfaceText = std::move(Text);
+        R.Success = true;
+        R.CacheHit = true;
+        return;
+      }
+      // A stale interface exists: attribute the invalidation.  If the
+      // current source re-hashed against the *stored* dep hashes still
+      // reproduces the stored hash, this module's own text is
+      // unchanged — the invalidation cascaded transitively from a
+      // dependency.  Otherwise the source itself was edited.
+      std::vector<std::pair<std::string, uint64_t>> StoredDeps;
+      if (peekInterfaceDeps(Text, StoredDeps) &&
+          interfaceHash(U.Source, StoredDeps) == Stored)
+        S.add("modules.cache.invalidations.transitive");
+      else
+        S.add("modules.cache.invalidations.source");
     }
   }
-  S.add("modules.interface_cache.misses");
+  S.add("modules.cache.misses");
 
   // Fresh compiler state per module: instantiate every interface in the
   // closure (dependency order), then check this module's body against

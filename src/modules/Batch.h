@@ -19,7 +19,9 @@
 /// skips the module entirely (an interface cache hit).
 ///
 /// Observability (support/Stats.h): counters `modules.loaded`,
-/// `modules.compiled`, `modules.interface_cache.hits` / `.misses`
+/// `modules.compiled`, `modules.cache.hits` / `.misses` (with
+/// `modules.cache.invalidations.source` / `.transitive` attributing
+/// each stale interface to an edited source or a cascading dependency)
 /// (hit_rate derived at emission), `batch.wavefront.max_width`; timers
 /// `modules.parse`, `modules.instantiate`, `modules.serialize` plus the
 /// regular frontend phase timers.

@@ -811,6 +811,33 @@ bool fg::modules::peekInterfaceHash(const std::string &Text,
          parseHex(H->Items[1].Atom, HashOut);
 }
 
+bool fg::modules::peekInterfaceDeps(
+    const std::string &Text,
+    std::vector<std::pair<std::string, uint64_t>> &DepsOut) {
+  size_t Pos = 0;
+  Sexp Root;
+  std::string Error;
+  if (!parseSexp(Text, Pos, Root, Error))
+    return false;
+  if (Root.IsAtom || Root.Items.size() < 2 || !Root.Items[0].IsAtom ||
+      Root.Items[0].Atom != "fgi" || !Root.Items[1].IsAtom ||
+      Root.Items[1].Atom != "1")
+    return false;
+  DepsOut.clear();
+  const Sexp *DepsS = findField(Root, "deps");
+  if (!DepsS)
+    return true; // A leaf module legitimately records no deps.
+  for (size_t I = 1; I != DepsS->Items.size(); ++I) {
+    const Sexp &D = DepsS->Items[I];
+    uint64_t H;
+    if (D.IsAtom || D.Items.size() != 2 || !D.Items[0].IsAtom ||
+        !D.Items[1].IsAtom || !parseHex(D.Items[1].Atom, H))
+      return false;
+    DepsOut.emplace_back(D.Items[0].Atom, H);
+  }
+  return true;
+}
+
 bool fg::modules::instantiateInterface(const std::string &Text, Frontend &FE,
                                        ImportEnv &Env, ModuleInterface &Out,
                                        std::string &Error) {

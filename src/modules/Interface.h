@@ -191,6 +191,17 @@ std::string serializeInterface(const ModuleInterface &I,
 /// validation).  Returns false on malformed input.
 bool peekInterfaceHash(const std::string &Text, uint64_t &HashOut);
 
+/// Reads only the recorded direct-dependency (name, hash) pairs from
+/// `.fgi` text, in import order (cheap invalidation attribution: if
+/// re-hashing the current source against these stored dep hashes
+/// reproduces the stored interface hash, the source is unchanged and
+/// an invalidation must have cascaded from a dependency).  Returns
+/// false on malformed input; a dependency-free interface yields an
+/// empty vector.
+bool peekInterfaceDeps(const std::string &Text,
+                       std::vector<std::pair<std::string, uint64_t>>
+                           &DepsOut);
+
 /// Parses `.fgi` text and installs its type-level contents into \p FE:
 /// concepts are declared, aliases bound, models registered (with their
 /// dictionary typings added to \p Env.ImportTypes).  \p Out receives

@@ -100,76 +100,112 @@ const ModuleUnit *ModuleLoader::find(const std::string &Name) const {
 
 bool ModuleLoader::loadFile(const std::string &Path, std::string &RootName,
                             std::string &Error) {
-  std::vector<std::string> Stack;
-  return loadFileImpl(Path, Stack, RootName, Error);
-}
+  // Iterative DFS with explicit frames: a corpus-scale chain can be
+  // tens of thousands of modules deep, which must not translate into
+  // call-stack depth.  A frame holds one file mid-visit; its unit is
+  // registered post-order, once every import below it has loaded.
+  struct Frame {
+    std::string Path;
+    std::string Name;
+    std::string Dir;
+    std::string Source;
+    ModuleHeader Header;
+    size_t NextImport = 0;
+  };
+  std::vector<Frame> Stack;
+  std::set<std::string> InStack; // O(log d) cycle probe, not O(d).
 
-bool ModuleLoader::loadFileImpl(const std::string &Path,
-                                std::vector<std::string> &Stack,
-                                std::string &RootName, std::string &Error) {
-  std::string Stem = fs::path(Path).stem().string();
+  // Reads and validates one file and pushes its frame.  Sets \p Skip
+  // (without pushing) when the module is already registered.
+  auto enter = [&](const std::string &FilePath, bool &Skip) -> bool {
+    Skip = false;
+    std::string Stem = fs::path(FilePath).stem().string();
 
-  std::ifstream In(Path, std::ios::binary);
-  if (!In) {
-    Error = "cannot read `" + Path + "`";
-    return false;
-  }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
-  std::string Source = Buf.str();
-
-  ModuleHeader Header;
-  if (!scanHeader(Path, Source, Header, Error))
-    return false;
-  if (Header.HasModuleDecl && Header.Name != Stem) {
-    Error = Path + ": module `" + Header.Name +
-            "` must live in a file named `" + Header.Name + ".fg`";
-    return false;
-  }
-  std::string Name = Stem;
-  RootName = Name;
-
-  if (const ModuleUnit *Existing = find(Name)) {
-    std::error_code EC;
-    if (fs::equivalent(Existing->Path, Path, EC))
-      return true;
-    Error = "two files define module `" + Name + "`: " + Existing->Path +
-            " and " + Path;
-    return false;
-  }
-
-  Stack.push_back(Name);
-  std::string Dir = fs::path(Path).parent_path().string();
-  for (const ModuleHeader::Import &Imp : Header.Imports) {
-    auto InStack = std::find(Stack.begin(), Stack.end(), Imp.Name);
-    if (InStack != Stack.end()) {
-      std::string Cycle;
-      for (auto It = InStack; It != Stack.end(); ++It)
-        Cycle += *It + " -> ";
-      Error = Path + ": import cycle: " + Cycle + Imp.Name;
+    std::ifstream In(FilePath, std::ios::binary);
+    if (!In) {
+      Error = "cannot read `" + FilePath + "`";
       return false;
     }
-    if (find(Imp.Name))
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+
+    Frame F;
+    F.Path = FilePath;
+    F.Source = Buf.str();
+    if (!scanHeader(FilePath, F.Source, F.Header, Error))
+      return false;
+    if (F.Header.HasModuleDecl && F.Header.Name != Stem) {
+      Error = FilePath + ": module `" + F.Header.Name +
+              "` must live in a file named `" + F.Header.Name + ".fg`";
+      return false;
+    }
+    F.Name = Stem;
+
+    if (const ModuleUnit *Existing = find(Stem)) {
+      std::error_code EC;
+      if (fs::equivalent(Existing->Path, FilePath, EC)) {
+        Skip = true;
+        return true;
+      }
+      Error = "two files define module `" + Stem + "`: " + Existing->Path +
+              " and " + FilePath;
+      return false;
+    }
+
+    F.Dir = fs::path(FilePath).parent_path().string();
+    InStack.insert(Stem);
+    Stack.push_back(std::move(F));
+    return true;
+  };
+
+  bool RootSkip;
+  if (!enter(Path, RootSkip))
+    return false;
+  RootName = fs::path(Path).stem().string();
+  if (RootSkip)
+    return true;
+
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.NextImport < F.Header.Imports.size()) {
+      const ModuleHeader::Import &Imp = F.Header.Imports[F.NextImport++];
+      if (InStack.count(Imp.Name)) {
+        std::string Cycle;
+        auto It = std::find_if(
+            Stack.begin(), Stack.end(),
+            [&](const Frame &G) { return G.Name == Imp.Name; });
+        for (; It != Stack.end(); ++It)
+          Cycle += It->Name + " -> ";
+        Error = F.Path + ": import cycle: " + Cycle + Imp.Name;
+        return false;
+      }
+      if (find(Imp.Name))
+        continue;
+      std::string ImpPath = resolveImport(Imp.Name, F.Dir, Error);
+      if (ImpPath.empty()) {
+        Error = F.Path + ": " + Error;
+        return false;
+      }
+      // `enter` may reallocate the frame stack; F is dead after this.
+      bool Skip;
+      if (!enter(ImpPath, Skip))
+        return false;
       continue;
-    std::string ImpPath = resolveImport(Imp.Name, Dir, Error);
-    if (ImpPath.empty()) {
-      Error = Path + ": " + Error;
-      return false;
     }
-    std::string Ignored;
-    if (!loadFileImpl(ImpPath, Stack, Ignored, Error))
-      return false;
-  }
-  Stack.pop_back();
 
-  ModuleUnit U;
-  U.Name = Name;
-  U.Path = Path;
-  U.Source = std::move(Source);
-  U.Imports = std::move(Header.Imports);
-  U.HasModuleDecl = Header.HasModuleDecl;
-  Units.emplace(Name, std::move(U));
-  stats::Statistics::global().add("modules.loaded");
+    // Post-order: every import is registered, so register this unit.
+    std::string Name = F.Name;
+    ModuleUnit U;
+    U.Name = Name;
+    U.Path = std::move(F.Path);
+    U.Source = std::move(F.Source);
+    U.Imports = std::move(F.Header.Imports);
+    U.HasModuleDecl = F.Header.HasModuleDecl;
+    InStack.erase(Name);
+    Units.emplace(Name, std::move(U));
+    stats::Statistics::global().add("modules.loaded");
+    Stack.pop_back();
+  }
   return true;
 }
 
@@ -291,6 +327,28 @@ uint64_t ModuleLoader::contentHash(const std::string &Root) const {
   return H;
 }
 
+/// The location of \p T's *leftmost* token.  Application and
+/// type-application nodes carry the location of their argument list,
+/// not of the callee (`iadd(a, b)` is located at the `(`), so cutting
+/// module text at a tail expression's own location would slice the
+/// callee into the declaration spine; follow the callee chain instead.
+static SourceLocation leftmostLoc(const Term *T) {
+  SourceLocation Best = T->getLoc();
+  while (true) {
+    if (const auto *A = dyn_cast<AppTerm>(T))
+      T = A->getFn();
+    else if (const auto *TA = dyn_cast<TyAppTerm>(T))
+      T = TA->getFn();
+    else
+      break;
+    SourceLocation L = T->getLoc();
+    if (L.Line < Best.Line ||
+        (L.Line == Best.Line && L.Column < Best.Column))
+      Best = L;
+  }
+  return Best;
+}
+
 /// Byte offset of 1-based (\p Line, \p Col) in \p Src.
 static size_t offsetOf(const std::string &Src, uint32_t Line, uint32_t Col) {
   size_t Off = 0;
@@ -321,7 +379,7 @@ bool ModuleLoader::spineText(Frontend &FE, const std::string &Root,
     if (S.Nodes.empty())
       continue; // Pure expression module: nothing to export.
     SourceLocation Begin = S.Nodes.front()->getLoc();
-    SourceLocation TailLoc = S.Tail->getLoc();
+    SourceLocation TailLoc = leftmostLoc(S.Tail);
     size_t BeginOff = offsetOf(U.Source, Begin.Line, Begin.Column);
     size_t EndOff = offsetOf(U.Source, TailLoc.Line, TailLoc.Column);
     if (EndOff < BeginOff)

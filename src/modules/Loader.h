@@ -121,8 +121,6 @@ public:
                  std::string &Error) const;
 
 private:
-  bool loadFileImpl(const std::string &Path, std::vector<std::string> &Stack,
-                    std::string &RootName, std::string &Error);
   /// Parses every module of \p Order into \p FE with seeded scopes
   /// (shared by link() and spineText()).
   bool parseClosure(Frontend &FE, const std::vector<std::string> &Order,

@@ -21,6 +21,8 @@
 
 #include "support/Backends.h"
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <gtest/gtest.h>
 #include <string>
 #include <sys/wait.h>
@@ -155,6 +157,99 @@ TEST(DriverCliTest, AotWithoutHostCompilerIsActionableExit2) {
   EXPECT_NE(Err.find("--backend=aot is unavailable"), std::string::npos)
       << Err;
   EXPECT_NE(Err.find("/nonexistent/cxx"), std::string::npos) << Err;
+}
+
+//===----------------------------------------------------------------------===//
+// --gen-corpus and batch aggregation at scale.
+//===----------------------------------------------------------------------===//
+
+namespace fs = std::filesystem;
+
+/// A scratch directory wiped on construction and destruction.
+struct ScratchDir {
+  fs::path P;
+  explicit ScratchDir(const std::string &Name)
+      : P(fs::temp_directory_path() / Name) {
+    fs::remove_all(P);
+    fs::create_directories(P);
+  }
+  ~ScratchDir() { fs::remove_all(P); }
+  std::string str() const { return P.string(); }
+};
+
+TEST(DriverCliTest, GenCorpusIsByteIdenticalAcrossRuns) {
+  ScratchDir A("fgc_cli_corpus_a"), B("fgc_cli_corpus_b");
+  RunResult RA = runFgc("--gen-corpus 40 --seed 3 --out " + A.str());
+  ASSERT_EQ(RA.ExitCode, 0) << RA.Stderr;
+  EXPECT_NE(RA.Stdout.find("corpus: 40 modules"), std::string::npos)
+      << RA.Stdout;
+  RunResult RB = runFgc("--gen-corpus 40 --seed 3 --out " + B.str());
+  ASSERT_EQ(RB.ExitCode, 0) << RB.Stderr;
+
+  std::string DiffOut;
+  int DiffCode =
+      capture("diff -r " + A.str() + " " + B.str() + " 2>&1", DiffOut);
+  EXPECT_EQ(DiffCode, 0) << "regeneration differs:\n" << DiffOut;
+}
+
+TEST(DriverCliTest, GenCorpusOutputBatchChecksWithQuietProgress) {
+  ScratchDir Dir("fgc_cli_corpus_check"), Cache("fgc_cli_corpus_cache");
+  ASSERT_EQ(runFgc("--gen-corpus 40 --seed 5 --out " + Dir.str()).ExitCode,
+            0);
+  RunResult R = runFgc("--batch -j 2 --module-cache=" + Cache.str() + " " +
+                       Dir.str());
+  EXPECT_EQ(R.ExitCode, 0) << R.Stderr;
+  EXPECT_NE(R.Stdout.find("batch: 40 modules, 40 checked, 0 cached"),
+            std::string::npos)
+      << R.Stdout;
+  // Above 32 modules the per-module progress flood is suppressed; the
+  // summary line carries the signal.
+  EXPECT_EQ(R.Stdout.find("module m0000"), std::string::npos) << R.Stdout;
+}
+
+TEST(DriverCliTest, GenCorpusUsageErrors) {
+  // --out is mandatory; zero modules and mixing with input files are
+  // contradictions.
+  EXPECT_EQ(runFgc("--gen-corpus 5").ExitCode, 2);
+  EXPECT_EQ(runFgc("--gen-corpus 0 --out /tmp/x").ExitCode, 2);
+  EXPECT_EQ(runFgc("--gen-corpus 5 --out /tmp/x a.fg").ExitCode, 2);
+  EXPECT_EQ(runFgc("--gen-corpus 5 --out /tmp/x --batch").ExitCode, 2);
+  EXPECT_EQ(
+      runFgc("--gen-corpus 5 --out /tmp/x --corpus-shape=mobius").ExitCode,
+      2);
+}
+
+TEST(DriverCliTest, BatchFailureSummaryIsDeterministicAndExitsNonzero) {
+  ScratchDir Dir("fgc_cli_batch_fail"), Cache("fgc_cli_batch_fail_cache");
+  auto Put = [&](const char *Name, const char *Text) {
+    std::ofstream(Dir.P / Name) << Text;
+  };
+  Put("good.fg", "module good;\nlet g = 1 in 0\n");
+  Put("bad.fg", "module bad;\niadd(1, true)\n");
+  Put("apex.fg", "module apex;\nimport good;\nimport bad;\ng\n");
+
+  std::string Cmd = "--batch -j 2 --module-cache=" + Cache.str() + " " +
+                    Dir.str();
+  RunResult R1 = runFgc(Cmd);
+  EXPECT_EQ(R1.ExitCode, 1);
+  EXPECT_NE(R1.Stdout.find(
+                "batch: 3 modules, 1 checked, 0 cached, 1 failed, 1 skipped"),
+            std::string::npos)
+      << R1.Stdout;
+  EXPECT_NE(R1.Stderr.find("module bad: error:"), std::string::npos)
+      << R1.Stderr;
+  EXPECT_NE(R1.Stderr.find("module apex: skipped"), std::string::npos)
+      << R1.Stderr;
+
+  // The diagnostic digest is byte-stable run over run, independent of
+  // worker scheduling.  (Fresh cache, so the summary is identical too —
+  // runFgc's own double execution leaves good.fgi behind.)
+  fs::remove_all(Cache.P);
+  fs::create_directories(Cache.P);
+  RunResult R2 = runFgc(Cmd);
+  EXPECT_EQ(R2.ExitCode, 1);
+  EXPECT_EQ(R1.Stderr, R2.Stderr);
+  EXPECT_EQ(R1.Stdout, R2.Stdout);
 }
 
 } // namespace

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "corpus/Corpus.h"
 #include "modules/Batch.h"
 #include "modules/Interface.h"
 #include "modules/Loader.h"
@@ -214,11 +215,9 @@ TEST_F(ModulesTest, BatchWarmRunHitsInterfaceCache) {
   ASSERT_TRUE(Warm.Success);
   for (const ModuleBuildResult &R : Warm.Results)
     EXPECT_TRUE(R.CacheHit) << R.Module;
-  EXPECT_EQ(After["modules.interface_cache.hits"] -
-                Before["modules.interface_cache.hits"],
+  EXPECT_EQ(After["modules.cache.hits"] - Before["modules.cache.hits"],
             4u);
-  EXPECT_EQ(After["modules.interface_cache.misses"] -
-                Before["modules.interface_cache.misses"],
+  EXPECT_EQ(After["modules.cache.misses"] - Before["modules.cache.misses"],
             0u);
 }
 
@@ -382,6 +381,182 @@ TEST_F(ModulesTest, InterfaceHashCoversSourceAndDeps) {
   EXPECT_NE(H1, interfaceHash("src", {{"a", 2}}));
   EXPECT_NE(H1, interfaceHash("src", {{"b", 1}}));
   EXPECT_NE(H1, interfaceHash("src", {}));
+}
+
+//===----------------------------------------------------------------------===//
+// Generated corpora (corpus/Corpus.h) through the module pipeline.
+//===----------------------------------------------------------------------===//
+
+/// Writes \p Mods into the fixture dir and loads the graph from its
+/// root (the generator's final module reaches everything).
+static void loadCorpus(const fs::path &Dir,
+                       const std::vector<corpus::GeneratedModule> &Mods,
+                       ModuleLoader &Loader, std::string &Root) {
+  std::string Error;
+  ASSERT_TRUE(corpus::writeCorpus(Mods, Dir.string(), Error)) << Error;
+  std::string RootPath = (Dir / (Mods.back().Name + ".fg")).string();
+  ASSERT_TRUE(Loader.loadFile(RootPath, Root, Error)) << Error;
+}
+
+TEST_F(ModulesTest, CorpusIsDeterministicAndSeedSensitive) {
+  corpus::CorpusOptions Opts;
+  Opts.Modules = 40;
+  Opts.Seed = 7;
+  std::vector<corpus::GeneratedModule> A = corpus::generate(Opts);
+  std::vector<corpus::GeneratedModule> B = corpus::generate(Opts);
+  ASSERT_EQ(A.size(), 40u);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Name, B[I].Name);
+    EXPECT_EQ(A[I].Imports, B[I].Imports);
+    EXPECT_EQ(A[I].Source, B[I].Source) << A[I].Name;
+  }
+  Opts.Seed = 8;
+  std::vector<corpus::GeneratedModule> C = corpus::generate(Opts);
+  bool AnyDiff = false;
+  for (size_t I = 0; I < A.size(); ++I)
+    AnyDiff |= A[I].Source != C[I].Source;
+  EXPECT_TRUE(AnyDiff) << "seed change did not alter the corpus";
+}
+
+TEST_F(ModulesTest, CorpusLayeredTypechecksAndRuns) {
+  corpus::CorpusOptions Opts;
+  Opts.Modules = 40;
+  Opts.Seed = 11;
+  ModuleLoader Loader;
+  std::string Root;
+  loadCorpus(Dir, corpus::generate(Opts), Loader, Root);
+
+  BatchResult BR = batch(Loader, {Root}, /*Jobs=*/2);
+  ASSERT_TRUE(BR.Success);
+  EXPECT_EQ(BR.Results.size(), 40u);
+  for (const ModuleBuildResult &R : BR.Results)
+    EXPECT_TRUE(R.Success) << R.Module << ": " << R.Error;
+
+  // The root links into a runnable whole program: generated values are
+  // bounded by construction, so evaluation terminates with an int.
+  Frontend FE;
+  std::string Error;
+  const Term *Program = Loader.link(FE, Root, Error);
+  ASSERT_NE(Program, nullptr) << Error;
+  CompileOutput Out = FE.compileTerm(Program);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  sf::EvalResult R = FE.run(Out);
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST_F(ModulesTest, CorpusChain64DeepInvalidationRipplesFromLeaf) {
+  corpus::CorpusOptions Opts;
+  Opts.Modules = 64;
+  Opts.Seed = 5;
+  Opts.GraphShape = corpus::Shape::Chain;
+  std::vector<corpus::GeneratedModule> Mods = corpus::generate(Opts);
+  {
+    ModuleLoader Loader;
+    std::string Root;
+    loadCorpus(Dir, Mods, Loader, Root);
+    ASSERT_EQ(Root, "m0063");
+    BatchResult Cold = batch(Loader, {Root});
+    ASSERT_TRUE(Cold.Success);
+    ASSERT_EQ(Cold.Results.size(), 64u);
+    BatchResult Warm = batch(Loader, {Root});
+    ASSERT_TRUE(Warm.Success);
+    for (const ModuleBuildResult &R : Warm.Results)
+      EXPECT_TRUE(R.CacheHit) << R.Module;
+  }
+
+  // Edit the leaf: the content hash changes, and the interface-hash
+  // cascade must invalidate the entire 64-deep chain above it — the
+  // leaf attributed to its source, all 63 dependents transitively.
+  std::string Leaf = readAll((Dir / "m0000.fg").string());
+  write("m0000.fg", Leaf + "// leaf edited\n");
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(
+      Loader.loadFile((Dir / "m0063.fg").string(), Root, Error))
+      << Error;
+  auto Before = stats::Statistics::global().counters();
+  BatchResult BR = batch(Loader, {Root});
+  auto After = stats::Statistics::global().counters();
+  ASSERT_TRUE(BR.Success);
+  for (const ModuleBuildResult &R : BR.Results)
+    EXPECT_FALSE(R.CacheHit) << R.Module;
+  EXPECT_EQ(After["modules.cache.invalidations.source"] -
+                Before["modules.cache.invalidations.source"],
+            1u);
+  EXPECT_EQ(After["modules.cache.invalidations.transitive"] -
+                Before["modules.cache.invalidations.transitive"],
+            63u);
+  EXPECT_EQ(After["modules.cache.hits"] - Before["modules.cache.hits"], 0u);
+}
+
+TEST_F(ModulesTest, CorpusFanIn64WideRootChecksAndCaches) {
+  corpus::CorpusOptions Opts;
+  Opts.Modules = 65; // 64 independent foundations + the fan-in root.
+  Opts.Seed = 9;
+  Opts.GraphShape = corpus::Shape::FanIn;
+  std::vector<corpus::GeneratedModule> Mods = corpus::generate(Opts);
+  EXPECT_EQ(Mods.back().Imports.size(), 64u);
+
+  ModuleLoader Loader;
+  std::string Root;
+  loadCorpus(Dir, Mods, Loader, Root);
+  auto Before = stats::Statistics::global().counters();
+  BatchResult Cold = batch(Loader, {Root}, /*Jobs=*/4);
+  ASSERT_TRUE(Cold.Success);
+  EXPECT_EQ(Cold.Results.size(), 65u);
+
+  // A second run is 65 hits; an edit to one foundation invalidates
+  // exactly itself and the root — the other 63 stay cached.
+  BatchResult Warm = batch(Loader, {Root}, /*Jobs=*/4);
+  auto After = stats::Statistics::global().counters();
+  ASSERT_TRUE(Warm.Success);
+  EXPECT_EQ(After["modules.cache.hits"] - Before["modules.cache.hits"],
+            65u);
+
+  std::string One = readAll((Dir / "m0007.fg").string());
+  write("m0007.fg", One + "// edited\n");
+  ModuleLoader Fresh;
+  std::string Root2, Error;
+  ASSERT_TRUE(
+      Fresh.loadFile((Dir / "m0064.fg").string(), Root2, Error))
+      << Error;
+  BatchResult BR = batch(Fresh, {Root2}, /*Jobs=*/4);
+  ASSERT_TRUE(BR.Success);
+  unsigned Hits = 0, Recompiled = 0;
+  for (const ModuleBuildResult &R : BR.Results)
+    ++(R.CacheHit ? Hits : Recompiled);
+  EXPECT_EQ(Hits, 63u);
+  EXPECT_EQ(Recompiled, 2u);
+  EXPECT_FALSE(BR.find("m0007")->CacheHit);
+  EXPECT_FALSE(BR.find("m0064")->CacheHit);
+}
+
+TEST_F(ModulesTest, PeekInterfaceDepsRoundTrips) {
+  std::string Top = writeDiamond();
+  ModuleLoader Loader;
+  std::string Root, Error;
+  ASSERT_TRUE(Loader.loadFile(Top, Root, Error)) << Error;
+  ASSERT_TRUE(batch(Loader, {Root}).Success);
+
+  std::string Text = readAll((Dir / "top.fgi").string());
+  std::vector<std::pair<std::string, uint64_t>> Deps;
+  ASSERT_TRUE(peekInterfaceDeps(Text, Deps));
+  ASSERT_EQ(Deps.size(), 3u);
+  EXPECT_EQ(Deps[0].first, "base");
+  EXPECT_EQ(Deps[1].first, "left");
+  EXPECT_EQ(Deps[2].first, "right");
+  // The stored hash must be reproducible from source + stored deps —
+  // the property the transitive-invalidation attribution relies on.
+  uint64_t Stored;
+  ASSERT_TRUE(peekInterfaceHash(Text, Stored));
+  EXPECT_EQ(Stored,
+            interfaceHash(readAll((Dir / "top.fg").string()), Deps));
+
+  std::vector<std::pair<std::string, uint64_t>> LeafDeps;
+  ASSERT_TRUE(peekInterfaceDeps(readAll((Dir / "base.fgi").string()),
+                                LeafDeps));
+  EXPECT_TRUE(LeafDeps.empty());
 }
 
 } // namespace

@@ -194,6 +194,27 @@ TEST(ReplTest, LoadSplicesModuleDeclarations) {
   EXPECT_NE(Out.find("42 : int"), std::string::npos) << Out;
 }
 
+TEST(ReplTest, LoadFglibAndUseItsConceptStack) {
+  // Loading the library root splices all 21 fglib modules into the
+  // session: the root smoke value prints, and the algebraic stack is
+  // then live — mtimes/sg_square resolve through the ambient additive
+  // Monoid<int>/Semigroup<int> models, and a freshly declared model
+  // joins the imported Semigroup concept.
+  std::string Out = repl(":load " FG_FGLIB_DIR "/fglib.fg\n"
+                         "mtimes[int](3, 7)\n"
+                         "sg_square[int](5)\n"
+                         "model [by_mult] Semigroup<int> "
+                         "{ sg_op = imult; }\n"
+                         "use by_mult in sg_square[int](5)\n"
+                         ":quit\n");
+  EXPECT_NE(Out.find("value (31, 36, 7, 24, true)"), std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("21 : int"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("10 : int"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("defined model by_mult"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("25 : int"), std::string::npos) << Out;
+}
+
 TEST(ReplTest, UnknownCommandSuggestsHelp) {
   std::string Out = repl(":frobnicate\n:quit\n");
   EXPECT_NE(Out.find("unknown command :frobnicate"), std::string::npos)
