@@ -48,12 +48,12 @@ struct ValueParser {
         return nullptr;
       int64_t V = std::strtoll(S.substr(Pos, End - Pos).c_str(), nullptr, 10);
       Pos = End;
-      return std::make_shared<IntValue>(V);
+      return boxInt(V);
     }
     if (literal("true"))
-      return std::make_shared<BoolValue>(true);
+      return boxBool(true);
     if (literal("false"))
-      return std::make_shared<BoolValue>(false);
+      return boxBool(false);
     if (literal("<closure>"))
       return std::make_shared<ClosureValue>(nullptr, nullptr);
     if (literal("<tyclosure>"))

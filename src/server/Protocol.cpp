@@ -9,6 +9,7 @@
 #include "server/Json.h"
 #include "support/Backends.h"
 #include "support/Stats.h"
+#include "systemf/Value.h"
 
 using namespace fg;
 using namespace fg::server;
@@ -229,6 +230,7 @@ Protocol::Reply Protocol::handleLine(const std::string &Line) {
 
   if (M == "reset") {
     S.reset();
+    stats::Statistics::global().add("server.arena.resets");
     Json R = Json::object();
     R.set("success", Json::boolean(true));
     Out.Line = okReply(Id, std::move(R)).write();
@@ -239,6 +241,16 @@ Protocol::Reply Protocol::handleLine(const std::string &Line) {
     Json Counters = Json::object();
     for (const auto &[Name, Value] : stats::Statistics::global().counters())
       Counters.set(Name, Json::number(static_cast<int64_t>(Value)));
+    // Live-heap gauges, not monotonic counters: the interpreter value and
+    // environment-node populations right now.  A healthy daemon returns
+    // to the same figures after every `reset` (the interned constant
+    // pools are part of the baseline); ServerTest pins that invariant.
+    Counters.set("server.arena.live_values",
+                 Json::number(sf::liveValueGauge().load(
+                     std::memory_order_relaxed)));
+    Counters.set("server.arena.live_env_nodes",
+                 Json::number(sf::liveEnvNodeGauge().load(
+                     std::memory_order_relaxed)));
     Json R = Json::object();
     R.set("counters", std::move(Counters));
     R.set("cache_entries",

@@ -28,7 +28,7 @@ ValuePtr makeIntBinOp(const std::string &Name,
         if (!A || !B)
           return wrongArg(Name);
         return EvalResult::success(
-            std::make_shared<IntValue>(Op(A->getValue(), B->getValue())));
+            boxInt(Op(A->getValue(), B->getValue())));
       });
 }
 
@@ -41,7 +41,7 @@ ValuePtr makeIntCmpOp(const std::string &Name, bool (*Op)(int64_t, int64_t)) {
         if (!A || !B)
           return wrongArg(Name);
         return EvalResult::success(
-            std::make_shared<BoolValue>(Op(A->getValue(), B->getValue())));
+            boxBool(Op(A->getValue(), B->getValue())));
       });
 }
 
@@ -54,14 +54,14 @@ ValuePtr makeBoolBinOp(const std::string &Name, bool (*Op)(bool, bool)) {
         if (!A || !B)
           return wrongArg(Name);
         return EvalResult::success(
-            std::make_shared<BoolValue>(Op(A->getValue(), B->getValue())));
+            boxBool(Op(A->getValue(), B->getValue())));
       });
 }
 
 } // namespace
 
 ValuePtr fg::sf::makeListValue(const std::vector<ValuePtr> &Elements) {
-  std::shared_ptr<const ListValue> L = std::make_shared<ListValue>();
+  std::shared_ptr<const ListValue> L = nilList();
   for (size_t I = Elements.size(); I != 0; --I)
     L = std::make_shared<ListValue>(Elements[I - 1], L);
   return L;
@@ -71,7 +71,7 @@ ValuePtr fg::sf::makeIntListValue(const std::vector<int64_t> &Elements) {
   std::vector<ValuePtr> Vals;
   Vals.reserve(Elements.size());
   for (int64_t E : Elements)
-    Vals.push_back(std::make_shared<IntValue>(E));
+    Vals.push_back(boxInt(E));
   return makeListValue(Vals);
 }
 
@@ -114,7 +114,7 @@ Prelude fg::sf::makePrelude(TypeContext &Ctx) {
             if (B->getValue() == 0)
               return EvalResult::failure("division by zero");
             return EvalResult::success(
-                std::make_shared<IntValue>(A->getValue() / B->getValue()));
+                boxInt(A->getValue() / B->getValue()));
           }));
   Add("imod", IntBinTy,
       std::make_shared<BuiltinValue>(
@@ -126,7 +126,7 @@ Prelude fg::sf::makePrelude(TypeContext &Ctx) {
             if (B->getValue() == 0)
               return EvalResult::failure("modulus by zero");
             return EvalResult::success(
-                std::make_shared<IntValue>(A->getValue() % B->getValue()));
+                boxInt(A->getValue() % B->getValue()));
           }));
 
   Add("ineg", Ctx.getArrowType({IntTy}, IntTy),
@@ -136,7 +136,7 @@ Prelude fg::sf::makePrelude(TypeContext &Ctx) {
             if (!A)
               return wrongArg("ineg");
             return EvalResult::success(
-                std::make_shared<IntValue>(-A->getValue()));
+                boxInt(-A->getValue()));
           }));
 
   Add("ieq", IntCmpTy,
@@ -163,7 +163,7 @@ Prelude fg::sf::makePrelude(TypeContext &Ctx) {
             if (!A)
               return wrongArg("bnot");
             return EvalResult::success(
-                std::make_shared<BoolValue>(!A->getValue()));
+                boxBool(!A->getValue()));
           }));
 
   // Polymorphic list primitives.  At runtime, type application is the
@@ -175,7 +175,7 @@ Prelude fg::sf::makePrelude(TypeContext &Ctx) {
     return Ctx.getForAllType({{TId, "t"}}, Body);
   };
 
-  Add("nil", Poly(ListT), std::make_shared<ListValue>());
+  Add("nil", Poly(ListT), nilList());
 
   Add("cons", Poly(Ctx.getArrowType({TVar, ListT}, ListT)),
       std::make_shared<BuiltinValue>(
@@ -216,7 +216,7 @@ Prelude fg::sf::makePrelude(TypeContext &Ctx) {
             if (!L)
               return wrongArg("null");
             return EvalResult::success(
-                std::make_shared<BoolValue>(L->isNil()));
+                boxBool(L->isNil()));
           }));
 
   return P;

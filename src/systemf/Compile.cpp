@@ -25,6 +25,22 @@ namespace {
 struct Frame {
   std::vector<ValuePtr> Slots;
   std::shared_ptr<const Frame> Parent;
+
+  Frame() = default;
+  Frame(const Frame &) = delete;
+  Frame &operator=(const Frame &) = delete;
+
+  /// Frame chains are spines like environments and lists: a deep chain
+  /// dying all at once must unwind iteratively, not by recursive
+  /// ~shared_ptr chaining (see EnvNode::~EnvNode).
+  ~Frame() {
+    std::shared_ptr<const Frame> P = std::move(Parent);
+    while (P && P.use_count() == 1) {
+      std::shared_ptr<const Frame> Next =
+          std::move(const_cast<Frame &>(*P).Parent);
+      P = std::move(Next);
+    }
+  }
 };
 using FramePtr = std::shared_ptr<const Frame>;
 
@@ -153,13 +169,13 @@ public:
   Code compile(const Term *T, Scope &S) {
     switch (T->getKind()) {
     case TermKind::IntLit: {
-      ValuePtr V = std::make_shared<IntValue>(cast<IntLit>(T)->getValue());
+      ValuePtr V = boxInt(cast<IntLit>(T)->getValue());
       return [V](VMState &, const FramePtr &) {
         return EvalResult::success(V);
       };
     }
     case TermKind::BoolLit: {
-      ValuePtr V = std::make_shared<BoolValue>(cast<BoolLit>(T)->getValue());
+      ValuePtr V = boxBool(cast<BoolLit>(T)->getValue());
       return [V](VMState &, const FramePtr &) {
         return EvalResult::success(V);
       };

@@ -50,10 +50,10 @@ EvalResult Evaluator::evalTerm(const Term *T, const EnvPtr &Env) {
   switch (T->getKind()) {
   case TermKind::IntLit:
     return EvalResult::success(
-        std::make_shared<IntValue>(cast<IntLit>(T)->getValue()));
+        boxInt(cast<IntLit>(T)->getValue()));
   case TermKind::BoolLit:
     return EvalResult::success(
-        std::make_shared<BoolValue>(cast<BoolLit>(T)->getValue()));
+        boxBool(cast<BoolLit>(T)->getValue()));
 
   case TermKind::Var: {
     const auto *V = cast<VarTerm>(T);

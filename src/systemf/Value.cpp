@@ -6,104 +6,235 @@
 //===----------------------------------------------------------------------===//
 
 #include "systemf/Value.h"
-#include <sstream>
+#include <array>
+#include <utility>
 
 using namespace fg;
 using namespace fg::sf;
 
+//===----------------------------------------------------------------------===//
+// Live-object gauges
+//===----------------------------------------------------------------------===//
+
+std::atomic<int64_t> &fg::sf::liveValueGauge() {
+  static std::atomic<int64_t> G{0};
+  return G;
+}
+
+std::atomic<int64_t> &fg::sf::liveEnvNodeGauge() {
+  static std::atomic<int64_t> G{0};
+  return G;
+}
+
+//===----------------------------------------------------------------------===//
+// Interned immediates
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Ints in [-kIntPoolMin, kIntPoolMax] are shared singletons.  The range
+// covers loop counters, list contents, and every benchmark result the
+// repo pins; anything outside allocates as before.
+constexpr int64_t IntPoolMin = -4096;
+constexpr int64_t IntPoolMax = 4096;
+
+struct IntPool {
+  std::array<ValuePtr, IntPoolMax - IntPoolMin + 1> P;
+  IntPool() {
+    for (int64_t I = IntPoolMin; I <= IntPoolMax; ++I)
+      P[I - IntPoolMin] = std::make_shared<IntValue>(I);
+  }
+};
+
+} // namespace
+
+ValuePtr fg::sf::boxInt(int64_t V) {
+  static const IntPool Pool;
+  if (V >= IntPoolMin && V <= IntPoolMax)
+    return Pool.P[V - IntPoolMin];
+  return std::make_shared<IntValue>(V);
+}
+
+ValuePtr fg::sf::boxBool(bool B) {
+  static const ValuePtr True = std::make_shared<BoolValue>(true);
+  static const ValuePtr False = std::make_shared<BoolValue>(false);
+  return B ? True : False;
+}
+
+const std::shared_ptr<const ListValue> &fg::sf::nilList() {
+  static const std::shared_ptr<const ListValue> Nil =
+      std::make_shared<ListValue>();
+  return Nil;
+}
+
+//===----------------------------------------------------------------------===//
+// Iterative destruction for tuple trees
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// ~TupleValue moves its elements here instead of destroying them
+// inline; the outermost dying tuple on this thread drains the queue in
+// a loop, so a tuple-of-tuples tree of any depth unwinds iteratively.
+// Lists and environments handle their own spines hand-over-hand (see
+// Value.h), and a list head that is itself a deep tuple lands in this
+// queue too, so the two disciplines compose: mixed list/tuple nests
+// cost O(1) native stack per level.
+thread_local std::vector<std::vector<ValuePtr>> TupleDrain;
+thread_local bool TupleDraining = false;
+
+} // namespace
+
+TupleValue::~TupleValue() {
+  if (Elements.empty())
+    return;
+  TupleDrain.push_back(std::move(Elements));
+  if (TupleDraining)
+    return; // the draining frame below us owns the loop
+  TupleDraining = true;
+  while (!TupleDrain.empty()) {
+    std::vector<ValuePtr> Es = std::move(TupleDrain.back());
+    TupleDrain.pop_back();
+    Es.clear(); // may re-enter ~TupleValue, which only enqueues
+  }
+  TupleDraining = false;
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering and structural equality
+//===----------------------------------------------------------------------===//
+//
+// Both walks are driven by explicit work-lists: deeply nested values
+// (tuple-of-tuple spines, dictionaries of dictionaries) must not
+// recurse on the native stack — the fuzzer's deep-nesting scenario and
+// the AOT runtime's iterative renderer pin the same discipline.
+
 std::string fg::sf::valueToString(const Value *V) {
-  if (!V)
-    return "<null-value>";
-  switch (V->getKind()) {
-  case ValueKind::Int: {
-    std::ostringstream OS;
-    OS << cast<IntValue>(V)->getValue();
-    return OS.str();
-  }
-  case ValueKind::Bool:
-    return cast<BoolValue>(V)->getValue() ? "true" : "false";
-  case ValueKind::Tuple: {
-    std::ostringstream OS;
-    OS << '(';
-    const auto &Elems = cast<TupleValue>(V)->getElements();
-    for (size_t I = 0; I != Elems.size(); ++I) {
-      if (I)
-        OS << ", ";
-      OS << valueToString(Elems[I].get());
+  struct Tok {
+    const Value *V;  // Value to render, or
+    const char *Lit; // literal text to append.
+  };
+  std::string S;
+  std::vector<Tok> Stk;
+  Stk.push_back({V, nullptr});
+  while (!Stk.empty()) {
+    Tok T = Stk.back();
+    Stk.pop_back();
+    if (T.Lit) {
+      S += T.Lit;
+      continue;
     }
-    OS << ')';
-    return OS.str();
-  }
-  case ValueKind::List: {
-    std::ostringstream OS;
-    OS << '[';
-    bool First = true;
-    for (const ListValue *L = cast<ListValue>(V); L && !L->isNil();
-         L = L->getTail().get()) {
-      if (!First)
-        OS << ", ";
-      First = false;
-      OS << valueToString(L->getHead().get());
+    const Value *C = T.V;
+    if (!C) {
+      S += "<null-value>";
+      continue;
     }
-    OS << ']';
-    return OS.str();
+    switch (C->getKind()) {
+    case ValueKind::Int:
+      S += std::to_string(cast<IntValue>(C)->getValue());
+      break;
+    case ValueKind::Bool:
+      S += cast<BoolValue>(C)->getValue() ? "true" : "false";
+      break;
+    case ValueKind::Tuple: {
+      const auto &Elems = cast<TupleValue>(C)->getElements();
+      S += '(';
+      Stk.push_back({nullptr, ")"});
+      for (size_t I = Elems.size(); I != 0; --I) {
+        Stk.push_back({Elems[I - 1].get(), nullptr});
+        if (I != 1)
+          Stk.push_back({nullptr, ", "});
+      }
+      break;
+    }
+    case ValueKind::List: {
+      std::vector<const Value *> Heads;
+      for (const ListValue *L = cast<ListValue>(C); L && !L->isNil();
+           L = L->getTail().get())
+        Heads.push_back(L->getHead().get());
+      S += '[';
+      Stk.push_back({nullptr, "]"});
+      for (size_t I = Heads.size(); I != 0; --I) {
+        Stk.push_back({Heads[I - 1], nullptr});
+        if (I != 1)
+          Stk.push_back({nullptr, ", "});
+      }
+      break;
+    }
+    case ValueKind::Closure:
+    case ValueKind::CompiledClosure:
+    case ValueKind::VmClosure:
+      S += "<closure>";
+      break;
+    case ValueKind::TyClosure:
+    case ValueKind::CompiledTyClosure:
+    case ValueKind::VmTyClosure:
+      S += "<tyclosure>";
+      break;
+    case ValueKind::Fix:
+      S += "<fix>";
+      break;
+    case ValueKind::Builtin:
+      S += "<builtin " + cast<BuiltinValue>(C)->getName() + ">";
+      break;
+    }
   }
-  case ValueKind::Closure:
-  case ValueKind::CompiledClosure:
-  case ValueKind::VmClosure:
-    return "<closure>";
-  case ValueKind::TyClosure:
-  case ValueKind::CompiledTyClosure:
-  case ValueKind::VmTyClosure:
-    return "<tyclosure>";
-  case ValueKind::Fix:
-    return "<fix>";
-  case ValueKind::Builtin:
-    return "<builtin " + cast<BuiltinValue>(V)->getName() + ">";
-  }
-  return "<unknown-value>";
+  return S;
 }
 
 bool fg::sf::valueEquals(const Value *A, const Value *B) {
-  if (A == B)
-    return true;
-  if (!A || !B || A->getKind() != B->getKind())
-    return false;
-  switch (A->getKind()) {
-  case ValueKind::Int:
-    return cast<IntValue>(A)->getValue() == cast<IntValue>(B)->getValue();
-  case ValueKind::Bool:
-    return cast<BoolValue>(A)->getValue() == cast<BoolValue>(B)->getValue();
-  case ValueKind::Tuple: {
-    const auto &EA = cast<TupleValue>(A)->getElements();
-    const auto &EB = cast<TupleValue>(B)->getElements();
-    if (EA.size() != EB.size())
+  std::vector<std::pair<const Value *, const Value *>> Work;
+  Work.emplace_back(A, B);
+  while (!Work.empty()) {
+    const Value *X = Work.back().first;
+    const Value *Y = Work.back().second;
+    Work.pop_back();
+    if (X == Y)
+      continue;
+    if (!X || !Y || X->getKind() != Y->getKind())
       return false;
-    for (size_t I = 0; I != EA.size(); ++I)
-      if (!valueEquals(EA[I].get(), EB[I].get()))
+    switch (X->getKind()) {
+    case ValueKind::Int:
+      if (cast<IntValue>(X)->getValue() != cast<IntValue>(Y)->getValue())
         return false;
-    return true;
-  }
-  case ValueKind::List: {
-    const auto *LA = cast<ListValue>(A);
-    const auto *LB = cast<ListValue>(B);
-    while (LA && LB && !LA->isNil() && !LB->isNil()) {
-      if (!valueEquals(LA->getHead().get(), LB->getHead().get()))
+      break;
+    case ValueKind::Bool:
+      if (cast<BoolValue>(X)->getValue() != cast<BoolValue>(Y)->getValue())
         return false;
-      LA = LA->getTail().get();
-      LB = LB->getTail().get();
+      break;
+    case ValueKind::Tuple: {
+      const auto &EX = cast<TupleValue>(X)->getElements();
+      const auto &EY = cast<TupleValue>(Y)->getElements();
+      if (EX.size() != EY.size())
+        return false;
+      for (size_t I = 0; I != EX.size(); ++I)
+        Work.emplace_back(EX[I].get(), EY[I].get());
+      break;
     }
-    return LA && LB && LA->isNil() == LB->isNil();
+    case ValueKind::List: {
+      // Walk the spines here (sharing makes them long, not deep) and
+      // queue the heads for the structural work-list.
+      const auto *LX = cast<ListValue>(X);
+      const auto *LY = cast<ListValue>(Y);
+      while (LX && LY && !LX->isNil() && !LY->isNil()) {
+        Work.emplace_back(LX->getHead().get(), LY->getHead().get());
+        LX = LX->getTail().get();
+        LY = LY->getTail().get();
+      }
+      if (!(LX && LY && LX->isNil() == LY->isNil()))
+        return false;
+      break;
+    }
+    case ValueKind::Closure:
+    case ValueKind::TyClosure:
+    case ValueKind::Fix:
+    case ValueKind::Builtin:
+    case ValueKind::CompiledClosure:
+    case ValueKind::CompiledTyClosure:
+    case ValueKind::VmClosure:
+    case ValueKind::VmTyClosure:
+      return false; // Distinct function values are never equal.
+    }
   }
-  case ValueKind::Closure:
-  case ValueKind::TyClosure:
-  case ValueKind::Fix:
-  case ValueKind::Builtin:
-  case ValueKind::CompiledClosure:
-  case ValueKind::CompiledTyClosure:
-  case ValueKind::VmClosure:
-  case ValueKind::VmTyClosure:
-    return false; // Distinct function values are never equal.
-  }
-  return false;
+  return true;
 }

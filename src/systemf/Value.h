@@ -17,6 +17,7 @@
 #define FG_SYSTEMF_VALUE_H
 
 #include "support/Casting.h"
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,11 +33,40 @@ class Value;
 
 using ValuePtr = std::shared_ptr<const Value>;
 
+/// Live-object gauges for the interpreter heap (values and environment
+/// nodes).  Maintained with relaxed atomics in the constructors and
+/// destructors below, and surfaced by fgcd as `server.arena.*` so
+/// long-lived daemon sessions can prove that reset returns them to
+/// baseline.  Interned constants (small ints, booleans, nil) are part
+/// of the baseline: they are allocated once and never die.
+std::atomic<int64_t> &liveValueGauge();
+std::atomic<int64_t> &liveEnvNodeGauge();
+
 /// A persistent (immutable, shared-tail) runtime environment.
 struct EnvNode {
   std::string Name;
   ValuePtr Val;
   std::shared_ptr<const EnvNode> Next;
+
+  EnvNode() { liveEnvNodeGauge().fetch_add(1, std::memory_order_relaxed); }
+  EnvNode(const EnvNode &) = delete;
+  EnvNode &operator=(const EnvNode &) = delete;
+
+  /// Environments are shared-tail spines like lists: a deep chain dying
+  /// all at once must not recurse through ~shared_ptr.  Steal the tail
+  /// hand-over-hand — each uniquely-owned node has its Next nulled
+  /// before it dies, so destruction is iterative.  (use_count() == 1
+  /// means this thread holds the only reference, so the const_cast
+  /// mutation is unobservable.)
+  ~EnvNode() {
+    liveEnvNodeGauge().fetch_sub(1, std::memory_order_relaxed);
+    std::shared_ptr<const EnvNode> N = std::move(Next);
+    while (N && N.use_count() == 1) {
+      std::shared_ptr<const EnvNode> Nx =
+          std::move(const_cast<EnvNode &>(*N).Next);
+      N = std::move(Nx);
+    }
+  }
 };
 using EnvPtr = std::shared_ptr<const EnvNode>;
 
@@ -98,10 +128,12 @@ public:
 
   Value(const Value &) = delete;
   Value &operator=(const Value &) = delete;
-  virtual ~Value() = default;
+  virtual ~Value() { liveValueGauge().fetch_sub(1, std::memory_order_relaxed); }
 
 protected:
-  explicit Value(ValueKind K) : Kind(K) {}
+  explicit Value(ValueKind K) : Kind(K) {
+    liveValueGauge().fetch_add(1, std::memory_order_relaxed);
+  }
 
 private:
   ValueKind Kind;
@@ -135,6 +167,13 @@ class TupleValue : public Value {
 public:
   explicit TupleValue(std::vector<ValuePtr> Elements)
       : Value(ValueKind::Tuple), Elements(std::move(Elements)) {}
+
+  /// Deep tuple nests (dictionaries of dictionaries) must not recurse
+  /// through element destruction: elements are handed to a thread-local
+  /// drain queue that the outermost dying tuple unwinds in a loop.
+  /// See Value.cpp.
+  ~TupleValue();
+
   const std::vector<ValuePtr> &getElements() const { return Elements; }
 
   static bool classof(const Value *V) {
@@ -154,6 +193,21 @@ public:
   /// Creates a cons cell.
   ListValue(ValuePtr Head, std::shared_ptr<const ListValue> Tail)
       : Value(ValueKind::List), Head(std::move(Head)), Tail(std::move(Tail)) {}
+
+  /// A million-element spine dying all at once must not recurse through
+  /// ~shared_ptr (the AOT runtime frees spines on an explicit work-list;
+  /// this is the interpreter-side equivalent).  Steal the tail
+  /// hand-over-hand: each uniquely-owned cell has its Tail nulled before
+  /// it dies, so the whole chain unwinds in a loop.  A cell whose
+  /// use_count exceeds 1 is shared — releasing it just decrements.
+  ~ListValue() {
+    std::shared_ptr<const ListValue> T = std::move(Tail);
+    while (T && T.use_count() == 1) {
+      std::shared_ptr<const ListValue> Next =
+          std::move(const_cast<ListValue &>(*T).Tail);
+      T = std::move(Next);
+    }
+  }
 
   bool isNil() const { return Head == nullptr; }
   const ValuePtr &getHead() const { return Head; }
@@ -239,6 +293,16 @@ private:
   unsigned Arity;
   ImplFn Impl;
 };
+
+/// Tagged-immediate discipline for the shared_ptr world: ints in a
+/// small pooled range, the two booleans, and nil are interned — every
+/// engine that boxes one of these gets a shared singleton instead of an
+/// allocation.  The pool is allocated once and lives forever, so it is
+/// part of the `server.arena.*` baseline.
+ValuePtr boxInt(int64_t V);
+ValuePtr boxBool(bool B);
+/// The canonical empty list.
+const std::shared_ptr<const ListValue> &nilList();
 
 /// Renders a value for output: `3`, `true`, `[1, 2]`, `(1, true)`,
 /// `<closure>`.

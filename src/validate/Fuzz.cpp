@@ -213,6 +213,36 @@ struct Gen {
     return "fold" + S + "[int](" + genListInt() + ")";
   }
 
+  /// Deeply nested values: a tuple-of-tuple pyramid peeled back with
+  /// `nth`, or a cons spine walked down with cdr/car.  Biased deep on
+  /// purpose — rendering, equality, and destruction of nested values
+  /// must stay iterative in every engine (the recursive-destruction
+  /// bug family), and the per-node accounting must agree across
+  /// backends on value-heavy programs with almost no calls.
+  void emitDeepNest(const std::string &S) {
+    Decls += "let id" + S + " = (forall t. fun(x : t). x) in\n";
+    addCall(&Gen::callDeepNest, S);
+  }
+  std::string callDeepNest(const std::string &S) {
+    unsigned Depth = 8 + pick(25);
+    if (pick(2)) {
+      // ((((x, k), k), ...), peeled back to x with `nth _ 0`.
+      std::string E = genInt(1);
+      for (unsigned I = 0; I != Depth; ++I)
+        E = "(" + E + ", " + lit() + ")";
+      for (unsigned I = 0; I != Depth; ++I)
+        E = "nth (" + E + ") 0";
+      return "id" + S + "[int](" + E + ")";
+    }
+    // A cons spine walked part-way down with cdr, then car.
+    std::string E = "nil[int]";
+    for (unsigned I = 0; I != Depth; ++I)
+      E = "cons[int](" + genInt(1) + ", " + E + ")";
+    for (unsigned I = 0, N = pick(Depth); I != N; ++I)
+      E = "cdr[int](" + E + ")";
+    return "car[int](" + E + ")";
+  }
+
   std::string makeCall(unsigned I) {
     return (this->*CallKinds[I])(CallSuffixes[I]);
   }
@@ -221,10 +251,11 @@ struct Gen {
     void (Gen::*Scenarios[])(const std::string &) = {
         &Gen::emitMonoidFold, &Gen::emitShowSum,      &Gen::emitAssocConv,
         &Gen::emitRefinement, &Gen::emitSameTypePick, &Gen::emitListFold,
+        &Gen::emitDeepNest,
     };
     unsigned NumScenarios = 1 + pick(2);
     for (unsigned I = 0; I != NumScenarios; ++I)
-      (this->*Scenarios[pick(6)])(std::string(1, char('A' + I)));
+      (this->*Scenarios[pick(7)])(std::string(1, char('A' + I)));
 
     std::ostringstream OS;
     OS << Decls;

@@ -183,13 +183,13 @@ private:
     case TermKind::IntLit: {
       int64_t V = cast<IntLit>(T)->getValue();
       emit(F, Op::Const,
-           internConstant(std::make_shared<IntValue>(V), V, true));
+           internConstant(boxInt(V), V, true));
       return;
     }
     case TermKind::BoolLit: {
       bool V = cast<BoolLit>(T)->getValue();
       emit(F, Op::Const,
-           internConstant(std::make_shared<BoolValue>(V), V, false));
+           internConstant(boxBool(V), V, false));
       return;
     }
     case TermKind::Var:

@@ -21,6 +21,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Differential.h"
 #include "aot/Aot.h"
 #include "aot/CppEmitter.h"
 #include "support/Stats.h"
@@ -223,6 +224,176 @@ TEST(AotExecTest, DepthLimitAbortMatchesTreeByteForByte) {
   ASSERT_FALSE(Aot.ok());
   EXPECT_EQ(Tree.Error, Aot.Error);
   EXPECT_NE(Aot.Error.find("depth limit"), std::string::npos) << Aot.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Abort-parity sweeps
+//===----------------------------------------------------------------------===//
+//
+// The emitter coalesces step/depth charges per basic block, so most
+// limit thresholds land *inside* a coalesced charge.  Two contracts
+// guard this:
+//
+//  * tree <-> AOT is *exact*: at every (MaxSteps, MaxDepth) point the
+//    compiled program aborts (or succeeds) exactly where the per-node
+//    reference accounting does, with the identical diagnostic — the
+//    staircase adjudication inside a coalesced segment must pick the
+//    same limit the tree evaluator would have tripped first.
+//  * across all four backends, abort *diagnostics* are byte-identical:
+//    the closure and VM engines charge per executed operation of their
+//    own compiled forms (their thresholds differ by design), but a
+//    program that exhausts a limit must report the same error string
+//    everywhere — Differential.h asserts that at every point where all
+//    backends abort.
+
+/// Runs tree and AOT at the given limits and EXPECTs identical
+/// outcomes, success or abort.  Returns the tree outcome.
+sf::EvalResult expectTreeAotParity(Frontend &FE, const CompileOutput &Out,
+                                   const sf::EvalOptions &Opts,
+                                   const std::string &Context) {
+  sf::EvalResult Tree = FE.run(Out, Opts);
+  sf::EvalResult Aot = FE.runAot(Out, Opts);
+  EXPECT_EQ(Tree.ok(), Aot.ok())
+      << Context << ": tree " << (Tree.ok() ? "succeeded" : Tree.Error)
+      << " but aot " << (Aot.ok() ? "succeeded" : Aot.Error);
+  if (Tree.ok() && Aot.ok())
+    EXPECT_EQ(sf::valueToString(Tree.Val), sf::valueToString(Aot.Val))
+        << Context;
+  else if (!Tree.ok() && !Aot.ok())
+    EXPECT_EQ(Tree.Error, Aot.Error) << Context;
+  return Tree;
+}
+
+TEST(AotAbortParityTest, FineStepDepthGridMatchesTreeExactly) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // Fix-free and value-heavy on purpose: nested tuple literals (rising
+  // depth inside a single coalesced segment), a 12-element literal
+  // tuple (a long segment for step thresholds to land inside), builtin
+  // wraps, and two direct calls.
+  const std::string Src =
+      "let f = fun(x : int). iadd(nth (x, (1, (2, 3)), 4) 0,\n"
+      "                           nth (5, x) 1) in\n"
+      "nth (iadd(f(3), f(imult(2, 3))), 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11) 0";
+  Frontend FE;
+  CompileOutput Out = FE.compile("aot-parity.fg", Src);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+
+  const uint64_t Huge = 1u << 30;
+  // Step axis: every threshold until the program completes.
+  uint64_t StepsNeeded = 0;
+  for (uint64_t Steps = 1; Steps <= 400 && !StepsNeeded; ++Steps) {
+    sf::EvalOptions Opts;
+    Opts.MaxSteps = Steps;
+    Opts.MaxDepth = Huge;
+    if (expectTreeAotParity(FE, Out, Opts,
+                            "steps=" + std::to_string(Steps))
+            .ok())
+      StepsNeeded = Steps;
+  }
+  ASSERT_NE(StepsNeeded, 0u) << "program never completed within the cap";
+
+  // Depth axis.
+  uint64_t DepthNeeded = 0;
+  for (uint64_t Depth = 1; Depth <= 100 && !DepthNeeded; ++Depth) {
+    sf::EvalOptions Opts;
+    Opts.MaxSteps = Huge;
+    Opts.MaxDepth = Depth;
+    if (expectTreeAotParity(FE, Out, Opts,
+                            "depth=" + std::to_string(Depth))
+            .ok())
+      DepthNeeded = Depth;
+  }
+  ASSERT_NE(DepthNeeded, 0u);
+
+  // Both limits binding at once: for a band of depths, walk every step
+  // threshold, so the step-vs-depth adjudication *inside* a segment is
+  // exercised at each crossing order.
+  for (uint64_t Depth : {uint64_t(1), uint64_t(2), uint64_t(3),
+                         DepthNeeded / 2, DepthNeeded}) {
+    if (Depth == 0)
+      continue;
+    for (uint64_t Steps = 1; Steps <= StepsNeeded; ++Steps) {
+      sf::EvalOptions Opts;
+      Opts.MaxSteps = Steps;
+      Opts.MaxDepth = Depth;
+      expectTreeAotParity(FE, Out, Opts,
+                          "grid steps=" + std::to_string(Steps) +
+                              " depth=" + std::to_string(Depth));
+    }
+  }
+}
+
+TEST(AotAbortParityTest, FixRecursionSweepsMatchTreeExactly) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // Recursion through fix: the AOT engine memoizes the unrolling and
+  // replays its metered cost, so step-only and depth-only sweeps must
+  // still abort exactly where the tree evaluator does, at every
+  // threshold.
+  const std::string Src =
+      "let count = fix (fun(go : fn(int) -> int).\n"
+      "  fun(n : int). if ieq(n, 0) then 0 else iadd(1, go(isub(n, 1)))) in\n"
+      "count(12)";
+  Frontend FE;
+  CompileOutput Out = FE.compile("aot-parity-fix.fg", Src);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+
+  const uint64_t Huge = 1u << 30;
+  bool Completed = false;
+  for (uint64_t Steps = 1; Steps <= 600 && !Completed; ++Steps) {
+    sf::EvalOptions Opts;
+    Opts.MaxSteps = Steps;
+    Opts.MaxDepth = Huge;
+    Completed = expectTreeAotParity(FE, Out, Opts,
+                                    "fix steps=" + std::to_string(Steps))
+                    .ok();
+  }
+  EXPECT_TRUE(Completed) << "program never completed within the cap";
+
+  Completed = false;
+  for (uint64_t Depth = 1; Depth <= 200 && !Completed; ++Depth) {
+    sf::EvalOptions Opts;
+    Opts.MaxSteps = Huge;
+    Opts.MaxDepth = Depth;
+    Completed = expectTreeAotParity(FE, Out, Opts,
+                                    "fix depth=" + std::to_string(Depth))
+                    .ok();
+  }
+  EXPECT_TRUE(Completed);
+}
+
+TEST(AotAbortParityTest, DivergingProgramAbortsIdenticallyOnAllBackends) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // A diverging loop exhausts whichever limit binds first on *every*
+  // backend; the rendered diagnostics must be byte-identical across
+  // all four, at step-bound and depth-bound points alike (the
+  // closure/VM engines count their own operations, so the points are
+  // chosen so each backend is certain to abort).
+  const std::string Src =
+      "let loop = fix (fun(f : fn(int) -> int). fun(n : int). f(n)) in\n"
+      "loop(0)";
+  Frontend FE;
+  CompileOutput Out = FE.compile("aot-diverge.fg", Src);
+  ASSERT_TRUE(Out.Success) << Out.ErrorMessage;
+  for (uint64_t Steps : {uint64_t(7), uint64_t(100), uint64_t(1001)}) {
+    sf::EvalOptions Opts;
+    Opts.MaxSteps = Steps;
+    Opts.MaxDepth = 1u << 30;
+    std::vector<fgtest::BackendOutcome> R = fgtest::runAllBackends(
+        FE, Out, Opts, "diverge steps=" + std::to_string(Steps));
+    for (const fgtest::BackendOutcome &B : R)
+      EXPECT_FALSE(B.Ok) << B.Name;
+    EXPECT_NE(R.front().Rendered.find("step limit"), std::string::npos);
+  }
+  for (uint64_t Depth : {uint64_t(13), uint64_t(100), uint64_t(997)}) {
+    sf::EvalOptions Opts;
+    Opts.MaxSteps = uint64_t(1) << 40;
+    Opts.MaxDepth = Depth;
+    std::vector<fgtest::BackendOutcome> R = fgtest::runAllBackends(
+        FE, Out, Opts, "diverge depth=" + std::to_string(Depth));
+    for (const fgtest::BackendOutcome &B : R)
+      EXPECT_FALSE(B.Ok) << B.Name;
+    EXPECT_NE(R.front().Rendered.find("depth limit"), std::string::npos);
+  }
 }
 
 TEST(AotExecTest, MissingCompilerFailsWithActionableError) {

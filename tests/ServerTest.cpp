@@ -409,6 +409,61 @@ TEST(ProtocolTest, StatsExposesCacheCounters) {
   EXPECT_GE(Res.find("cache_entries")->asInt(), 1);
 }
 
+TEST(ProtocolTest, ResetCyclesReturnArenaGaugesToBaseline) {
+  // The long-lived-daemon leak regression: N `reset` cycles, each
+  // preceded by an allocation-heavy request (out-of-pool ints, list
+  // spines, closures over environment nodes), must return the
+  // `server.arena.*` live-heap gauges to exactly their post-first-cycle
+  // baseline.  The first cycle pays the one-time costs (interned
+  // constant pools, lazy singletons); after that, any drift means a
+  // stranded value or environment spine.
+  auto Cache = std::make_shared<ArtifactCache>();
+  Session S(Cache);
+  Protocol P(S);
+
+  auto request = [&](const std::string &Line) {
+    return parseOk(P.handleLine(Line).Line);
+  };
+  auto gauge = [&](const char *Name) -> int64_t {
+    Json R = request("{\"id\":0,\"method\":\"stats\"}");
+    const Json *Counters = resultOf(R).find("counters");
+    EXPECT_NE(Counters, nullptr);
+    const Json *G = Counters ? Counters->find(Name) : nullptr;
+    EXPECT_NE(G, nullptr) << Name;
+    return G ? G->asInt() : -1;
+  };
+  auto cycle = [&](int Round) {
+    // A varying declaration defeats any byte-identity shortcuts; the
+    // expression allocates a list spine, a tuple, and a closure.
+    request("{\"id\":1,\"method\":\"eval\",\"params\":{\"input\":"
+            "\"let base = " +
+            std::to_string(100000 + Round) + "\"}}");
+    Json R = request(
+        "{\"id\":2,\"method\":\"eval\",\"params\":{\"input\":"
+        "\"(cons[int](base, cons[int](iadd(base, 1), nil[int])),"
+        " (fun(x : int). iadd(x, base))(7))\"}}");
+    EXPECT_TRUE(resultOf(R).find("success")->asBool()) << R.write();
+    Json Reset = request("{\"id\":3,\"method\":\"reset\"}");
+    EXPECT_TRUE(resultOf(Reset).find("success")->asBool());
+  };
+
+  cycle(0);
+  const int64_t Values = gauge("server.arena.live_values");
+  const int64_t EnvNodes = gauge("server.arena.live_env_nodes");
+  ASSERT_GE(Values, 0);
+  ASSERT_GE(EnvNodes, 0);
+
+  const int N = 8;
+  for (int I = 1; I <= N; ++I)
+    cycle(I);
+
+  EXPECT_EQ(gauge("server.arena.live_values"), Values)
+      << "reset cycles strand interpreter values";
+  EXPECT_EQ(gauge("server.arena.live_env_nodes"), EnvNodes)
+      << "reset cycles strand environment spines";
+  EXPECT_GE(gauge("server.arena.resets"), N + 1);
+}
+
 //===----------------------------------------------------------------------===//
 // Session isolation and sharing
 //===----------------------------------------------------------------------===//
