@@ -66,6 +66,10 @@
 ///   --dump-bytecode
 ///                  print the VM bytecode for the translation
 ///                  (vm/Disasm.h) and continue
+///   --no-superinstructions
+///                  disable the VM's peephole superinstruction fusion
+///                  for the whole process (for A/B comparison; values,
+///                  errors, and abort points must be identical)
 ///   --batch        separately check modules; write `.fgi` interfaces
 ///   --gen-corpus <n>
 ///                  generate a seeded, deterministic corpus of <n>
@@ -163,6 +167,8 @@ void printUsage(std::ostream &OS) {
         "                         ./.fgc.aot-cache or $FGC_AOT_CACHE)\n"
         "  --aot-keep-cpp         keep the generated C++ in the cache dir\n"
         "  --dump-bytecode        print the translation's VM bytecode\n"
+        "  --no-superinstructions disable VM peephole fusion (for A/B;\n"
+        "                         the result must be identical)\n"
         "  --batch                separately check modules (.fgi output)\n"
         "  --gen-corpus <n>       write a deterministic corpus of <n>\n"
         "                         well-typed modules into --out\n"
@@ -409,6 +415,8 @@ int fgcMain(int Argc, char **Argv) {
       UseCache = false;
     else if (Arg == "--dump-bytecode")
       DumpBytecode = true;
+    else if (Arg == "--no-superinstructions")
+      vm::defaultEmitOptions().Superinstructions = false;
     else if (Arg.rfind("--backend=", 0) == 0) {
       Backend = Arg.substr(std::string("--backend=").size());
       if (!isBackendName(Backend)) {

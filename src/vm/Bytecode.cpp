@@ -1,4 +1,4 @@
-//===- vm/Bytecode.cpp - Flat bytecode for System F -----------------------===//
+//===- vm/Bytecode.cpp - Register bytecode for System F -------------------===//
 //
 // Part of the fgc project: a reproduction of "Essential Language Support
 // for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
@@ -16,10 +16,8 @@ const char *fg::vm::opName(Op O) {
     return "const";
   case Op::Builtin:
     return "builtin";
-  case Op::LocalGet:
-    return "local.get";
-  case Op::LocalSet:
-    return "local.set";
+  case Op::Move:
+    return "move";
   case Op::UpvalGet:
     return "upval.get";
   case Op::MakeClosure:
@@ -32,8 +30,8 @@ const char *fg::vm::opName(Op O) {
     return "tyapply";
   case Op::MakeTuple:
     return "make.tuple";
-  case Op::Proj:
-    return "proj";
+  case Op::ProjIC:
+    return "proj.ic";
   case Op::Jump:
     return "jump";
   case Op::JumpIfFalse:
@@ -42,6 +40,20 @@ const char *fg::vm::opName(Op O) {
     return "make.fix";
   case Op::Return:
     return "return";
+  case Op::MoveCall:
+    return "move.call";
+  case Op::ProjCall:
+    return "proj.call";
+  case Op::CallJf:
+    return "call.jf";
+  case Op::ConstTuple:
+    return "const.tuple";
+  case Op::UpvalProj:
+    return "upval.proj";
+  case Op::BuiltinCall:
+    return "builtin.call";
+  case Op::BuiltinJf:
+    return "builtin.jf";
   }
   return "<bad-op>";
 }

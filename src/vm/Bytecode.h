@@ -1,4 +1,4 @@
-//===- vm/Bytecode.h - Flat bytecode for System F ---------------*- C++ -*-===//
+//===- vm/Bytecode.h - Register bytecode for System F -----------*- C++ -*-===//
 //
 // Part of the fgc project: a reproduction of "Essential Language Support
 // for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
@@ -7,23 +7,35 @@
 ///
 /// \file
 /// The bytecode representation executed by the VM (vm/VM.h): a flat
-/// instruction stream per function prototype, a chunk-wide constant
-/// pool of interned literal values, and an interned table of builtin
-/// values.  Produced from translated System F terms by vm/Emit.h and
-/// rendered back to text by vm/Disasm.h.
+/// instruction stream per function prototype over a *register file*, a
+/// chunk-wide constant pool of interned literal values, and an interned
+/// table of builtin values.  Produced from translated System F terms by
+/// vm/Emit.h and rendered back to text by vm/Disasm.h.
 ///
 /// Design notes:
 ///
-///  * Fixed-width instructions (opcode + one 32-bit operand).  The
-///    translation's terms are small enough that decode simplicity beats
-///    byte-stream compactness.
-///  * Variables are resolved at emit time: `LocalGet` indexes the
-///    current frame (parameters and flattened `let` slots share one
-///    frame per function activation), `UpvalGet` indexes the running
-///    closure's captured-value array.  Closures are *flat*: `Capture`
-///    descriptors tell `MakeClosure` which enclosing slots/upvalues to
-///    copy at creation time, so variable access never walks a frame
-///    chain.
+///  * Register machine.  Each prototype declares a fixed register file
+///    (`NumRegs`), assigned at emit time: parameters first, then
+///    flattened `let` slots, then expression temporaries, all sharing
+///    one frame — there is no operand stack.  Instructions are
+///    fixed-width: opcode + three 32-bit operands (dst/src/src).
+///  * Calls use a *window* convention: the callee closure sits in
+///    register W and its arguments in W+1..W+N, a contiguous run the
+///    emitter always places above every live register.  The callee's
+///    frame overlays the window (its parameter 0 is the caller's W+1),
+///    so entering a call copies no arguments at all.
+///  * Superinstructions.  A peephole pass (vm/Emit.cpp, pass 2) fuses
+///    the profiled hot pairs — last-argument `Move`+`Call`,
+///    `ProjIC`+`Call` (dictionary-method invoke), `Const`+`MakeTuple`,
+///    and builtin-compare+`JumpIfFalse` — each charging exactly the
+///    steps of the pair it replaces, so `--no-superinstructions` runs
+///    are byte-identical in outcome *and* abort point.
+///  * Inline caches.  Every `nth` chain compiles to one `ProjIC` site:
+///    the chunk records the static projection path, the VM caches the
+///    last dictionary it projected from (tuple identity + arity) and
+///    serves repeat lookups without re-walking nested refinement
+///    dictionaries.  Cache state lives in the VM, never in the chunk —
+///    chunks stay immutable and shareable across sessions.
 ///  * Jump operands are absolute instruction indices within the
 ///    prototype's code array.
 ///
@@ -40,47 +52,103 @@
 namespace fg {
 namespace vm {
 
-/// The instruction set.  Operand meaning is given per opcode.
+/// The instruction set.  Operand meaning is given per opcode; `rX`
+/// denotes frame register X, `W` a call-window base register.
 enum class Op : uint8_t {
-  Const,         ///< Push constant pool entry [A].
-  Builtin,       ///< Push builtin table entry [A].
-  LocalGet,      ///< Push current frame slot A.
-  LocalSet,      ///< Pop into current frame slot A (flattened `let`).
-  UpvalGet,      ///< Push captured value A of the running closure.
-  MakeClosure,   ///< Push a closure of prototype A, capturing per its
+  Const,         ///< rA := constant pool entry [B].
+  Builtin,       ///< rA := builtin table entry [B].
+  Move,          ///< rA := rB.
+  UpvalGet,      ///< rA := captured value B of the running closure.
+  MakeClosure,   ///< rA := closure of prototype B, capturing per its
                  ///  Capture descriptors.
   MakeTyClosure, ///< Same, for a type abstraction (arity 0).
-  Call,          ///< Call stack[-A-1] with the top A values as args.
-  TyApply,       ///< Instantiate the type closure on top of the stack
-                 ///  (re-enters its body); non-closures pass through
-                 ///  unchanged (types are erased).
-  MakeTuple,     ///< Pop A values, push an A-tuple.
-  Proj,          ///< Replace the tuple on top with its element A.
+  Call,          ///< rA := call rB (window base) with C args in
+                 ///  rB+1..rB+C.
+  TyApply,       ///< rA := instantiate the type closure rB (re-enters
+                 ///  its body in a frame based at register C);
+                 ///  non-closures pass through unchanged (types are
+                 ///  erased).
+  MakeTuple,     ///< rA := tuple of the C values rB..rB+C-1.
+  ProjIC,        ///< rA := rB projected through inline-cache site C's
+                 ///  static path (see ProjSite).
   Jump,          ///< IP := A.
-  JumpIfFalse,   ///< Pop a bool; IP := A when false.
-  MakeFix,       ///< Wrap the top of stack in a fixpoint value.
-  Return,        ///< Pop the callee frame; its top of stack is the
-                 ///  call's result.
+  JumpIfFalse,   ///< Pop nothing: IP := B when the bool rA is false.
+  MakeFix,       ///< rA := fixpoint wrapping rB.
+  Return,        ///< Pop the frame; rA is the call's result.
+
+  // Superinstructions (emitted only by the peephole pass; each charges
+  // the steps of the pair it fuses).
+  MoveCall,  ///< Move+Call: rW+N := rB, then rA := call window W with
+             ///  N args, where C packs (W << 16 | N).
+  ProjCall,  ///< ProjIC+Call: project site C's witness out of rB into
+             ///  the window register, then call it.  Window base and
+             ///  argument count live in the site (Window/NArgs).
+  CallJf,    ///< Call+JumpIfFalse: call the *statically known builtin*
+             ///  in window A with C args; IP := B when the (bool)
+             ///  result is false.  The result is not stored.
+  ConstTuple, ///< Const+MakeTuple: rB+N-1 := constant K, then rA :=
+             ///  tuple of rB..rB+N-1, where C packs (N << 16 | K).
+  UpvalProj, ///< UpvalGet+ProjIC: rT := captured value U (B packs
+             ///  T << 16 | U), then rA := rT projected through
+             ///  inline-cache site C.  The hot header of every
+             ///  dictionary-passing loop — the dictionary is almost
+             ///  always a capture.
+  BuiltinCall, ///< Builtin+Move+Call: rA := builtin table entry
+              ///  [lo(B)] invoked directly with the argument window
+              ///  W+1..W+N (C packs W << 16 | N), the last argument
+              ///  being a copy of r[hi(B)].  The builtin is never
+              ///  materialized in rW: the window is dead after the
+              ///  call by the emitter's stack discipline, and the
+              ///  arity was checked at fuse time.  `car`/`cdr` list
+              ///  traversal compiles to exactly this triple.
+  BuiltinJf   ///< Builtin+Move+Call+JumpIfFalse: invoke builtin
+              ///  [lo(A)] on window W+1..W+N (C packs W << 16 | N,
+              ///  last argument copied from r[hi(A)]) and branch to B
+              ///  when the (bool) result is false, storing nothing.
+              ///  The `null[t](ls)` loop guard in one dispatch.
 };
 
 /// Printable mnemonic for \p O (lower-case, disassembler style).
 const char *opName(Op O);
 
-/// One fixed-width instruction.
+/// One fixed-width instruction: opcode + three operands.
 struct Instr {
   Op Opcode;
   uint32_t A = 0;
+  uint32_t B = 0;
+  uint32_t C = 0;
 };
+
+/// Packs two 16-bit operands into one instruction field (used by
+/// MoveCall and ConstTuple; the peephole pass refuses to fuse when a
+/// component does not fit).
+inline uint32_t packPair(uint32_t Hi, uint32_t Lo) {
+  return (Hi << 16) | (Lo & 0xffff);
+}
+inline uint32_t packHi(uint32_t P) { return P >> 16; }
+inline uint32_t packLo(uint32_t P) { return P & 0xffff; }
 
 /// Where one captured variable of a closure comes from, read at
 /// MakeClosure time against the *creating* activation.
 struct Capture {
   enum SourceKind : uint8_t {
-    ParentLocal,  ///< Slot Index of the creating frame.
+    ParentLocal,  ///< Register Index of the creating frame.
     ParentUpvalue ///< Captured value Index of the creating closure.
   };
   SourceKind Source;
   uint32_t Index;
+};
+
+/// One dictionary-projection inline-cache site: the static `nth` chain
+/// it stands for (innermost index first — `nth(nth(d,0),2)` records
+/// {0,2}), plus, when fused into a ProjCall, the call it feeds.  The
+/// runtime cache (last dictionary identity, arity, witness) lives in
+/// the VM, one slot per site per run.
+struct ProjSite {
+  std::vector<uint32_t> Path; ///< Projection indices, innermost first.
+  uint32_t Window = 0;        ///< ProjCall only: call window base.
+  uint32_t NArgs = 0;         ///< ProjCall only: argument count.
+  bool Fused = false;         ///< True when a ProjCall owns this site.
 };
 
 /// One compiled function: the entry expression, a lambda, or a type
@@ -88,19 +156,21 @@ struct Capture {
 struct Proto {
   std::string Name;       ///< For the disassembler ("<main>", "fun(x)").
   uint32_t Arity = 0;     ///< Parameter count (0 for type abstractions).
-  uint32_t NumLocals = 0; ///< Parameters + flattened `let` slots.
+  uint32_t NumRegs = 0;   ///< Parameters + `let` slots + temporaries.
   std::vector<Instr> Code;
   std::vector<Capture> Captures;
 };
 
 /// A fully compiled program: prototypes plus the shared pools.  Chunks
 /// are immutable after emission and shared (closure values keep their
-/// chunk alive after the VM returns).
+/// chunk alive after the VM returns; fgcd shares them across sessions).
 struct Chunk {
   std::vector<Proto> Protos;           ///< Protos[0] is the entry.
   std::vector<sf::ValuePtr> Constants; ///< Interned literal values.
   std::vector<sf::ValuePtr> Builtins;  ///< Interned builtin values.
   std::vector<std::string> BuiltinNames; ///< Parallel to Builtins.
+  std::vector<ProjSite> ProjSites;     ///< Inline-cache descriptors.
+  uint32_t FusedCount = 0; ///< Superinstructions the peephole emitted.
 
   /// Total instruction count across all prototypes.
   size_t instructionCount() const;

@@ -12,11 +12,28 @@
 using namespace fg;
 using namespace fg::vm;
 
+namespace {
+
+/// "site N [0.2]" — a projection site with its static path, the shared
+/// rendering for ProjIC and ProjCall operands.
+void printSite(std::ostringstream &OS, const Chunk &C, uint32_t SiteIdx) {
+  const ProjSite &S = C.ProjSites[SiteIdx];
+  OS << "site " << SiteIdx << " [";
+  for (size_t I = 0; I != S.Path.size(); ++I) {
+    if (I)
+      OS << ".";
+    OS << S.Path[I];
+  }
+  OS << "]";
+}
+
+} // namespace
+
 std::string fg::vm::disassembleProto(const Chunk &C, uint32_t ProtoIdx) {
   const Proto &P = C.Protos[ProtoIdx];
   std::ostringstream OS;
   OS << "proto " << ProtoIdx << " " << P.Name << "  ; arity " << P.Arity
-     << ", locals " << P.NumLocals << ", captures " << P.Captures.size()
+     << ", regs " << P.NumRegs << ", captures " << P.Captures.size()
      << "\n";
   for (size_t I = 0; I != P.Captures.size(); ++I) {
     const Capture &Cap = P.Captures[I];
@@ -31,30 +48,83 @@ std::string fg::vm::disassembleProto(const Chunk &C, uint32_t ProtoIdx) {
        << opName(In.Opcode) << std::right;
     switch (In.Opcode) {
     case Op::Const:
-      OS << In.A << "  ; " << sf::valueToString(C.Constants[In.A]);
+      OS << "r" << In.A << ", k" << In.B << "  ; "
+         << sf::valueToString(C.Constants[In.B]);
       break;
     case Op::Builtin:
-      OS << In.A << "  ; " << C.BuiltinNames[In.A];
+      OS << "r" << In.A << ", b" << In.B << "  ; " << C.BuiltinNames[In.B];
+      break;
+    case Op::Move:
+    case Op::MakeFix:
+      OS << "r" << In.A << ", r" << In.B;
+      break;
+    case Op::UpvalGet:
+      OS << "r" << In.A << ", u" << In.B;
       break;
     case Op::MakeClosure:
     case Op::MakeTyClosure:
-      OS << In.A << "  ; " << C.Protos[In.A].Name;
+      OS << "r" << In.A << ", p" << In.B << "  ; " << C.Protos[In.B].Name;
       break;
-    case Op::Jump:
-    case Op::JumpIfFalse:
-      OS << "-> " << In.A;
-      break;
-    case Op::LocalGet:
-    case Op::LocalSet:
-    case Op::UpvalGet:
     case Op::Call:
-    case Op::MakeTuple:
-    case Op::Proj:
-      OS << In.A;
+      OS << "r" << In.A << ", r" << In.B << ", n" << In.C;
       break;
     case Op::TyApply:
-    case Op::MakeFix:
+      OS << "r" << In.A << ", r" << In.B << ", top r" << In.C;
+      break;
+    case Op::MakeTuple:
+      OS << "r" << In.A << ", r" << In.B << ", n" << In.C;
+      break;
+    case Op::ProjIC:
+      OS << "r" << In.A << ", r" << In.B << ", ";
+      printSite(OS, C, In.C);
+      OS << "  ; inline cache";
+      break;
+    case Op::Jump:
+      OS << "-> " << In.A;
+      break;
+    case Op::JumpIfFalse:
+      OS << "r" << In.A << ", -> " << In.B;
+      break;
     case Op::Return:
+      OS << "r" << In.A;
+      break;
+    case Op::MoveCall:
+      OS << "r" << In.A << ", r" << In.B << ", w" << packHi(In.C) << ", n"
+         << packLo(In.C) << "  ; fused move+call";
+      break;
+    case Op::ProjCall: {
+      const ProjSite &S = C.ProjSites[In.C];
+      OS << "r" << In.A << ", r" << In.B << ", ";
+      printSite(OS, C, In.C);
+      OS << ", w" << S.Window << ", n" << S.NArgs
+         << "  ; fused proj+call, inline cache";
+      break;
+    }
+    case Op::CallJf:
+      OS << "r" << In.A << ", n" << In.C << ", -> " << In.B
+         << "  ; fused call+jump.if.false";
+      break;
+    case Op::ConstTuple:
+      OS << "r" << In.A << ", r" << In.B << ", n" << packHi(In.C) << ", k"
+         << packLo(In.C) << "  ; fused const+make.tuple, "
+         << sf::valueToString(C.Constants[packLo(In.C)]);
+      break;
+    case Op::UpvalProj:
+      OS << "r" << In.A << ", u" << packLo(In.B) << ", r" << packHi(In.B)
+         << ", ";
+      printSite(OS, C, In.C);
+      OS << "  ; fused upval.get+proj.ic, inline cache";
+      break;
+    case Op::BuiltinCall:
+      OS << "r" << In.A << ", r" << packHi(In.B) << ", b" << packLo(In.B)
+         << ", w" << packHi(In.C) << ", n" << packLo(In.C)
+         << "  ; fused builtin+move+call, " << C.BuiltinNames[packLo(In.B)];
+      break;
+    case Op::BuiltinJf:
+      OS << "b" << packLo(In.A) << ", r" << packHi(In.A) << ", w"
+         << packHi(In.C) << ", n" << packLo(In.C) << ", -> " << In.B
+         << "  ; fused builtin+move+call+jump.if.false, "
+         << C.BuiltinNames[packLo(In.A)];
       break;
     }
     OS << "\n";
@@ -66,7 +136,8 @@ std::string fg::vm::disassemble(const Chunk &C) {
   std::ostringstream OS;
   OS << "; " << C.Protos.size() << " protos, " << C.instructionCount()
      << " instructions, " << C.Constants.size() << " constants, "
-     << C.Builtins.size() << " builtins\n";
+     << C.Builtins.size() << " builtins, " << C.ProjSites.size()
+     << " ic-sites, " << C.FusedCount << " fused\n";
   for (uint32_t I = 0; I != C.Protos.size(); ++I)
     OS << disassembleProto(C, I);
   return OS.str();

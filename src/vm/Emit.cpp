@@ -1,4 +1,4 @@
-//===- vm/Emit.cpp - System F term -> bytecode compiler -------------------===//
+//===- vm/Emit.cpp - System F term -> register bytecode -------------------===//
 //
 // Part of the fgc project: a reproduction of "Essential Language Support
 // for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
@@ -10,6 +10,7 @@
 #include "support/Stats.h"
 #include <cassert>
 #include <unordered_map>
+#include <unordered_set>
 
 using namespace fg;
 using namespace fg::vm;
@@ -23,16 +24,20 @@ namespace {
 struct FnState {
   uint32_t ProtoIdx;
   FnState *Parent;
-  /// Lexical scope: (name, slot), innermost binding last.  Entries are
-  /// pushed for parameters and `let`s and popped when the scope ends;
-  /// the slots themselves are never reused, so NumLocals is the total
-  /// allocated.
+  /// Lexical scope: (name, register), innermost binding last.  Entries
+  /// are pushed for parameters and `let`s and popped when the scope
+  /// ends.
   std::vector<std::pair<std::string, uint32_t>> Scope;
+  /// Next free register.  Registers are allocated with a stack
+  /// discipline: temporaries save and restore this around their
+  /// consumer; parameters and `let` slots bump it for the rest of the
+  /// enclosing expression, so anything live is always below it.
+  uint32_t FreeTop = 0;
 };
 
 class Emitter {
 public:
-  Emitter(const Prelude &P) {
+  Emitter(const Prelude &P, const EmitOptions &Opts) : Opts(Opts) {
     for (const BuiltinEntry &E : P.Entries)
       Globals[E.Name] = E.Val;
     C = std::make_shared<Chunk>();
@@ -41,11 +46,14 @@ public:
   std::shared_ptr<const Chunk> run(const Term *T) {
     C->Protos.emplace_back();
     C->Protos[0].Name = "<main>";
-    FnState Main{0, nullptr, {}};
-    emitTerm(T, Main);
-    emit(Main, Op::Return);
+    FnState Main{0, nullptr, {}, 0};
+    uint32_t R = emitOperand(T, Main);
+    emit(Main, Op::Return, R);
     if (!Error.empty())
       return nullptr;
+    if (Opts.Superinstructions)
+      for (Proto &P : C->Protos)
+        fuseProto(P);
     return C;
   }
 
@@ -54,17 +62,38 @@ public:
 private:
   Proto &proto(const FnState &F) { return C->Protos[F.ProtoIdx]; }
 
-  uint32_t emit(FnState &F, Op O, uint32_t A = 0) {
-    proto(F).Code.push_back({O, A});
+  uint32_t emit(FnState &F, Op O, uint32_t A = 0, uint32_t B = 0,
+                uint32_t Cc = 0) {
+    proto(F).Code.push_back({O, A, B, Cc});
     return static_cast<uint32_t>(proto(F).Code.size() - 1);
   }
 
+  /// Jump operands live in A (Jump) or B (JumpIfFalse).
   void patchJump(FnState &F, uint32_t At) {
-    proto(F).Code[At].A = static_cast<uint32_t>(proto(F).Code.size());
+    Instr &I = proto(F).Code[At];
+    uint32_t Target = static_cast<uint32_t>(proto(F).Code.size());
+    if (I.Opcode == Op::Jump)
+      I.A = Target;
+    else
+      I.B = Target;
   }
 
+  /// Allocates one register above everything live, recording the
+  /// frame's high-water mark.  Callers restore F.FreeTop when the
+  /// value's consumer has fired (newLocal callers deliberately don't).
+  uint32_t allocReg(FnState &F) {
+    uint32_t R = F.FreeTop++;
+    if (F.FreeTop > proto(F).NumRegs)
+      proto(F).NumRegs = F.FreeTop;
+    return R;
+  }
+
+  /// A parameter or `let` slot: allocated like a temporary but never
+  /// released while its scope may still run — anything that restores
+  /// FreeTop below it does so only after the binding's body is fully
+  /// emitted.
   uint32_t newLocal(FnState &F, const std::string &Name) {
-    uint32_t Slot = proto(F).NumLocals++;
+    uint32_t Slot = allocReg(F);
     F.Scope.emplace_back(Name, Slot);
     return Slot;
   }
@@ -127,30 +156,32 @@ private:
     return Idx;
   }
 
-  void emitVar(const std::string &Name, FnState &F) {
+  uint32_t internBuiltin(const std::string &Name, const ValuePtr &V) {
+    auto It = BuiltinIdx.find(Name);
+    if (It != BuiltinIdx.end())
+      return It->second;
+    C->Builtins.push_back(V);
+    C->BuiltinNames.push_back(Name);
+    uint32_t Idx = static_cast<uint32_t>(C->Builtins.size() - 1);
+    BuiltinIdx[Name] = Idx;
+    return Idx;
+  }
+
+  void emitVar(const std::string &Name, FnState &F, uint32_t Dst) {
     int Slot = resolveLocal(F, Name);
     if (Slot >= 0) {
-      emit(F, Op::LocalGet, static_cast<uint32_t>(Slot));
+      if (static_cast<uint32_t>(Slot) != Dst)
+        emit(F, Op::Move, Dst, static_cast<uint32_t>(Slot));
       return;
     }
     int Up = resolveUpvalue(F, Name);
     if (Up >= 0) {
-      emit(F, Op::UpvalGet, static_cast<uint32_t>(Up));
+      emit(F, Op::UpvalGet, Dst, static_cast<uint32_t>(Up));
       return;
     }
     auto G = Globals.find(Name);
     if (G != Globals.end()) {
-      auto It = BuiltinIdx.find(Name);
-      uint32_t Idx;
-      if (It != BuiltinIdx.end()) {
-        Idx = It->second;
-      } else {
-        C->Builtins.push_back(G->second);
-        C->BuiltinNames.push_back(Name);
-        Idx = static_cast<uint32_t>(C->Builtins.size() - 1);
-        BuiltinIdx[Name] = Idx;
-      }
-      emit(F, Op::Builtin, Idx);
+      emit(F, Op::Builtin, Dst, internBuiltin(Name, G->second));
       return;
     }
     if (Error.empty())
@@ -169,31 +200,63 @@ private:
       P.Name = std::move(Name);
       P.Arity = Params ? static_cast<uint32_t>(Params->size()) : 0;
     }
-    FnState F{Idx, &Parent, {}};
+    FnState F{Idx, &Parent, {}, 0};
     if (Params)
       for (const ParamBinding &PB : *Params)
         newLocal(F, PB.Name);
-    emitTerm(Body, F);
-    emit(F, Op::Return);
+    uint32_t R = emitOperand(Body, F);
+    emit(F, Op::Return, R);
     return Idx;
   }
 
-  void emitTerm(const Term *T, FnState &F) {
+  /// Emits \p T and returns the register holding its value.  A
+  /// variable bound to a frame register is returned as-is (no Move);
+  /// anything else lands in a fresh temporary the caller releases by
+  /// restoring FreeTop.
+  uint32_t emitOperand(const Term *T, FnState &F) {
+    if (const auto *V = dyn_cast<VarTerm>(T)) {
+      int Slot = resolveLocal(F, V->getName());
+      if (Slot >= 0)
+        return static_cast<uint32_t>(Slot);
+    }
+    if (const auto *A = dyn_cast<AppTerm>(T)) {
+      // Lua-style: the result lands in the window base itself, so an
+      // operand-position call needs no extra temporary — and a result
+      // in the window base is provably dead once consumed, which is
+      // what licenses the CallJf fusion on `if <call> ...` guards.
+      uint32_t N = static_cast<uint32_t>(A->getArgs().size());
+      uint32_t W = allocReg(F);
+      for (uint32_t I = 0; I != N; ++I)
+        allocReg(F);
+      emitTerm(A->getFn(), F, W);
+      for (uint32_t I = 0; I != N; ++I)
+        emitTerm(A->getArgs()[I], F, W + 1 + I);
+      emit(F, Op::Call, W, W, N);
+      F.FreeTop = W + 1; // Release the window, keep the result.
+      return W;
+    }
+    uint32_t R = allocReg(F);
+    emitTerm(T, F, R);
+    return R;
+  }
+
+  /// Emits \p T so its value ends up in register \p Dst.  Temporaries
+  /// are allocated above FreeTop and released before returning, so the
+  /// net register effect is exactly the write to Dst.
+  void emitTerm(const Term *T, FnState &F, uint32_t Dst) {
     switch (T->getKind()) {
     case TermKind::IntLit: {
       int64_t V = cast<IntLit>(T)->getValue();
-      emit(F, Op::Const,
-           internConstant(boxInt(V), V, true));
+      emit(F, Op::Const, Dst, internConstant(boxInt(V), V, true));
       return;
     }
     case TermKind::BoolLit: {
       bool V = cast<BoolLit>(T)->getValue();
-      emit(F, Op::Const,
-           internConstant(boxBool(V), V, false));
+      emit(F, Op::Const, Dst, internConstant(boxBool(V), V, false));
       return;
     }
     case TermKind::Var:
-      emitVar(cast<VarTerm>(T)->getName(), F);
+      emitVar(cast<VarTerm>(T)->getName(), F, Dst);
       return;
 
     case TermKind::Abs: {
@@ -207,23 +270,32 @@ private:
       Name += ")";
       uint32_t Idx =
           emitProto(std::move(Name), &A->getParams(), A->getBody(), F);
-      emit(F, Op::MakeClosure, Idx);
+      emit(F, Op::MakeClosure, Dst, Idx);
       return;
     }
 
     case TermKind::TyAbs: {
       const auto *A = cast<TyAbsTerm>(T);
       uint32_t Idx = emitProto("forall", nullptr, A->getBody(), F);
-      emit(F, Op::MakeTyClosure, Idx);
+      emit(F, Op::MakeTyClosure, Dst, Idx);
       return;
     }
 
     case TermKind::App: {
+      // The callee and its arguments are evaluated straight into a
+      // contiguous window above everything live; the callee's frame
+      // then overlays the window, so entering the call copies nothing.
       const auto *A = cast<AppTerm>(T);
-      emitTerm(A->getFn(), F);
-      for (const Term *Arg : A->getArgs())
-        emitTerm(Arg, F);
-      emit(F, Op::Call, static_cast<uint32_t>(A->getArgs().size()));
+      uint32_t N = static_cast<uint32_t>(A->getArgs().size());
+      uint32_t Saved = F.FreeTop;
+      uint32_t W = allocReg(F);
+      for (uint32_t I = 0; I != N; ++I)
+        allocReg(F);
+      emitTerm(A->getFn(), F, W);
+      for (uint32_t I = 0; I != N; ++I)
+        emitTerm(A->getArgs()[I], F, W + 1 + I);
+      emit(F, Op::Call, Dst, W, N);
+      F.FreeTop = Saved;
       return;
     }
 
@@ -238,60 +310,395 @@ private:
       const Term *Fn = cast<TyAppTerm>(T)->getFn();
       if (const auto *V = dyn_cast<VarTerm>(Fn))
         if (!isShadowed(F, V->getName()) && Globals.count(V->getName())) {
-          emitVar(V->getName(), F);
+          emitVar(V->getName(), F, Dst);
           return;
         }
-      emitTerm(Fn, F);
-      emit(F, Op::TyApply);
+      uint32_t Saved = F.FreeTop;
+      uint32_t Src = emitOperand(Fn, F);
+      // The C operand is where the instantiated body's frame may
+      // start: the first register above everything live here.
+      emit(F, Op::TyApply, Dst, Src, F.FreeTop);
+      F.FreeTop = Saved;
       return;
     }
 
     case TermKind::Let: {
+      // The binding gets a permanent slot of this frame — chains of
+      // `let`s flatten into consecutive registers.  The initializer is
+      // emitted straight into the slot (the binding is not visible in
+      // its own init, so the scope entry is pushed after).
       const auto *L = cast<LetTerm>(T);
-      emitTerm(L->getInit(), F); // Binding not visible in its own init.
-      uint32_t Slot = newLocal(F, L->getName());
-      emit(F, Op::LocalSet, Slot);
-      emitTerm(L->getBody(), F);
-      F.Scope.pop_back(); // Scope ends; the slot stays allocated.
+      uint32_t Slot = allocReg(F);
+      emitTerm(L->getInit(), F, Slot);
+      F.Scope.emplace_back(L->getName(), Slot);
+      emitTerm(L->getBody(), F, Dst);
+      F.Scope.pop_back(); // Scope ends; the register stays allocated.
       return;
     }
 
     case TermKind::Tuple: {
       const auto *Tu = cast<TupleTerm>(T);
-      for (const Term *E : Tu->getElements())
-        emitTerm(E, F);
-      emit(F, Op::MakeTuple,
-           static_cast<uint32_t>(Tu->getElements().size()));
+      uint32_t N = static_cast<uint32_t>(Tu->getElements().size());
+      uint32_t Saved = F.FreeTop;
+      uint32_t S = F.FreeTop;
+      for (uint32_t I = 0; I != N; ++I)
+        allocReg(F);
+      for (uint32_t I = 0; I != N; ++I)
+        emitTerm(Tu->getElements()[I], F, S + I);
+      emit(F, Op::MakeTuple, Dst, S, N);
+      F.FreeTop = Saved;
       return;
     }
 
     case TermKind::Nth: {
-      const auto *N = cast<NthTerm>(T);
-      emitTerm(N->getTuple(), F);
-      emit(F, Op::Proj, N->getIndex());
+      // A maximal `nth` chain collapses into one ProjIC site whose
+      // static path is walked innermost-first on a cache miss — the
+      // same order (and the same error messages) as the tree
+      // evaluator's nested projections.
+      ProjSite Site;
+      const Term *Base = T;
+      while (const auto *N = dyn_cast<NthTerm>(Base)) {
+        Site.Path.push_back(N->getIndex());
+        Base = N->getTuple();
+      }
+      std::reverse(Site.Path.begin(), Site.Path.end());
+      uint32_t Saved = F.FreeTop;
+      uint32_t Src = emitOperand(Base, F);
+      uint32_t SiteIdx = static_cast<uint32_t>(C->ProjSites.size());
+      C->ProjSites.push_back(std::move(Site));
+      emit(F, Op::ProjIC, Dst, Src, SiteIdx);
+      F.FreeTop = Saved;
       return;
     }
 
     case TermKind::If: {
       const auto *I = cast<IfTerm>(T);
-      emitTerm(I->getCond(), F);
-      uint32_t ToElse = emit(F, Op::JumpIfFalse);
-      emitTerm(I->getThen(), F);
+      uint32_t Saved = F.FreeTop;
+      uint32_t Cond = emitOperand(I->getCond(), F);
+      uint32_t ToElse = emit(F, Op::JumpIfFalse, Cond);
+      F.FreeTop = Saved; // Both branches start from the same top.
+      emitTerm(I->getThen(), F, Dst);
       uint32_t ToEnd = emit(F, Op::Jump);
       patchJump(F, ToElse);
-      emitTerm(I->getElse(), F);
+      emitTerm(I->getElse(), F, Dst);
       patchJump(F, ToEnd);
       return;
     }
 
-    case TermKind::Fix:
-      emitTerm(cast<FixTerm>(T)->getOperand(), F);
-      emit(F, Op::MakeFix);
+    case TermKind::Fix: {
+      uint32_t Saved = F.FreeTop;
+      uint32_t Src = emitOperand(cast<FixTerm>(T)->getOperand(), F);
+      emit(F, Op::MakeFix, Dst, Src);
+      F.FreeTop = Saved;
       return;
+    }
     }
     assert(false && "unknown term kind");
   }
 
+  //===--------------------------------------------------------------===//
+  // Pass 2: peephole superinstruction fusion.
+  //===--------------------------------------------------------------===//
+
+  /// The register an instruction writes, or -1 for pure control flow.
+  static int destReg(const Instr &I) {
+    switch (I.Opcode) {
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::Return:
+    case Op::CallJf:
+      return -1;
+    default:
+      return static_cast<int>(I.A);
+    }
+  }
+
+  /// True when \p I is a pure, non-faulting register write a delayed
+  /// projection may slide past (see the ProjCall fusion): it cannot
+  /// error, cannot observe the projection's result or side effects,
+  /// and writes exactly one register.  \p ReadsReg reports whether it
+  /// reads register \p R (including closure captures, which read the
+  /// creating frame at MakeClosure time).
+  bool isPureWindowWrite(const Instr &I) const {
+    switch (I.Opcode) {
+    case Op::Const:
+    case Op::Builtin:
+    case Op::Move:
+    case Op::UpvalGet:
+    case Op::MakeClosure:
+    case Op::MakeTyClosure:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool readsReg(const Instr &I, uint32_t R) const {
+    switch (I.Opcode) {
+    case Op::Move:
+      return I.B == R;
+    case Op::MakeClosure:
+    case Op::MakeTyClosure:
+      for (const Capture &Cap : C->Protos[I.B].Captures)
+        if (Cap.Source == Capture::ParentLocal && Cap.Index == R)
+          return true;
+      return false;
+    default:
+      return false; // Const/Builtin/UpvalGet read no frame register.
+    }
+  }
+
+  /// True when the value in window register \p W at instruction \p At
+  /// is provably a prelude builtin: its unique straight-line writer is
+  /// an Op::Builtin, with no jump entering between the writer and the
+  /// use.  Builtins complete inline (they never push a frame), which
+  /// is what lets CallJf carry the branch across the call.
+  bool windowHoldsBuiltin(const std::vector<Instr> &Code,
+                          const std::unordered_set<uint32_t> &Targets,
+                          size_t At, uint32_t W) const {
+    for (size_t J = At; J != 0; --J) {
+      if (Targets.count(static_cast<uint32_t>(J)))
+        return false; // Another path joins below the writer.
+      const Instr &I = Code[J - 1];
+      switch (I.Opcode) {
+      case Op::Jump:
+      case Op::Return:
+        return false; // Not straight-line flow.
+      default:
+        break;
+      }
+      if (destReg(I) == static_cast<int>(W))
+        return I.Opcode == Op::Builtin;
+    }
+    return false;
+  }
+
+  /// Rewrites one prototype's code with superinstructions.  Fusion is
+  /// strictly intra-block (never across a jump target) and each fused
+  /// instruction charges exactly the steps of the pair it replaces, so
+  /// a fused chunk is observationally identical to the unfused one —
+  /// values, errors, and abort points included.
+  void fuseProto(Proto &P) {
+    std::vector<Instr> &Code = P.Code;
+    size_t N = Code.size();
+    std::unordered_set<uint32_t> Targets;
+    for (const Instr &I : Code) {
+      if (I.Opcode == Op::Jump)
+        Targets.insert(I.A);
+      else if (I.Opcode == Op::JumpIfFalse)
+        Targets.insert(I.B);
+    }
+
+    // Decision pass: Drop[i] removes the instruction, Repl[i] (when
+    // Drop[i] is false and present) substitutes a fused form.
+    std::vector<char> Drop(N, 0);
+    std::unordered_map<size_t, Instr> Repl;
+    auto decided = [&](size_t I) { return Drop[I] || Repl.count(I); };
+
+    // Is Code[i] a Call whose result immediately controls a
+    // JumpIfFalse and whose callee is provably a builtin?  Checked
+    // from two places (the CallJf rule and the MoveCall rule, which
+    // yields to it), so factored here.
+    auto callJfEligible = [&](size_t I) {
+      if (I + 1 >= N || Code[I].Opcode != Op::Call ||
+          Code[I + 1].Opcode != Op::JumpIfFalse)
+        return false;
+      const Instr &Call = Code[I], &Jf = Code[I + 1];
+      // Only a result written into the window base itself is provably
+      // dead after the branch (window registers sit above everything
+      // live); a named `let` slot must keep its value.
+      if (Call.A != Call.B || Jf.A != Call.A)
+        return false;
+      if (Targets.count(static_cast<uint32_t>(I + 1)))
+        return false;
+      return windowHoldsBuiltin(Code, Targets, I, Call.B);
+    };
+
+    for (size_t I = 0; I != N; ++I) {
+      if (decided(I))
+        continue;
+      const Instr &In = Code[I];
+
+      // ProjIC + Call -> ProjCall: the projection slides past the
+      // argument setup (pure window writes that touch neither the
+      // dictionary register nor the projected witness) and happens at
+      // the call.  Same value, same errors in the same order, same
+      // step charge — just one dispatch and an IC-served projection.
+      if (In.Opcode == Op::ProjIC) {
+        uint32_t W = In.A, Dict = In.B;
+        size_t E = I + 1;
+        bool Ok = true;
+        while (E < N) {
+          if (Targets.count(static_cast<uint32_t>(E))) {
+            Ok = false;
+            break;
+          }
+          const Instr &M = Code[E];
+          if (M.Opcode == Op::Call)
+            break;
+          if (!isPureWindowWrite(M) || decided(E) ||
+              static_cast<uint32_t>(destReg(M)) == Dict ||
+              destReg(M) == static_cast<int>(W) || readsReg(M, W)) {
+            Ok = false;
+            break;
+          }
+          ++E;
+        }
+        if (Ok && E < N && Code[E].Opcode == Op::Call && !decided(E) &&
+            Code[E].B == W) {
+          ProjSite &S = C->ProjSites[In.C];
+          S.Window = W;
+          S.NArgs = Code[E].C;
+          S.Fused = true;
+          Drop[I] = 1;
+          Repl[E] = {Op::ProjCall, Code[E].A, Dict, In.C};
+          ++C->FusedCount;
+          continue;
+        }
+      }
+
+      // UpvalGet + ProjIC -> UpvalProj: the hot header of every
+      // dictionary loop (the dictionary is a capture, projected every
+      // iteration).  Tried only after ProjCall declined this site —
+      // fusing the projection into its call saves more.  The captured
+      // value is still written to its register, so liveness needs no
+      // proof.
+      if (In.Opcode == Op::ProjIC && I > 0 &&
+          Code[I - 1].Opcode == Op::UpvalGet && !decided(I - 1) &&
+          !Targets.count(static_cast<uint32_t>(I)) &&
+          Code[I - 1].A == In.B && Code[I - 1].A <= 0xffff &&
+          Code[I - 1].B <= 0xffff) {
+        const Instr &Ug = Code[I - 1];
+        Repl[I - 1] = {Op::UpvalProj, In.A, packPair(Ug.A, Ug.B), In.C};
+        Drop[I] = 1;
+        ++C->FusedCount;
+        continue;
+      }
+
+      // Call + JumpIfFalse -> CallJf (a fused builtin-compare +
+      // branch; the `null[t](ls)` loop guard).
+      if (callJfEligible(I)) {
+        const Instr &Call = Code[I], &Jf = Code[I + 1];
+        Repl[I] = {Op::CallJf, Call.B, Jf.B, Call.C};
+        Drop[I + 1] = 1;
+        ++C->FusedCount;
+        continue;
+      }
+
+      // Builtin + Move + Call + JumpIfFalse -> BuiltinJf: the
+      // `null[t](ls)` loop guard in one dispatch — statically resolved
+      // callee, no builtin materialization, no result store, branch
+      // folded in.  Tried before the triple/pair rules on the same
+      // instructions.
+      if (In.Opcode == Op::Builtin && I + 3 < N &&
+          Code[I + 1].Opcode == Op::Move && callJfEligible(I + 2) &&
+          !decided(I + 1) && !decided(I + 2) && !decided(I + 3) &&
+          !Targets.count(static_cast<uint32_t>(I + 1)) &&
+          !Targets.count(static_cast<uint32_t>(I + 2))) {
+        const Instr &Mv = Code[I + 1], &Call = Code[I + 2],
+                    &Jf = Code[I + 3];
+        uint32_t W = Call.B, NArgs = Call.C;
+        const auto *B =
+            cast<sf::BuiltinValue>(C->Builtins[In.B].get());
+        if (In.A == W && NArgs > 0 && Mv.A == W + NArgs && Mv.B != W &&
+            B->getArity() == NArgs && Mv.B <= 0xffff && In.B <= 0xffff &&
+            W <= 0xffff && NArgs <= 0xffff) {
+          Repl[I] = {Op::BuiltinJf, packPair(Mv.B, In.B), Jf.B,
+                     packPair(W, NArgs)};
+          Drop[I + 1] = 1;
+          Drop[I + 2] = 1;
+          Drop[I + 3] = 1;
+          ++C->FusedCount;
+          continue;
+        }
+      }
+
+      // Builtin + Move + Call -> BuiltinCall: a statically known
+      // builtin applied to one register argument (`car[t](ls)` /
+      // `cdr[t](ls)` list traversal).  The callee is resolved at fuse
+      // time — checked arity included — so the dispatch skips the
+      // builtin's register materialization entirely.  Yields to a
+      // CallJf on the same Call (which also elides the branch).
+      if (In.Opcode == Op::Builtin && I + 2 < N &&
+          Code[I + 1].Opcode == Op::Move && Code[I + 2].Opcode == Op::Call &&
+          !decided(I + 1) && !decided(I + 2) &&
+          !Targets.count(static_cast<uint32_t>(I + 1)) &&
+          !Targets.count(static_cast<uint32_t>(I + 2)) &&
+          !callJfEligible(I + 2)) {
+        const Instr &Mv = Code[I + 1], &Call = Code[I + 2];
+        uint32_t W = Call.B, NArgs = Call.C;
+        const auto *B =
+            cast<sf::BuiltinValue>(C->Builtins[In.B].get());
+        if (In.A == W && NArgs > 0 && Mv.A == W + NArgs && Mv.B != W &&
+            B->getArity() == NArgs && Mv.B <= 0xffff && In.B <= 0xffff &&
+            W <= 0xffff && NArgs <= 0xffff) {
+          Repl[I] = {Op::BuiltinCall, Call.A, packPair(Mv.B, In.B),
+                     packPair(W, NArgs)};
+          Drop[I + 1] = 1;
+          Drop[I + 2] = 1;
+          ++C->FusedCount;
+          continue;
+        }
+      }
+
+      // Move + Call -> MoveCall when the Move writes the call's last
+      // argument (the register-machine analog of LocalGet+Call).
+      // Yields to a CallJf on the same Call, which saves more.
+      if (In.Opcode == Op::Move && I + 1 < N &&
+          Code[I + 1].Opcode == Op::Call && !decided(I + 1) &&
+          !Targets.count(static_cast<uint32_t>(I + 1)) &&
+          !callJfEligible(I + 1)) {
+        const Instr &Call = Code[I + 1];
+        uint32_t W = Call.B, NArgs = Call.C;
+        if (NArgs > 0 && In.A == W + NArgs && W <= 0xffff &&
+            NArgs <= 0xffff) {
+          Repl[I] = {Op::MoveCall, Call.A, In.B, packPair(W, NArgs)};
+          Drop[I + 1] = 1;
+          ++C->FusedCount;
+          continue;
+        }
+      }
+
+      // Const + MakeTuple -> ConstTuple when the constant fills the
+      // tuple's last element (dictionary tuples ending in a literal).
+      if (In.Opcode == Op::Const && I + 1 < N &&
+          Code[I + 1].Opcode == Op::MakeTuple && !decided(I + 1) &&
+          !Targets.count(static_cast<uint32_t>(I + 1))) {
+        const Instr &Mk = Code[I + 1];
+        uint32_t S = Mk.B, Count = Mk.C;
+        if (Count > 0 && In.A == S + Count - 1 && Count <= 0xffff &&
+            In.B <= 0xffff) {
+          Repl[I] = {Op::ConstTuple, Mk.A, S, packPair(Count, In.B)};
+          Drop[I + 1] = 1;
+          ++C->FusedCount;
+          continue;
+        }
+      }
+    }
+
+    // Rebuild, then remap jump operands through the index map.
+    std::vector<Instr> New;
+    New.reserve(N);
+    std::vector<uint32_t> OldToNew(N + 1, 0);
+    for (size_t I = 0; I != N; ++I) {
+      OldToNew[I] = static_cast<uint32_t>(New.size());
+      if (Drop[I])
+        continue;
+      auto R = Repl.find(I);
+      New.push_back(R == Repl.end() ? Code[I] : R->second);
+    }
+    OldToNew[N] = static_cast<uint32_t>(New.size());
+    for (Instr &I : New) {
+      if (I.Opcode == Op::Jump)
+        I.A = OldToNew[I.A];
+      else if (I.Opcode == Op::JumpIfFalse || I.Opcode == Op::CallJf ||
+               I.Opcode == Op::BuiltinJf)
+        I.B = OldToNew[I.B];
+    }
+    Code = std::move(New);
+  }
+
+  const EmitOptions &Opts;
   std::shared_ptr<Chunk> C;
   std::unordered_map<std::string, ValuePtr> Globals;
   std::unordered_map<std::string, uint32_t> BuiltinIdx;
@@ -301,10 +708,16 @@ private:
 
 } // namespace
 
+EmitOptions &fg::vm::defaultEmitOptions() {
+  static EmitOptions Opts;
+  return Opts;
+}
+
 std::shared_ptr<const Chunk> fg::vm::compile(const Term *T, const Prelude &P,
-                                             std::string *ErrorOut) {
+                                             std::string *ErrorOut,
+                                             const EmitOptions &Opts) {
   stats::ScopedTimer Timer("vm.compile");
-  Emitter E(P);
+  Emitter E(P, Opts);
   std::shared_ptr<const Chunk> C = E.run(T);
   if (!C) {
     if (ErrorOut)
@@ -314,5 +727,8 @@ std::shared_ptr<const Chunk> fg::vm::compile(const Term *T, const Prelude &P,
   stats::Statistics::global().add("vm.chunks.compiled");
   stats::Statistics::global().add("vm.instructions.emitted",
                                   C->instructionCount());
+  if (C->FusedCount)
+    stats::Statistics::global().add("vm.superinstructions.fused",
+                                    C->FusedCount);
   return C;
 }

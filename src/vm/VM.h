@@ -1,4 +1,4 @@
-//===- vm/VM.h - Bytecode dispatch-loop interpreter -------------*- C++ -*-===//
+//===- vm/VM.h - Register bytecode interpreter ------------------*- C++ -*-===//
 //
 // Part of the fgc project: a reproduction of "Essential Language Support
 // for Generic Programming" (Siek & Lumsdaine, PLDI 2005).
@@ -7,22 +7,29 @@
 ///
 /// \file
 /// The third System F execution backend: a dispatch-loop interpreter
-/// over the flat bytecode of vm/Bytecode.h.  Where the tree walker
+/// over the register bytecode of vm/Bytecode.h.  Where the tree walker
 /// (systemf/Eval.h) recurses over terms and the closure compiler
 /// (systemf/Compile.h) recurses over std::function trees, the VM runs
 /// a single loop over explicit call frames:
 ///
-///  * locals (parameters + flattened `let`s) live in one contiguous
-///    slot stack, indexed from each frame's base;
+///  * every frame owns a fixed register file (parameters, flattened
+///    `let` slots, and expression temporaries), a window of one
+///    contiguous vector — there is no operand stack;
+///  * calls are zero-copy: arguments are evaluated into a window the
+///    callee's frame overlays, so entering a call moves no values;
 ///  * closures are flat — captured values are copied into the closure
 ///    at creation, so variable access never chases an environment;
 ///  * calls push a frame, `Return` pops it; program recursion grows
 ///    the explicit frame stack, not the C++ stack (the only native
-///    recursion is the bounded `fix` unroll).
+///    recursion is the bounded `fix` unroll);
+///  * dictionary projections run through per-site inline caches: a
+///    site that keeps seeing the same dictionary serves the witness
+///    with one identity check instead of re-walking nested refinement
+///    dictionaries (vm.ic.* stats surface the state machine).
 ///
 /// Observationally equivalent to the other backends — the same values,
 /// the same runtime errors, and the same EvalOptions step/depth abort
-/// diagnostics; tests/Differential.h pins all three together.
+/// diagnostics; tests/Differential.h pins all four together.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -87,8 +94,9 @@ private:
 
 /// Executes compiled chunks.  One VM may run many chunks in sequence;
 /// state is reset by run().  Enforces the same sf::EvalOptions limits
-/// as the other engines: MaxSteps bounds executed instructions,
-/// MaxDepth bounds live call frames (incl. fix unrolling).
+/// as the other engines: MaxSteps bounds executed instructions (a
+/// fused superinstruction charges exactly the steps of the pair it
+/// replaced), MaxDepth bounds live call frames (incl. fix unrolling).
 class VM {
 public:
   explicit VM(sf::EvalOptions Opts = sf::EvalOptions()) : Opts(Opts) {}
@@ -99,30 +107,61 @@ public:
   uint64_t getInstructionsExecuted() const { return Steps; }
   uint64_t getFramesPushed() const { return FramesPushed; }
 
+  /// Inline-cache behavior of the last run (also flushed to the
+  /// global vm.ic.* counters).
+  uint64_t getIcHits() const { return IcHits; }
+  uint64_t getIcMisses() const { return IcMisses; }
+  uint64_t getIcMegamorphic() const { return IcMega; }
+
 private:
-  /// One activation.  Locals and the operand stack are contiguous
-  /// vectors shared by all frames; each frame indexes from its bases.
-  /// The chunk pointer is raw: every frame's chunk is the run's root
-  /// chunk (closures only reference protos of the chunk that made
-  /// them), which RootChunk pins for the whole run.
+  /// One activation.  All frames share the one register vector Regs;
+  /// each frame owns the window [Base, Base + P->NumRegs), and the
+  /// invariant while a frame executes is Regs.size() == Base +
+  /// P->NumRegs exactly — Return restores the caller's window.  The
+  /// chunk pointer is raw: every frame's chunk is the run's root chunk
+  /// (closures only reference protos of the chunk that made them),
+  /// which RootChunk pins for the whole run.
   struct CallFrame {
     const Chunk *C = nullptr;
     const Proto *P = nullptr;
     const std::vector<sf::ValuePtr> *Upvals = nullptr; ///< Null at entry.
     sf::ValuePtr Keep; ///< The running (ty)closure, kept alive.
     uint32_t IP = 0;
-    uint32_t LocalBase = 0;
-    uint32_t StackBase = 0;
+    uint32_t Base = 0;    ///< First register of this frame's window.
+    uint32_t RetSlot = 0; ///< Absolute register Return writes into.
   };
+
+  /// One dictionary-projection inline cache (per ProjSite, per run).
+  /// Monomorphic while the site keeps seeing the same dictionary;
+  /// after MegamorphicFlips distinct dictionaries it gives up and
+  /// projects every time.  Keep pins the cached dictionary so Key can
+  /// never dangle into a recycled allocation.
+  struct ICSlot {
+    const sf::Value *Key = nullptr; ///< Cached dictionary identity.
+    uint32_t Arity = 0;             ///< Cached dictionary tuple arity.
+    sf::ValuePtr Keep;              ///< Pins Key's allocation.
+    sf::ValuePtr Witness;           ///< The projected member.
+    uint32_t Flips = 0;             ///< Distinct-dictionary transitions.
+    bool Mega = false;              ///< Gave up caching.
+  };
+  static constexpr uint32_t MegamorphicFlips = 8;
 
   /// Runs until the frame stack shrinks back to \p StopDepth; the
   /// returning frame's result is the call's value.
   sf::EvalResult execute(size_t StopDepth);
 
-  /// Dispatches a Call on stack[-N-1] with N arguments: pushes a frame
+  /// Dispatches a call: the callee sits in register \p FnAbs with \p N
+  /// arguments in FnAbs+1..FnAbs+N; the result (builtin) or eventual
+  /// Return (closure) lands in register \p RetAbs.  Pushes a frame
   /// (closure), invokes inline (builtin), or unrolls (fix).  On false,
   /// RuntimeError holds the diagnostic.
-  bool enterCall(uint32_t N);
+  bool enterCall(size_t FnAbs, uint32_t N, size_t RetAbs);
+
+  /// Projects through \p Site's path serving from (and updating) its
+  /// inline cache; writes the witness into register \p DstAbs.  On
+  /// false, RuntimeError holds the tree evaluator's projection error.
+  bool projectSite(uint32_t SiteIdx, const sf::ValuePtr &Dict,
+                   size_t DstAbs);
 
   /// Applies \p Fn to \p Args to completion with a nested dispatch;
   /// only the `fix` unroll needs this.
@@ -153,17 +192,17 @@ private:
   };
 
   /// Replays a memoized unroll: charges StepCost, requires DepthNeed
-  /// headroom, and installs the unrolled function at \p FnPos.  On
-  /// false, RuntimeError holds the same diagnostic the uncached
-  /// unroll would have produced.
-  bool replayFixMemo(const FixMemoEntry &E, size_t FnPos);
+  /// headroom, and installs the unrolled function at register
+  /// \p FnAbs.  On false, RuntimeError holds the same diagnostic the
+  /// uncached unroll would have produced.
+  bool replayFixMemo(const FixMemoEntry &E, size_t FnAbs);
 
   sf::EvalOptions Opts;
   std::shared_ptr<const Chunk> RootChunk; ///< Pins every frame's chunk.
   std::vector<CallFrame> Frames;
-  std::vector<sf::ValuePtr> Stack;  ///< Operand stack.
-  std::vector<sf::ValuePtr> Locals; ///< Frame slots.
+  std::vector<sf::ValuePtr> Regs; ///< All frames' register windows.
   std::vector<sf::ValuePtr> BuiltinArgs; ///< Scratch for builtin calls.
+  std::vector<ICSlot> ICSlots; ///< One per chunk ProjSite, per run.
   std::unordered_map<const sf::Value *, FixMemoEntry> FixMemo;
   const sf::Value *FixMemoKey = nullptr; ///< 1-entry inline cache key.
   /// Inline-cached entry for FixMemoKey; node pointers into FixMemo
@@ -172,6 +211,9 @@ private:
   std::string RuntimeError;
   uint64_t Steps = 0;
   uint64_t FramesPushed = 0;
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
+  uint64_t IcMega = 0;
   unsigned FixDepth = 0;      ///< Live nested fix unrolls.
   size_t MaxDepthSeen = 0;    ///< High-water mark of depth() this run.
 };

@@ -409,6 +409,49 @@ TEST(ProtocolTest, StatsExposesCacheCounters) {
   EXPECT_GE(Res.find("cache_entries")->asInt(), 1);
 }
 
+TEST(ProtocolTest, StatsExposesVmInlineCacheAndFusionCounters) {
+  // A dictionary-heavy generic program on the vm backend: the loop
+  // projects `plus` out of the same Addable<int> dictionary every
+  // iteration, so after a warm eval cycle the daemon's stats must show
+  // inline-cache hits dominating misses, at least one fused
+  // superinstruction from emit, and the megamorphic counter (zero
+  // here, but registered).
+  std::string Program =
+      "concept Addable<t> { plus : fn(t,t) -> t; } in "
+      "model Addable<int> { plus = iadd; } in "
+      "let sum = (forall t where Addable<t>. fun(z : t). "
+      "fix (fun(go : fn(int) -> t). fun(n : int). "
+      "if ile(n, 0) then z "
+      "else Addable<t>.plus(z, go(isub(n, 1))))) in "
+      "sum[int](5)(40)";
+  std::vector<Json> R = roundTrip({
+      "{\"id\":1,\"method\":\"run\",\"params\":{\"source\":\"" + Program +
+          "\",\"backend\":\"vm\"}}",
+      "{\"id\":2,\"method\":\"run\",\"params\":{\"source\":\"" + Program +
+          "\",\"backend\":\"vm\"}}",
+      "{\"id\":3,\"method\":\"stats\"}",
+  });
+  EXPECT_TRUE(resultOf(R[0]).find("success")->asBool()) << R[0].write();
+  EXPECT_EQ(resultOf(R[0]).find("value")->asString(), "205");
+  EXPECT_TRUE(resultOf(R[1]).find("success")->asBool()) << R[1].write();
+
+  const Json *Counters = resultOf(R[2]).find("counters");
+  ASSERT_NE(Counters, nullptr);
+  auto counter = [&](const char *Name) -> int64_t {
+    const Json *C = Counters->find(Name);
+    EXPECT_NE(C, nullptr) << Name;
+    return C ? C->asInt() : -1;
+  };
+  // 40 loop iterations project through one stable dictionary: one
+  // cold miss, then hits.  (Counters are process-cumulative, so pin
+  // lower bounds, not exact values.)
+  EXPECT_GE(counter("vm.ic.hits"), 30);
+  EXPECT_GE(counter("vm.ic.misses"), 1);
+  EXPECT_GE(counter("vm.ic.megamorphic"), 0);
+  EXPECT_GE(counter("vm.superinstructions.fused"), 1);
+  EXPECT_GT(counter("vm.ic.hits"), counter("vm.ic.misses"));
+}
+
 TEST(ProtocolTest, ResetCyclesReturnArenaGaugesToBaseline) {
   // The long-lived-daemon leak regression: N `reset` cycles, each
   // preceded by an allocation-heavy request (out-of-pool ints, list

@@ -140,7 +140,8 @@ TEST_F(VmTest, LiteralCompilesToConstReturn) {
 
 TEST_F(VmTest, LetChainFlattensIntoOneFrame) {
   // let a = 1 in let b = 2 in let c = 3 in iadd(a, iadd(b, c)) — three
-  // lets become three slots of the entry frame, not three environments.
+  // lets become registers r0..r2 of the entry frame (initializers
+  // written straight into their slots), not three environments.
   const Term *T = A.makeLet(
       "a", A.makeIntLit(1),
       A.makeLet(
@@ -153,7 +154,13 @@ TEST_F(VmTest, LetChainFlattensIntoOneFrame) {
                                           A.makeVar("c")})}))));
   auto C = compileChunk(T);
   ASSERT_EQ(C->Protos.size(), 1u);
-  EXPECT_EQ(C->Protos[0].NumLocals, 3u);
+  EXPECT_GE(C->Protos[0].NumRegs, 3u);
+  // r0 is the entry frame's result register; the three let slots
+  // follow it at r1..r3, each initializer written straight in.
+  for (uint32_t Slot = 0; Slot != 3; ++Slot) {
+    EXPECT_EQ(C->Protos[0].Code[Slot].Opcode, vm::Op::Const);
+    EXPECT_EQ(C->Protos[0].Code[Slot].A, Slot + 1);
+  }
   EXPECT_EQ(runInt(T), 6);
 }
 
@@ -258,6 +265,56 @@ TEST_F(VmTest, CountersAdvanceDuringARun) {
   ASSERT_TRUE(R.ok()) << R.Error;
   EXPECT_GT(M.getInstructionsExecuted(), 0u);
   EXPECT_GE(M.getFramesPushed(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Register-file edge cases
+//===----------------------------------------------------------------------===//
+
+TEST_F(VmTest, DeeplyNestedLetTemporariesStayDisjoint) {
+  // Lets nested inside initializers and inside call arguments: every
+  // binding must get a register disjoint from every temporary live
+  // around it, even as FreeTop rises and falls across the expression.
+  const Term *Inner = A.makeLet(
+      "c", A.makeIntLit(1),
+      A.makeApp(A.makeVar("iadd"), {A.makeVar("c"), A.makeVar("c")}));
+  const Term *Mid = A.makeLet(
+      "b", Inner,
+      A.makeApp(A.makeVar("iadd"), {A.makeVar("b"), A.makeVar("b")}));
+  const Term *T = A.makeLet(
+      "a", Mid,
+      A.makeApp(A.makeVar("iadd"), {A.makeVar("a"), A.makeVar("a")}));
+  EXPECT_EQ(runInt(T), 8);
+
+  // A let inside one argument must not clobber a sibling argument's
+  // window slot or an outer binding read after it.
+  const Term *Arg1 = A.makeLet(
+      "x", A.makeIntLit(3),
+      A.makeApp(A.makeVar("iadd"),
+                {A.makeVar("x"),
+                 A.makeLet("y", A.makeIntLit(4),
+                           A.makeApp(A.makeVar("iadd"),
+                                     {A.makeVar("y"), A.makeVar("x")}))}));
+  const Term *Arg2 = A.makeLet("z", A.makeIntLit(5), A.makeVar("z"));
+  EXPECT_EQ(runInt(A.makeApp(A.makeVar("iadd"), {Arg1, Arg2})), 15);
+}
+
+TEST_F(VmTest, NestedCallArgumentsHandleTemporaryPressure) {
+  // A balanced tree of calls whose arguments are themselves calls:
+  // every interior call holds a live window while its argument windows
+  // stack above it.
+  auto Add = [&](const Term *L, const Term *R) {
+    return A.makeApp(A.makeVar("iadd"), {L, R});
+  };
+  const Term *T =
+      Add(Add(Add(A.makeIntLit(1), A.makeIntLit(2)),
+              Add(A.makeIntLit(3), A.makeIntLit(4))),
+          Add(Add(A.makeIntLit(5), A.makeIntLit(6)),
+              Add(A.makeIntLit(7), A.makeIntLit(8))));
+  EXPECT_EQ(runInt(T), 36);
+  // The entry frame needs real temporary depth for this shape.
+  auto C = compileChunk(T);
+  EXPECT_GE(C->Protos[0].NumRegs, 9u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -368,6 +425,214 @@ TEST_F(VmTest, VmClosuresPrintOpaquelyAndAreForeignToOtherEngines) {
   ASSERT_FALSE(Foreign.ok());
   EXPECT_NE(Foreign.Error.find("VM closure"), std::string::npos)
       << Foreign.Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Superinstructions and inline caches
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A dictionary-heavy loop in the dictionary-passing translation's
+/// image: D = ((iadd), base), and go(n) folds n..1 with the operation
+/// projected out of the nested dictionary on every iteration —
+/// go(n) = if ile(n,0) then nth(D,1) else nth(nth(D,0),0)(n, go(n-1)).
+const Term *makeDictLoop(TermArena &A, TypeContext &Ctx, int64_t N,
+                         int64_t Base) {
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I}, I);
+  const Term *Body = A.makeIf(
+      A.makeApp(A.makeVar("ile"), {A.makeVar("n"), A.makeIntLit(0)}),
+      A.makeNth(A.makeVar("d"), 1),
+      A.makeApp(A.makeNth(A.makeNth(A.makeVar("d"), 0), 0),
+                {A.makeVar("n"),
+                 A.makeApp(A.makeVar("go"),
+                           {A.makeApp(A.makeVar("isub"),
+                                      {A.makeVar("n"), A.makeIntLit(1)})})}));
+  const Term *Loop = A.makeFix(
+      A.makeAbs({{"go", FnTy}}, A.makeAbs({{"n", I}}, Body)));
+  return A.makeLet(
+      "d",
+      A.makeTuple({A.makeTuple({A.makeVar("iadd")}), A.makeIntLit(Base)}),
+      A.makeApp(Loop, {A.makeIntLit(N)}));
+}
+
+} // namespace
+
+TEST_F(VmTest, DumpBytecodeGoldenShowsFusedSuperinstructions) {
+  // One small fixture exercising all four fused pairs plus a ProjIC
+  // site, pinned as an exact golden so emit regressions are diffable:
+  //   let one = 1 in
+  //   if ile(one, 2) then iadd(nth(tuple{one, 5}, 1), one) else 0
+  const Term *T = A.makeLet(
+      "one", A.makeIntLit(1),
+      A.makeIf(
+          A.makeApp(A.makeVar("ile"), {A.makeVar("one"), A.makeIntLit(2)}),
+          A.makeApp(A.makeVar("iadd"),
+                    {A.makeNth(A.makeTuple({A.makeVar("one"),
+                                            A.makeIntLit(5)}),
+                               1),
+                     A.makeVar("one")}),
+          A.makeIntLit(0)));
+  auto C = compileChunk(T);
+  EXPECT_EQ(C->FusedCount, 3u);
+  EXPECT_EQ(vm::disassemble(*C),
+            R"(; 1 protos, 13 instructions, 4 constants, 2 builtins, 1 ic-sites, 3 fused
+proto 0 <main>  ; arity 0, regs 8, captures 0
+     0  const           r1, k0  ; 1
+     1  builtin         r2, b0  ; ile
+     2  move            r3, r1
+     3  const           r4, k1  ; 2
+     4  call.jf         r2, n2, -> 11  ; fused call+jump.if.false
+     5  builtin         r2, b1  ; iadd
+     6  move            r6, r1
+     7  const.tuple     r5, r6, n2, k2  ; fused const+make.tuple, 5
+     8  proj.ic         r3, r5, site 0 [1]  ; inline cache
+     9  move.call       r0, r1, w2, n2  ; fused move+call
+    10  jump            -> 12
+    11  const           r0, k3  ; 0
+    12  return          r0
+)");
+}
+
+TEST_F(VmTest, DumpBytecodeGoldenShowsAProjICSite) {
+  // The unfused register form of a collapsed projection chain:
+  // nth(nth(tuple{tuple{1, 2}, 3}, 0), 1) becomes ONE ProjIC whose
+  // site records the static path [0.1].
+  const Term *T = A.makeNth(
+      A.makeNth(A.makeTuple({A.makeTuple({A.makeIntLit(1), A.makeIntLit(2)}),
+                             A.makeIntLit(3)}),
+                0),
+      1);
+  vm::EmitOptions NoFuse;
+  NoFuse.Superinstructions = false;
+  std::string Error;
+  auto C = vm::compile(T, ThePrelude, &Error, NoFuse);
+  ASSERT_NE(C, nullptr) << Error;
+  EXPECT_EQ(C->FusedCount, 0u);
+  ASSERT_EQ(C->ProjSites.size(), 1u);
+  EXPECT_EQ(C->ProjSites[0].Path, (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(vm::disassemble(*C),
+            R"(; 1 protos, 7 instructions, 3 constants, 0 builtins, 1 ic-sites, 0 fused
+proto 0 <main>  ; arity 0, regs 6, captures 0
+     0  const           r4, k0  ; 1
+     1  const           r5, k1  ; 2
+     2  make.tuple      r2, r4, n2
+     3  const           r3, k2  ; 3
+     4  make.tuple      r1, r2, n2
+     5  proj.ic         r0, r1, site 0 [0.1]  ; inline cache
+     6  return          r0
+)");
+}
+
+TEST_F(VmTest, InlineCacheHitsOnAStableDictionary) {
+  // The dictionary tuple is built once and projected from on every
+  // loop iteration: after the first miss per site, every projection is
+  // a monomorphic hit — the acceptance bar is a >90% hit rate.
+  auto C = compileChunk(makeDictLoop(A, Ctx, 100, 1));
+  vm::VM M;
+  EvalResult R = M.run(C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(valueToString(R.Val), "5051");
+  EXPECT_EQ(M.getIcMegamorphic(), 0u);
+  ASSERT_GT(M.getIcHits() + M.getIcMisses(), 0u);
+  double Rate = static_cast<double>(M.getIcHits()) /
+                static_cast<double>(M.getIcHits() + M.getIcMisses());
+  EXPECT_GT(Rate, 0.9) << M.getIcHits() << " hits / " << M.getIcMisses()
+                       << " misses";
+}
+
+TEST_F(VmTest, InlineCacheGoesMegamorphicWhenDictionariesFlip) {
+  // Two distinct model dictionaries of the same shape alternate
+  // through one projection site (the loop swaps them every
+  // iteration): the site must flip, give up monomorphic caching after
+  // the megamorphic threshold, and never serve a stale witness.
+  //   go(n, da, db) = if ile(n,0) then 0
+  //                   else iadd(nth(da,0), go(n-1, db, da))
+  const Type *I = Ctx.getIntType();
+  const Type *FnTy = Ctx.getArrowType({I, I, I}, I);
+  const Term *Body = A.makeIf(
+      A.makeApp(A.makeVar("ile"), {A.makeVar("n"), A.makeIntLit(0)}),
+      A.makeIntLit(0),
+      A.makeApp(A.makeVar("iadd"),
+                {A.makeNth(A.makeVar("da"), 0),
+                 A.makeApp(A.makeVar("go"),
+                           {A.makeApp(A.makeVar("isub"),
+                                      {A.makeVar("n"), A.makeIntLit(1)}),
+                            A.makeVar("db"), A.makeVar("da")})}));
+  const Term *Loop = A.makeFix(A.makeAbs(
+      {{"go", FnTy}},
+      A.makeAbs({{"n", I}, {"da", I}, {"db", I}}, Body)));
+  const Term *T = A.makeLet(
+      "d1", A.makeTuple({A.makeIntLit(10)}),
+      A.makeLet("d2", A.makeTuple({A.makeIntLit(20)}),
+                A.makeApp(Loop, {A.makeIntLit(20), A.makeVar("d1"),
+                                 A.makeVar("d2")})));
+  auto C = compileChunk(T);
+  vm::VM M;
+  EvalResult R = M.run(C);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(valueToString(R.Val), "300"); // 10*10 + 20*10
+  EXPECT_EQ(M.getIcHits(), 0u);
+  EXPECT_EQ(M.getIcMisses(), 20u);
+  EXPECT_EQ(M.getIcMegamorphic(), 1u);
+}
+
+TEST_F(VmTest, AbortParityGridFusedUnfusedAndTree) {
+  // A steps x depth grid over the dictionary-heavy loop.  The hard
+  // contract: the fused and unfused chunks are indistinguishable at
+  // EVERY grid point — same outcome, same step totals, same frame
+  // counts (a fused superinstruction charges exactly the pair it
+  // replaced).  Against the tree walker the step metrics differ by
+  // construction, so the cross-backend assertions are: equal values
+  // when both finish, and any abort uses the shared diagnostics.
+  const Term *Prog = makeDictLoop(A, Ctx, 12, 1);
+  vm::EmitOptions NoFuse;
+  NoFuse.Superinstructions = false;
+  std::string E1, E2;
+  auto CF = vm::compile(Prog, ThePrelude, &E1);
+  auto CU = vm::compile(Prog, ThePrelude, &E2, NoFuse);
+  ASSERT_NE(CF, nullptr) << E1;
+  ASSERT_NE(CU, nullptr) << E2;
+  EXPECT_GT(CF->FusedCount, 0u);
+  EXPECT_EQ(CU->FusedCount, 0u);
+  EXPECT_LT(CF->instructionCount(), CU->instructionCount());
+
+  const char *StepMsg = "evaluation exceeded the step limit";
+  const char *DepthMsg = "evaluation exceeded the recursion depth limit";
+  for (uint64_t MaxSteps : {20ull, 60ull, 150ull, 400ull, 1000ull,
+                            1000000ull})
+    for (size_t MaxDepth : {3u, 5u, 9u, 17u, 64u, 4096u}) {
+      EvalOptions O;
+      O.MaxSteps = MaxSteps;
+      O.MaxDepth = MaxDepth;
+      SCOPED_TRACE("steps=" + std::to_string(MaxSteps) +
+                   " depth=" + std::to_string(MaxDepth));
+      vm::VM MF(O), MU(O);
+      EvalResult RF = MF.run(CF);
+      EvalResult RU = MU.run(CU);
+      ASSERT_EQ(RF.ok(), RU.ok());
+      if (RF.ok())
+        EXPECT_TRUE(valueEquals(RF.Val, RU.Val));
+      else
+        EXPECT_EQ(RF.Error, RU.Error);
+      EXPECT_EQ(MF.getInstructionsExecuted(), MU.getInstructionsExecuted());
+      EXPECT_EQ(MF.getFramesPushed(), MU.getFramesPushed());
+
+      Evaluator Tree(O);
+      EvalResult RT = Tree.eval(Prog, ThePrelude.Values);
+      if (RT.ok() && RF.ok()) {
+        EXPECT_EQ(valueToString(RT.Val), valueToString(RF.Val));
+      }
+      if (!RT.ok()) {
+        EXPECT_TRUE(RT.Error == StepMsg || RT.Error == DepthMsg)
+            << RT.Error;
+      }
+      if (!RF.ok()) {
+        EXPECT_TRUE(RF.Error == StepMsg || RF.Error == DepthMsg)
+            << RF.Error;
+      }
+    }
 }
 
 //===----------------------------------------------------------------------===//
